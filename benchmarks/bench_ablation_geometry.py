@@ -1,0 +1,71 @@
+"""A2 — ablation: n×k geometry (stripe parallelism vs pipeline depth).
+
+The paper (§6) notes the 4×3 array "can be reconfigured ... to a 6×2
+array, if pipelined access shows less advantage".  This sweep runs the
+same 12 disks as 12×1, 6×2, 4×3, and 3×4 under large parallel writes
+and checkpointing, exposing the trade-off: wider stripes buy client
+bandwidth, deeper pipelines buy per-node capacity (and fault coverage —
+one failure per group — grows with k).
+"""
+
+from conftest import emit, run_once
+
+from repro.analysis.report import render_table
+from repro.checkpoint import CheckpointConfig, CheckpointRun
+from repro.cluster.cluster import build_cluster
+from repro.config import trojans_cluster
+from repro.units import MB
+from repro.workloads.parallel_io import ParallelIOWorkload
+
+GEOMETRIES = ((12, 1), (6, 2), (4, 3), (3, 4))
+
+
+def run_geometry_sweep():
+    rows = []
+    for n, k in GEOMETRIES:
+        cluster = build_cluster(
+            trojans_cluster(n=n, k=k), architecture="raidx"
+        )
+        wl = ParallelIOWorkload(cluster, n, op="write", size=2 * MB)
+        bw = wl.run().aggregate_bandwidth_mb_s
+        ck_cluster = build_cluster(
+            trojans_cluster(n=n, k=k), architecture="raidx"
+        )
+        ck = CheckpointRun(
+            ck_cluster,
+            CheckpointConfig(
+                processes=n, state_bytes=4 * MB, scheme="striped_staggered",
+                stagger_groups=max(1, k),
+            ),
+        ).run()
+        coverage = ck_cluster.storage.layout.max_fault_coverage()
+        rows.append(
+            {
+                "geometry": f"{n}x{k}",
+                "write_mb_s": round(bw, 2),
+                "ckpt_epoch_s": round(ck.total_time, 3),
+                "fault_coverage": coverage,
+            }
+        )
+    return rows
+
+
+def test_ablation_geometry(benchmark):
+    rows = run_once(benchmark, run_geometry_sweep)
+    emit(
+        "A2 — n×k geometry trade-off (12 disks)",
+        render_table(
+            ["geometry", "write_mb_s", "ckpt_epoch_s", "fault_coverage"],
+            [[r[k] for k in r] for r in rows],
+        ),
+    )
+    by_geo = {r["geometry"]: r for r in rows}
+    # Fault coverage grows with pipeline depth k.
+    assert by_geo["12x1"]["fault_coverage"] == 1
+    assert by_geo["4x3"]["fault_coverage"] == 3
+    assert by_geo["3x4"]["fault_coverage"] == 4
+    # Wider stripes give more aggregate client write bandwidth.
+    assert by_geo["12x1"]["write_mb_s"] > by_geo["3x4"]["write_mb_s"]
+    benchmark.extra_info["geometries"] = {
+        g: r["write_mb_s"] for g, r in by_geo.items()
+    }

@@ -1,0 +1,70 @@
+"""A5 — extension: I/O load-balanced reads (the paper's §7 future work).
+
+"In next phase of the Trojans project, we will develop a distributed
+file system with I/O load balancing capabilities" — this ablation
+implements and evaluates replica-selection by shortest disk queue (with
+a hysteresis margin so a diverted read must be worth the broken
+sequential run) under a Zipf-skewed read-only workload.
+"""
+
+from conftest import emit, run_once
+
+from repro.analysis.report import render_table
+from repro.cluster.cluster import build_cluster
+from repro.config import trojans_cluster
+from repro.units import MB
+from repro.workloads.synthetic import SyntheticWorkload
+
+ARCHS = ("raid10", "chained", "raidx")
+
+
+def measure(arch, policy):
+    cluster = build_cluster(
+        trojans_cluster(), architecture=arch, read_policy=policy
+    )
+    wl = SyntheticWorkload(
+        cluster,
+        clients=12,
+        ops_per_client=48,
+        read_fraction=1.0,
+        pattern="zipf",
+        zipf_theta=1.1,
+        region_bytes=64 * MB,
+    )
+    return wl.run().elapsed
+
+
+def run_sweep():
+    rows = []
+    for arch in ARCHS:
+        static = measure(arch, "static")
+        balanced = measure(arch, "shortest_queue")
+        rows.append(
+            {
+                "architecture": arch,
+                "static_s": round(static, 3),
+                "balanced_s": round(balanced, 3),
+                "speedup": round(static / balanced, 3),
+            }
+        )
+    return rows
+
+
+def test_ablation_read_balance(benchmark):
+    rows = run_once(benchmark, run_sweep)
+    emit(
+        "A5 — load-balanced replica reads (Zipf hot-spot, 12 clients)",
+        render_table(
+            ["architecture", "static_s", "balanced_s", "speedup"],
+            [[r[k] for k in r] for r in rows],
+        ),
+    )
+    by = {r["architecture"]: r for r in rows}
+    # Balancing must never hurt (the hysteresis margin guards the
+    # far-mirror seek on RAID-x) and should help the mirrored layouts.
+    for r in rows:
+        assert r["speedup"] > 0.97
+    assert by["raid10"]["speedup"] > 1.05
+    benchmark.extra_info["speedups"] = {
+        r["architecture"]: r["speedup"] for r in rows
+    }

@@ -1,0 +1,33 @@
+"""F3 — Figure 3: the 4×3 orthogonal striping and mirroring array.
+
+Regenerates the 12-disk map and asserts the addressing scheme shown in
+the figure (block i on disk i mod 12; pipelined stripe groups; one
+failure per disk group survivable).
+"""
+
+from conftest import emit, run_once
+
+from repro.bench.experiments import fig3_nk_map
+from repro.raid import make_layout
+
+
+def test_fig3_nk_array(benchmark):
+    text = run_once(benchmark, fig3_nk_map, n=4, k=3)
+    emit("Figure 3 — 4x3 RAID-x array", text)
+
+    lay = make_layout(
+        "raidx", n_disks=12, block_size=1, disk_capacity=8, stripe_width=4
+    )
+    # "The block addressing scheme stripes across all nk disks
+    # sequentially and repeatedly."
+    for b in range(24):
+        assert lay.data_location(b).disk == b % 12
+    # Stripe group (B0..B3) on the first disk of each node; the next
+    # group (B4..B7) pipelines onto each node's second disk.
+    assert [lay.data_location(b).disk for b in range(4)] == [0, 1, 2, 3]
+    assert [lay.data_location(b).disk for b in range(4, 8)] == [4, 5, 6, 7]
+    # "Up-to-3 disk failures in 3 stripe groups can be tolerated."
+    assert lay.max_fault_coverage() == 3
+    assert lay.tolerates({1, 6, 8})
+    assert not lay.tolerates({1, 2})
+    benchmark.extra_info["fault_coverage"] = 3

@@ -1,0 +1,57 @@
+"""F5 — Figure 5: aggregate I/O bandwidth vs number of clients.
+
+Four panels (large/small × read/write) over NFS, RAID-5, RAID-10, and
+RAID-x on the 12-node Trojans configuration.  Asserts the scaling shapes
+reported in §5.1.
+"""
+
+from conftest import emit, run_once
+
+from repro.bench.experiments import (
+    FIG5_CLIENTS,
+    FIG_ARCHS,
+    fig5_bandwidth,
+    render_fig5,
+)
+
+
+def test_fig5_bandwidth(benchmark):
+    result = run_once(
+        benchmark,
+        fig5_bandwidth,
+        archs=FIG_ARCHS,
+        client_counts=FIG5_CLIENTS,
+    )
+    emit("Figure 5 — aggregate I/O bandwidth (MB/s)", render_fig5(result))
+
+    def series(workload, arch):
+        return result.filter(
+            workload=workload, architecture=arch
+        ).pivot("architecture", "clients", "mb_s")[arch]
+
+    max_cl = max(FIG5_CLIENTS)
+
+    # (a) Large reads: distributed arrays scale; NFS flattens early.
+    for arch in ("raid5", "raid10", "raidx"):
+        s = series("large_read", arch)
+        assert s[max_cl] > 2.5 * s[1]
+    nfs_lr = series("large_read", "nfs")
+    assert nfs_lr[max_cl] < 1.6 * nfs_lr[1]
+
+    # (c) Large writes: RAID-x best scalability, RAID-5 worst among the
+    # arrays (parity overhead), NFS flat and lowest.
+    lw = {a: series("large_write", a) for a in FIG_ARCHS}
+    assert lw["raidx"][max_cl] > lw["raid10"][max_cl] > lw["raid5"][max_cl]
+    assert lw["raid5"][max_cl] > lw["nfs"][max_cl]
+
+    # (d) Small writes: RAID-x ~3x RAID-5 (the small-write problem).
+    sw = {a: series("small_write", a) for a in FIG_ARCHS}
+    assert sw["raidx"][max_cl] > 2.0 * sw["raid5"][max_cl]
+
+    # (b) Small reads: close to large-read behaviour for the arrays.
+    sr = {a: series("small_read", a) for a in ("raid10", "raidx")}
+    assert sr["raidx"][max_cl] > 0.5 * sr["raid10"][max_cl]
+
+    benchmark.extra_info["raidx_large_write_12cl"] = lw["raidx"][max_cl]
+    benchmark.extra_info["raid5_large_write_12cl"] = lw["raid5"][max_cl]
+    benchmark.extra_info["nfs_large_read_12cl"] = nfs_lr[max_cl]

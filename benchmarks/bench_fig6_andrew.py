@@ -1,0 +1,56 @@
+"""F6 — Figure 6: Andrew benchmark elapsed times on four I/O subsystems.
+
+Per-phase elapsed times for 1..32 clients on NFS, RAID-5, RAID-10, and
+RAID-x.  Asserts the §5.2 observations: NFS's weakness in metadata/read
+phases, RAID-5's copy-phase degradation (small writes), and RAID-x's
+overall win.
+"""
+
+from conftest import emit, run_once
+
+from repro.bench.experiments import FIG6_CLIENTS, FIG_ARCHS, fig6_andrew
+
+
+def test_fig6_andrew(benchmark):
+    result = run_once(
+        benchmark,
+        fig6_andrew,
+        archs=FIG_ARCHS,
+        client_counts=FIG6_CLIENTS,
+    )
+    emit("Figure 6 — Andrew benchmark elapsed times (s)", result.render())
+
+    max_cl = max(FIG6_CLIENTS)
+
+    def total(arch, clients):
+        return result.filter(architecture=arch, clients=clients).rows[0][
+            "total"
+        ]
+
+    def phase(arch, clients, name):
+        return result.filter(architecture=arch, clients=clients).rows[0][
+            name
+        ]
+
+    # RAID-x finishes first at scale; RAID-5 is the slowest array.
+    assert total("raidx", max_cl) <= total("raid10", max_cl)
+    assert total("raidx", max_cl) < total("raid5", max_cl)
+    assert total("raidx", max_cl) < total("nfs", max_cl)
+    # "The elapsed time to copy files in RAID-5 increases with the
+    # number of clients ... the small write problem."
+    assert phase("raid5", max_cl, "Copy") > phase("raid5", 1, "Copy")
+    assert phase("raid5", max_cl, "Copy") > 2.0 * phase(
+        "raidx", max_cl, "Copy"
+    )
+    # NFS shows poor behaviour in scan/read phases (per-open GETATTRs).
+    assert phase("nfs", max_cl, "ScanDir") >= phase(
+        "raidx", max_cl, "ScanDir"
+    )
+    # Every subsystem's elapsed time grows with client count.
+    for arch in FIG_ARCHS:
+        assert total(arch, max_cl) > total(arch, 1)
+
+    benchmark.extra_info["raidx_total_32cl"] = total("raidx", max_cl)
+    benchmark.extra_info["raid5_total_32cl"] = total("raid5", max_cl)
+    cut = 1 - total("raidx", max_cl) / total("raid10", max_cl)
+    benchmark.extra_info["cut_vs_raid10"] = round(cut, 3)

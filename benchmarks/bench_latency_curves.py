@@ -1,0 +1,73 @@
+"""A10 — extension: response time vs offered load (open loop).
+
+Poisson small-write arrivals swept across rates produce each
+architecture's latency hockey-stick.  The deferred-mirroring claim in
+latency form: at every offered load, RAID-x answers small writes faster
+than RAID-10 (write-through mirror) and far faster than RAID-5 (RMW),
+and it saturates last.
+"""
+
+from conftest import emit, run_once
+
+from repro.analysis.report import render_table
+from repro.cluster.cluster import build_cluster
+from repro.config import trojans_cluster
+from repro.units import MS
+from repro.workloads.openloop import OpenLoopWorkload
+
+ARCHS = ("raid5", "raid10", "raidx")
+RATES = (100, 400, 1000)
+
+
+def measure(arch, rate):
+    cluster = build_cluster(trojans_cluster(), architecture=arch)
+    return OpenLoopWorkload(
+        cluster, rate_ops_per_s=rate, duration_s=0.5, op="write"
+    ).run()
+
+
+def run_sweep():
+    rows = []
+    for arch in ARCHS:
+        for rate in RATES:
+            r = measure(arch, rate)
+            rows.append(
+                {
+                    "architecture": arch,
+                    "offered_ops_s": rate,
+                    "mean_ms": round(r.mean_latency() / MS, 1),
+                    "p95_ms": round(r.p95_latency() / MS, 1),
+                    "saturated": r.saturated,
+                }
+            )
+    return rows
+
+
+def test_latency_curves(benchmark):
+    rows = run_once(benchmark, run_sweep)
+    emit(
+        "A10 — small-write response time vs offered load",
+        render_table(
+            ["architecture", "offered_ops_s", "mean_ms", "p95_ms",
+             "saturated"],
+            [[r[k] for k in r] for r in rows],
+        ),
+    )
+    by = {(r["architecture"], r["offered_ops_s"]): r for r in rows}
+    # RAID-x is the fastest responder at every load level.
+    for rate in RATES:
+        assert (
+            by[("raidx", rate)]["mean_ms"]
+            < by[("raid10", rate)]["mean_ms"]
+            < by[("raid5", rate)]["mean_ms"] * 1.5
+        )
+    # Latency is monotone in offered load (queueing).
+    for arch in ARCHS:
+        series = [by[(arch, r)]["mean_ms"] for r in RATES]
+        assert series == sorted(series)
+    # RAID-5 saturates at a load RAID-x still absorbs comfortably.
+    assert by[("raid5", 400)]["saturated"]
+    assert by[("raidx", 400)]["mean_ms"] < by[("raid5", 400)]["mean_ms"] / 3
+    benchmark.extra_info["raidx_mean_at_1000ops"] = by[("raidx", 1000)][
+        "mean_ms"
+    ]

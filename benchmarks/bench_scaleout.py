@@ -1,0 +1,60 @@
+"""A6 — extension: scale-out beyond the Trojans prototype.
+
+The paper's §7 plans "an enlarged prototype of several hundreds of
+disks".  This sweep grows the serverless cluster from 12 to 48 nodes
+(up to 96 disks with k=2) and checks that RAID-x's aggregate write
+bandwidth keeps scaling while NFS stays pinned at one server.
+"""
+
+from conftest import emit, run_once
+
+from repro.analysis.report import render_table
+from repro.analysis.scalability import scaling_efficiency
+from repro.cluster.cluster import build_cluster
+from repro.config import trojans_cluster
+from repro.units import MB
+from repro.workloads.parallel_io import ParallelIOWorkload
+
+SIZES = (12, 24, 48)
+
+
+def measure(arch, n, k=1):
+    cluster = build_cluster(trojans_cluster(n=n, k=k), architecture=arch)
+    wl = ParallelIOWorkload(cluster, clients=n, op="write", size=2 * MB)
+    return wl.run().aggregate_bandwidth_mb_s
+
+
+def run_sweep():
+    rows = []
+    for n in SIZES:
+        rows.append(
+            {
+                "nodes": n,
+                "raidx_mb_s": round(measure("raidx", n), 2),
+                "raidx_2disks_mb_s": round(measure("raidx", n, k=2), 2),
+                "nfs_mb_s": round(measure("nfs", n), 2),
+            }
+        )
+    return rows
+
+
+def test_scaleout(benchmark):
+    rows = run_once(benchmark, run_sweep)
+    emit(
+        "A6 — scale-out: aggregate write bandwidth vs cluster size",
+        render_table(
+            ["nodes", "raidx_mb_s", "raidx_2disks_mb_s", "nfs_mb_s"],
+            [[r[k] for k in r] for r in rows],
+        ),
+    )
+    raidx = [r["raidx_mb_s"] for r in rows]
+    nfs = [r["nfs_mb_s"] for r in rows]
+    # RAID-x keeps growing with the cluster; efficiency stays healthy.
+    assert raidx[-1] > 2.0 * raidx[0] * 0.8
+    eff = scaling_efficiency(list(SIZES), raidx)
+    assert eff[-1] > 0.5
+    # NFS is pinned at the server regardless of cluster size.
+    assert max(nfs) < 2.5 * min(nfs)
+    assert raidx[-1] > 20 * nfs[-1]
+    benchmark.extra_info["raidx_48_nodes_mb_s"] = raidx[-1]
+    benchmark.extra_info["scaling_efficiency_48"] = round(eff[-1], 3)

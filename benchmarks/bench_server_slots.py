@@ -1,0 +1,79 @@
+"""A9 — extension: storage-manager service-slot sensitivity.
+
+The main simulations execute remote manager work inline, which is
+timing-equivalent to a server with unbounded concurrency.  This bench
+runs the *explicit* storage-manager servers (``cdd_mode="server"``) and
+sweeps the per-node service-slot count, validating the inline
+simplification (many slots ⇒ inline-equivalent bandwidth) and showing
+where a thread-starved manager would start queueing.
+"""
+
+from conftest import emit, run_once
+
+from repro.analysis.report import render_table
+from repro.cluster.cluster import build_cluster
+from repro.config import trojans_cluster
+from repro.units import MB, MS
+from repro.workloads.parallel_io import ParallelIOWorkload
+
+SLOTS = (1, 4, 16, 64)
+
+
+def measure(mode, slots=8):
+    cluster = build_cluster(
+        trojans_cluster(),
+        architecture="raidx",
+        cdd_mode=mode,
+        cdd_service_slots=slots,
+    )
+    r = ParallelIOWorkload(cluster, 12, op="write", size=1 * MB).run()
+    wait = 0.0
+    if cluster.manager_servers:
+        waits = [
+            s.mean_wait() for s in cluster.manager_servers if s.served
+        ]
+        wait = max(waits, default=0.0)
+    return r.aggregate_bandwidth_mb_s, wait
+
+
+def run_sweep():
+    rows = []
+    inline_bw, _ = measure("inline")
+    rows.append(
+        {"configuration": "inline (reference)",
+         "write_mb_s": round(inline_bw, 2), "max_mean_wait_ms": 0.0}
+    )
+    for slots in SLOTS:
+        bw, wait = measure("server", slots)
+        rows.append(
+            {
+                "configuration": f"server, {slots} slots",
+                "write_mb_s": round(bw, 2),
+                "max_mean_wait_ms": round(wait / MS, 2),
+            }
+        )
+    return rows
+
+
+def test_server_slots(benchmark):
+    rows = run_once(benchmark, run_sweep)
+    emit(
+        "A9 — storage-manager service slots (12-client writes)",
+        render_table(
+            ["configuration", "write_mb_s", "max_mean_wait_ms"],
+            [[r[k] for k in r] for r in rows],
+        ),
+    )
+    inline = rows[0]["write_mb_s"]
+    by_slots = {s: rows[i + 1] for i, s in enumerate(SLOTS)}
+    # Enough slots ⇒ the explicit server matches the inline model.
+    assert by_slots[64]["write_mb_s"] > 0.85 * inline
+    # A starved manager queues and loses bandwidth.
+    assert (
+        by_slots[1]["max_mean_wait_ms"]
+        > by_slots[64]["max_mean_wait_ms"]
+    )
+    assert by_slots[1]["write_mb_s"] <= by_slots[64]["write_mb_s"] * 1.02
+    benchmark.extra_info["inline_vs_64slots"] = round(
+        by_slots[64]["write_mb_s"] / inline, 3
+    )

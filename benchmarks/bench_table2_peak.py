@@ -1,0 +1,32 @@
+"""T2 — Table 2: expected peak performance of four RAID architectures.
+
+Regenerates the closed-form table (formulas + values) for the Trojans
+parameters and checks the relations the paper states in §2.
+"""
+
+from conftest import emit, run_once
+
+from repro.analysis.peak import (
+    PeakModel,
+    peak_table,
+    write_improvement_over_chained,
+)
+from repro.bench.experiments import table2_peak
+
+
+def test_table2_peak(benchmark):
+    text = run_once(benchmark, table2_peak, n=12, B=10.0, m=64)
+    emit("Table 2 — expected peak performance", text)
+
+    table = peak_table(PeakModel(n=12, B=10.0, m=64, R=3.2e-3, W=3.2e-3))
+    # RAID-x matches RAID-0-class bandwidth while mirrored systems halve
+    # writes and RAID-5 quarters small writes.
+    assert table["raidx"]["max_bw_large_write"] == 120
+    assert table["raid10"]["max_bw_large_write"] == 60
+    assert table["raid5"]["max_bw_small_write"] == 30
+    # §2: "the improvement factor approaches two" for large arrays.
+    assert 1.5 < write_improvement_over_chained(12) < 2.0
+    assert write_improvement_over_chained(200) > 1.98
+    benchmark.extra_info["raidx_write_bw"] = table["raidx"][
+        "max_bw_large_write"
+    ]

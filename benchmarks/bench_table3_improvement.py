@@ -1,0 +1,37 @@
+"""T3 — Table 3: achievable bandwidth and 12-over-1-client improvement.
+
+Regenerates the endpoint measurements and the improvement factors; the
+paper's headline is RAID-x's ~5.7x improvement on large writes and the
+strongest overall scaling among the four subsystems.
+"""
+
+from conftest import emit, run_once
+
+from repro.bench.experiments import table3_improvement
+
+
+def test_table3_improvement(benchmark):
+    result = run_once(
+        benchmark,
+        table3_improvement,
+        archs=("nfs", "raid5", "raid10", "raidx"),
+        endpoints=(1, 12),
+    )
+    emit("Table 3 — bandwidth and improvement factors", result.render())
+
+    def imp(arch, op):
+        return result.filter(architecture=arch, operation=op).rows[0][
+            "improvement"
+        ]
+
+    # RAID-x improves most on writes; almost-3x-or-better on reads.
+    assert imp("raidx", "large_write") > 3.0
+    assert imp("raidx", "large_read") > 2.5
+    # NFS barely improves anywhere (central server).
+    for op in ("large_read", "large_write", "small_write"):
+        assert imp("nfs", op) < 2.0
+    # RAID-x's write improvement beats RAID-10's and RAID-5's.
+    assert imp("raidx", "large_write") >= imp("raid10", "large_write")
+    benchmark.extra_info["raidx_lw_improvement"] = imp(
+        "raidx", "large_write"
+    )

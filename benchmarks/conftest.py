@@ -1,0 +1,22 @@
+"""Benchmark-suite helpers.
+
+Each ``bench_*`` file regenerates one of the paper's tables or figures
+(see DESIGN.md §4).  Simulated experiments are deterministic, so every
+benchmark runs with ``rounds=1`` — the *benchmark time* is the wall time
+to regenerate the artifact; the artifact's own numbers are attached as
+``extra_info`` and printed (visible with ``pytest -s``).
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return it."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)
+
+
+def emit(title: str, text: str) -> None:
+    """Print a rendered artifact under a clear banner."""
+    bar = "=" * max(20, len(title) + 8)
+    print(f"\n{bar}\n    {title}\n{bar}\n{text}\n")

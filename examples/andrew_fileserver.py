@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Scenario: a shared file server for collaborative engineering work.
+
+Runs the Andrew benchmark (the paper's Fig. 6) — directory creation,
+small-file copies, scans, reads, and compiles — with many concurrent
+clients on each storage architecture, over the full file-system stack
+(inodes, directories, per-node caches with write-invalidate coherence).
+
+    python examples/andrew_fileserver.py
+"""
+
+from repro.analysis.report import render_table
+from repro.cluster.cluster import build_cluster
+from repro.config import trojans_cluster
+from repro.workloads.andrew import AndrewBenchmark, AndrewResult
+
+ARCHS = ("nfs", "raid5", "raid10", "raidx")
+CLIENTS = 16
+
+
+def main() -> None:
+    rows = []
+    results = {}
+    for arch in ARCHS:
+        cluster = build_cluster(trojans_cluster(), architecture=arch)
+        r = AndrewBenchmark(cluster, CLIENTS).run()
+        results[arch] = r
+        rows.append(
+            [arch]
+            + [round(r.phase_times[p], 2) for p in AndrewResult.PHASES]
+            + [round(r.total, 2), f"{r.cache_hit_rate:.0%}"]
+        )
+    print(
+        render_table(
+            ["arch"] + list(AndrewResult.PHASES) + ["total", "cache"],
+            rows,
+            title=f"Andrew benchmark, {CLIENTS} concurrent clients",
+        )
+    )
+    print()
+    raidx, raid5 = results["raidx"].total, results["raid5"].total
+    raid10 = results["raid10"].total
+    print(
+        f"RAID-x cuts total elapsed time by "
+        f"{1 - raidx / raid5:.0%} vs RAID-5 and "
+        f"{1 - raidx / raid10:.0%} vs RAID-10.\n"
+        f"RAID-5 loses most of it in the Copy phase "
+        f"({results['raid5'].phase_times['Copy']:.1f}s vs "
+        f"{results['raidx'].phase_times['Copy']:.1f}s) — the benchmark's "
+        f"files are small, and every small write costs RAID-5 a "
+        f"read-modify-write."
+    )
+
+
+if __name__ == "__main__":
+    main()

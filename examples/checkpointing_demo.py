@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Scenario: fast checkpointing for a long-running cluster computation.
+
+Section 6 of the paper applies RAID-x's parallel I/O to coordinated
+checkpointing.  This script compares the three write schedules
+(parallel, striped+staggered, fully staggered), shows the C/S
+trade-off, and then recovers a process's state two ways: from its
+*local* mirror image (transient failure — no network) and from the
+striped data blocks (permanent failure, degraded read).
+
+    python examples/checkpointing_demo.py
+"""
+
+from repro.analysis.report import render_table
+from repro.checkpoint import CheckpointConfig, CheckpointRun, recover
+from repro.cluster.cluster import build_cluster
+from repro.config import trojans_cluster
+from repro.units import MB
+
+SCHEMES = (
+    ("parallel", None),
+    ("striped_staggered", 3),
+    ("staggered", None),
+)
+
+
+def main() -> None:
+    rows = []
+    last_run = None
+    for scheme, groups in SCHEMES:
+        cluster = build_cluster(trojans_cluster(), architecture="raidx")
+        cfg = CheckpointConfig(
+            processes=12,
+            state_bytes=4 * MB,
+            scheme=scheme,
+            stagger_groups=groups,
+            local_images=True,
+        )
+        run = CheckpointRun(cluster, cfg)
+        result = run.run()
+        cluster.env.run(cluster.env.process(cluster.storage.drain()))
+        writes = list(result.per_process_write.values())
+        rows.append(
+            [
+                f"{scheme}" + (f"/{groups}" if groups else ""),
+                round(result.total_time, 3),
+                round(result.sync_overhead * 1e3, 2),
+                round(sum(writes) / len(writes), 3),
+                round(result.aggregate_bandwidth_mb_s, 1),
+            ]
+        )
+        last_run = run
+    print(
+        render_table(
+            ["schedule", "epoch_s", "sync_ms", "mean C per proc (s)",
+             "agg MB/s"],
+            rows,
+            title="Coordinated checkpointing of 12 x 4 MB on RAID-x",
+        )
+    )
+    print(
+        "\nThe trade-off of Fig. 7: staggering stretches the epoch but\n"
+        "shrinks each process's own checkpoint overhead C, because its\n"
+        "stripe group writes without contention.\n"
+    )
+
+    transient = recover(last_run, process=5, kind="transient")
+    permanent = recover(last_run, process=5, kind="permanent")
+    print(
+        f"recovery of process 5 ({transient.nbytes / 1e6:.0f} MB):\n"
+        f"  transient (local mirror image) : "
+        f"{transient.elapsed * 1e3:7.1f} ms "
+        f"({transient.bandwidth_mb_s:.1f} MB/s, zero network)\n"
+        f"  permanent (striped data blocks): "
+        f"{permanent.elapsed * 1e3:7.1f} ms "
+        f"({permanent.bandwidth_mb_s:.1f} MB/s)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Scenario: operating through disk failures.
+
+Shows the fault-tolerance story end to end on a 4×3 RAID-x array:
+coverage enumeration, serving I/O in degraded mode after injected
+failures (one per stripe group — the maximum the paper claims for the
+4×3 configuration), rebuild onto replacement disks, and the analytical
+MTTDL comparison across architectures.
+
+    python examples/fault_tolerance_demo.py
+"""
+
+from repro.analysis.report import render_table
+from repro.cluster.cluster import build_cluster
+from repro.config import trojans_cluster
+from repro.fault import (
+    FailureEvent,
+    FaultInjector,
+    coverage_profile,
+    mttdl_chained,
+    mttdl_mirrored_pairs,
+    mttdl_raid5,
+    mttdl_raidx,
+)
+from repro.raid.reconstruct import execute_rebuild
+from repro.units import KiB, MB
+from repro.workloads.parallel_io import ParallelIOWorkload
+
+
+def main() -> None:
+    cluster = build_cluster(trojans_cluster(n=4, k=3), architecture="raidx")
+    layout = cluster.storage.layout
+    print(
+        f"4x3 RAID-x array: guaranteed single-failure coverage, up to "
+        f"{layout.max_fault_coverage()} failures if they spread across "
+        f"disk groups."
+    )
+    profile = coverage_profile(layout, max_f=4)
+    print(
+        render_table(
+            ["simultaneous failures", "survivable fraction"],
+            [[f, f"{p:.0%}"] for f, p in profile.items()],
+        )
+    )
+
+    # Inject one failure per disk group while clients are reading.
+    schedule = [
+        FailureEvent(0.010, disk=1),
+        FailureEvent(0.020, disk=6),
+        FailureEvent(0.030, disk=8),
+    ]
+    injector = FaultInjector(cluster, schedule)
+    injector.start()
+    result = ParallelIOWorkload(
+        cluster, clients=4, op="read", size=1 * MB
+    ).run()
+    print(
+        f"\n3 failures injected mid-run (disks 1, 6, 8 — one per group)."
+        f"\ndegraded parallel read: "
+        f"{result.aggregate_bandwidth_mb_s:.2f} MB/s aggregate, "
+        f"data loss: {injector.log.data_loss_at or 'none'}"
+    )
+
+    # Replace and rebuild each failed disk from surviving copies.
+    for disk in (1, 6, 8):
+        cluster.storage.repair_disk(disk)
+        rebuild = execute_rebuild(cluster, disk, max_blocks=256)
+        print(
+            f"rebuilt disk {disk}: {rebuild.blocks_rebuilt} blocks in "
+            f"{rebuild.elapsed:.2f}s ({rebuild.rate_mb_s:.1f} MB/s)"
+        )
+
+    # Analytical MTTDL comparison (500k-hour disks, 24 h repair).
+    mttf, mttr = 500_000.0, 24.0
+    rows = [
+        ["RAID-10", mttdl_mirrored_pairs(12, mttf, mttr)],
+        ["chained declustering", mttdl_chained(12, mttf, mttr)],
+        ["RAID-x 4-wide groups", mttdl_raidx(12, mttf, mttr, 4)],
+        ["RAID-x 12-wide", mttdl_raidx(12, mttf, mttr, 12)],
+        ["RAID-5", mttdl_raid5(12, mttf, mttr)],
+    ]
+    print()
+    print(
+        render_table(
+            ["architecture", "MTTDL (hours)"],
+            [[n, f"{v:,.0f}"] for n, v in rows],
+            title="Mean time to data loss, 12 disks",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Scenario: sizing storage for an I/O-centric cluster application.
+
+The paper's intro motivates RAID-x with data-mining / multimedia-style
+workloads that hammer parallel I/O.  This script sweeps client counts
+over all four storage architectures and prints the Fig.-5-style scaling
+tables plus improvement factors, so you can see where each architecture
+saturates.
+
+    python examples/parallel_io_scaling.py
+"""
+
+from repro.analysis.report import render_series
+from repro.analysis.scalability import improvement_factor, scaling_efficiency
+from repro.cluster.cluster import build_cluster
+from repro.config import trojans_cluster
+from repro.units import MB
+from repro.workloads.parallel_io import ParallelIOWorkload
+
+ARCHS = ("nfs", "raid5", "raid10", "raidx")
+CLIENTS = (1, 2, 4, 8, 12)
+
+
+def measure(arch: str, clients: int, op: str) -> float:
+    cluster = build_cluster(trojans_cluster(), architecture=arch)
+    wl = ParallelIOWorkload(cluster, clients, op=op, size=2 * MB)
+    return wl.run().aggregate_bandwidth_mb_s
+
+
+def main() -> None:
+    for op in ("read", "write"):
+        series = {
+            arch: [measure(arch, c, op) for c in CLIENTS]
+            for arch in ARCHS
+        }
+        print(
+            render_series(
+                "clients",
+                list(CLIENTS),
+                series,
+                title=f"Aggregate large-{op} bandwidth (MB/s)",
+            )
+        )
+        print()
+        for arch in ARCHS:
+            s = series[arch]
+            imp = improvement_factor(s[0], s[-1])
+            eff = scaling_efficiency(list(CLIENTS), s)[-1]
+            print(
+                f"  {arch:7s} {CLIENTS[-1]}-client improvement "
+                f"{imp:4.1f}x (scaling efficiency {eff:.0%})"
+            )
+        print()
+
+    print(
+        "Reading the tables: the serverless architectures scale with\n"
+        "clients until the fabric/disks saturate, while NFS flattens at\n"
+        "one server's capacity.  RAID-x tracks RAID-0-class write\n"
+        "bandwidth because image updates run in the background."
+    )
+
+
+if __name__ == "__main__":
+    main()

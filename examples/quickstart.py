@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: build a RAID-x cluster, move some data, inspect the OSM.
+
+Runs in a couple of seconds:
+
+    python examples/quickstart.py
+"""
+
+from repro import build_cluster, trojans_cluster
+from repro.raid import make_layout
+from repro.units import MB, fmt_time
+from repro.workloads import ParallelIOWorkload
+
+
+def main() -> None:
+    # 1. The orthogonal striping and mirroring geometry (paper Fig. 1a).
+    layout = make_layout(
+        "raidx", n_disks=4, block_size=1, disk_capacity=8, stripe_width=4
+    )
+    print("RAID-x placement on 4 disks (B = data, M = clustered image):")
+    print(layout.placement_map(12))
+    print()
+
+    # 2. A 12-node Trojans cluster with the RAID-x storage architecture.
+    cluster = build_cluster(trojans_cluster(n=12, k=1), architecture="raidx")
+    print(
+        f"cluster: {cluster.n_nodes} nodes, {cluster.n_disks} disks, "
+        f"single I/O space of "
+        f"{cluster.storage.capacity / 1e9:.1f} GB"
+    )
+
+    # 3. Twelve barrier-synchronized clients each write a private 2 MB
+    #    file (the paper's Fig.-5 methodology), then read it back.
+    for op in ("write", "read"):
+        result = ParallelIOWorkload(
+            cluster, clients=12, op=op, size=2 * MB
+        ).run()
+        print(
+            f"parallel {op:5s}: {result.aggregate_bandwidth_mb_s:6.2f} "
+            f"MB/s aggregate over {fmt_time(result.elapsed)}"
+        )
+
+    # 4. Where did the time go?
+    stats = cluster.stats()
+    print(
+        f"disk utilization {stats['disk_utilization']:.0%}, "
+        f"network utilization {stats['network_utilization']:.0%}, "
+        f"{stats['messages']['messages']} protocol messages "
+        f"({stats['messages']['remote_block_ops']} remote block ops)"
+    )
+
+
+if __name__ == "__main__":
+    main()

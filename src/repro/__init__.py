@@ -1,0 +1,65 @@
+"""repro — a full reproduction of RAID-x (Hwang, Jin & Ho, HPDC 2000).
+
+Distributed disk arrays with orthogonal striping and mirroring (OSM),
+cooperative disk drivers forming a single I/O space, baselines (NFS,
+RAID-5, RAID-10, chained declustering), an Andrew-benchmark file system,
+and striped+staggered checkpointing — all running on a from-scratch
+discrete-event cluster simulator.
+
+Quickstart::
+
+    from repro import build_cluster, trojans_cluster
+    from repro.workloads import ParallelIOWorkload
+
+    cluster = build_cluster(trojans_cluster(n=4), architecture="raidx")
+    result = ParallelIOWorkload(cluster, clients=4, op="write",
+                                size=2_000_000).run()
+    print(result.aggregate_bandwidth_mb_s)
+"""
+
+from repro.config import (
+    ArrayGeometry,
+    ClusterConfig,
+    CpuParams,
+    DiskParams,
+    NetworkParams,
+    trojans_cluster,
+)
+from repro.errors import (
+    AddressError,
+    ConfigurationError,
+    DataLossError,
+    DiskFailedError,
+    LayoutError,
+    ReproError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArrayGeometry",
+    "ClusterConfig",
+    "CpuParams",
+    "DiskParams",
+    "NetworkParams",
+    "trojans_cluster",
+    "AddressError",
+    "ConfigurationError",
+    "DataLossError",
+    "DiskFailedError",
+    "LayoutError",
+    "ReproError",
+    "build_cluster",
+    "__version__",
+]
+
+
+def build_cluster(config=None, architecture="raidx", **kwargs):
+    """Assemble a simulated cluster with the given storage architecture.
+
+    Convenience wrapper around :func:`repro.cluster.cluster.build_cluster`
+    (imported lazily to keep ``import repro`` light).
+    """
+    from repro.cluster.cluster import build_cluster as _build
+
+    return _build(config, architecture=architecture, **kwargs)

@@ -1,0 +1,80 @@
+"""Bottleneck analysis: which resource limits a run?
+
+Inspects a cluster's cumulative resource accounting after a workload and
+ranks utilizations — the "where did the time go" companion to the
+bandwidth numbers, used by the sensitivity benchmark (A11) to verify
+that scaling the *named* bottleneck actually moves throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass
+class ResourceUsage:
+    """Mean and peak utilization of one resource class."""
+
+    name: str
+    mean: float
+    peak: float
+
+
+def resource_usage(cluster) -> List[ResourceUsage]:
+    """Utilization (busy fraction since t=0) per resource class."""
+    now = cluster.env.now
+    if now <= 0:
+        return []
+
+    def frac(busy: float) -> float:
+        return min(1.0, busy / now)
+
+    disks = cluster.all_disks()
+    disk_u = [frac(d.stats.busy_time) for d in disks]
+    disk_fg_u = [frac(d.stats.busy_time_foreground) for d in disks]
+    tx_u = [frac(n.tx.busy_time) for n in cluster.network.nics]
+    rx_u = [frac(n.rx.busy_time) for n in cluster.network.nics]
+    cpu_u = [frac(node.cpu._work.busy_time) for node in cluster.nodes]
+    scsi_u = [node.scsi.utilization() for node in cluster.nodes]
+
+    def usage(name: str, vals: List[float]) -> ResourceUsage:
+        if not vals:
+            return ResourceUsage(name, 0.0, 0.0)
+        return ResourceUsage(name, sum(vals) / len(vals), max(vals))
+
+    return [
+        usage("disk", disk_u),
+        usage("disk_foreground", disk_fg_u),
+        usage("nic_tx", tx_u),
+        usage("nic_rx", rx_u),
+        usage("cpu", cpu_u),
+        usage("scsi", scsi_u),
+    ]
+
+
+#: Classes eligible to be *named* the bottleneck.  Total disk busy time
+#: is reported but excluded: background traffic (RAID-x image flushes)
+#: has slack and inflates it without sitting on the critical path — the
+#: foreground share is the meaningful signal.
+_CRITICAL_CLASSES = ("disk_foreground", "nic_tx", "nic_rx", "cpu", "scsi")
+
+
+def bottleneck(cluster) -> ResourceUsage:
+    """The critical-path resource class with the highest peak
+    utilization (see ``_CRITICAL_CLASSES`` for why raw disk utilization
+    is excluded)."""
+    usages = [
+        u for u in resource_usage(cluster) if u.name in _CRITICAL_CLASSES
+    ]
+    if not usages:
+        raise ValueError("cluster has not run yet")
+    return max(usages, key=lambda u: u.peak)
+
+
+def usage_table(cluster) -> Dict[str, Dict[str, float]]:
+    """{resource: {mean, peak}} for reports."""
+    return {
+        u.name: {"mean": round(u.mean, 3), "peak": round(u.peak, 3)}
+        for u in resource_usage(cluster)
+    }

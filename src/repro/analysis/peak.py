@@ -1,0 +1,154 @@
+"""Table 2 — expected peak performance of the four RAID architectures.
+
+Closed-form models in the paper's parameters: ``n`` disks of bandwidth
+``B``; files of ``m`` blocks; per-block read/write times ``R``/``W``.
+Column order follows the paper: RAID-10, RAID-5, chained declustering,
+RAID-x.  Where the source text is unambiguous we match it exactly
+(RAID-5 read ``(n-1)B``, RAID-5 small write ``R+W``, RAID-x large write
+``mW/n + mW/(n(n-1))``); the remaining entries are re-derived from the
+architectures' op counts (see EXPERIMENTS.md §T2 for the derivations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+ARCH_ORDER = ("raid10", "raid5", "chained", "raidx")
+
+INDICATORS = (
+    "max_bw_read",
+    "max_bw_large_write",
+    "max_bw_small_write",
+    "t_large_read",
+    "t_small_read",
+    "t_large_write",
+    "t_small_write",
+    "fault_coverage",
+)
+
+#: Human-readable formula strings, for the printed table.
+FORMULAS: Dict[str, Dict[str, str]] = {
+    "raid10": {
+        "max_bw_read": "nB",
+        "max_bw_large_write": "nB/2",
+        "max_bw_small_write": "nB/2",
+        "t_large_read": "mR/n",
+        "t_small_read": "R",
+        "t_large_write": "2mW/n",
+        "t_small_write": "W",
+        "fault_coverage": "n/2 disk failures (one per mirror pair)",
+    },
+    "raid5": {
+        "max_bw_read": "(n-1)B",
+        "max_bw_large_write": "(n-1)B",
+        "max_bw_small_write": "nB/4",
+        "t_large_read": "mR/(n-1)",
+        "t_small_read": "R",
+        "t_large_write": "mW/(n-1)",
+        "t_small_write": "R+W",
+        "fault_coverage": "single disk failure",
+    },
+    "chained": {
+        "max_bw_read": "nB",
+        "max_bw_large_write": "nB/2",
+        "max_bw_small_write": "nB/2",
+        "t_large_read": "mR/n",
+        "t_small_read": "R",
+        "t_large_write": "2mW/n",
+        "t_small_write": "W",
+        "fault_coverage": "n/2 disk failures (no two adjacent)",
+    },
+    "raidx": {
+        "max_bw_read": "nB",
+        "max_bw_large_write": "nB",
+        "max_bw_small_write": "nB",
+        "t_large_read": "mR/n",
+        "t_small_read": "R",
+        "t_large_write": "mW/n + mW/(n(n-1))",
+        "t_small_write": "W",
+        "fault_coverage": "single failure per stripe group (k total)",
+    },
+}
+
+
+@dataclass(frozen=True)
+class PeakModel:
+    """Parameter set for the closed-form evaluation."""
+
+    n: int  # disks in the array (stripe width for RAID-x)
+    B: float  # per-disk bandwidth
+    m: int  # blocks per file
+    R: float  # block read time
+    W: float  # block write time
+
+    def __post_init__(self) -> None:
+        if self.n < 2 or self.m < 1:
+            raise ValueError("need n >= 2 disks and m >= 1 blocks")
+        if min(self.B, self.R, self.W) <= 0:
+            raise ValueError("B, R, W must be positive")
+
+    # -- per-architecture rows ------------------------------------------
+    def raid10(self) -> Dict[str, float]:
+        n, B, m, R, W = self.n, self.B, self.m, self.R, self.W
+        return {
+            "max_bw_read": n * B,
+            "max_bw_large_write": n * B / 2,
+            "max_bw_small_write": n * B / 2,
+            "t_large_read": m * R / n,
+            "t_small_read": R,
+            "t_large_write": 2 * m * W / n,
+            "t_small_write": W,
+            "fault_coverage": n // 2,
+        }
+
+    def raid5(self) -> Dict[str, float]:
+        n, B, m, R, W = self.n, self.B, self.m, self.R, self.W
+        return {
+            "max_bw_read": (n - 1) * B,
+            "max_bw_large_write": (n - 1) * B,
+            "max_bw_small_write": n * B / 4,
+            "t_large_read": m * R / (n - 1),
+            "t_small_read": R,
+            "t_large_write": m * W / (n - 1),
+            "t_small_write": R + W,
+            "fault_coverage": 1,
+        }
+
+    def chained(self) -> Dict[str, float]:
+        row = self.raid10()
+        row["fault_coverage"] = self.n // 2
+        return row
+
+    def raidx(self) -> Dict[str, float]:
+        n, B, m, R, W = self.n, self.B, self.m, self.R, self.W
+        return {
+            "max_bw_read": n * B,
+            "max_bw_large_write": n * B,
+            "max_bw_small_write": n * B,
+            "t_large_read": m * R / n,
+            "t_small_read": R,
+            "t_large_write": m * W / n + m * W / (n * (n - 1)),
+            "t_small_write": W,
+            "fault_coverage": 1,  # per stripe group; k total for n×k
+        }
+
+    def row(self, arch: str) -> Dict[str, float]:
+        try:
+            return getattr(self, arch)()
+        except AttributeError:
+            raise ValueError(f"unknown architecture {arch!r}") from None
+
+
+def peak_table(model: PeakModel) -> Dict[str, Dict[str, float]]:
+    """The full Table 2 as ``{arch: {indicator: value}}``."""
+    return {arch: model.row(arch) for arch in ARCH_ORDER}
+
+
+def write_improvement_over_chained(n: int) -> float:
+    """The paper's §2 claim: RAID-x's parallel-write improvement factor
+    over chained declustering "approaches two" for large arrays."""
+    if n < 2:
+        raise ValueError("n >= 2")
+    # Foreground write time ratio: (2mW/n) / (mW/n + mW/(n(n-1))).
+    return 2.0 / (1.0 + 1.0 / (n - 1))

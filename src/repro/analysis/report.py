@@ -1,0 +1,69 @@
+"""ASCII reporting helpers used by the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v != v:  # NaN
+            return "-"
+        if abs(v) >= 1000 or (abs(v) < 0.01 and v != 0):
+            return f"{v:.3g}"
+        return f"{v:.2f}"
+    return str(v)
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence], title: str = ""
+) -> str:
+    """Render a fixed-width ASCII table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    xs: Sequence,
+    series: Dict[str, Sequence[float]],
+    title: str = "",
+) -> str:
+    """Render {name: values} against a shared x axis as a table."""
+    headers = [x_label] + list(series)
+    rows: List[List] = []
+    for i, x in enumerate(xs):
+        row = [x]
+        for name in series:
+            vals = series[name]
+            row.append(vals[i] if i < len(vals) else float("nan"))
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def render_sparkline(values: Sequence[float], width: int = 40) -> str:
+    """A crude one-line bar rendering (for quick terminal inspection)."""
+    if not values:
+        return ""
+    blocks = " .:-=+*#%@"
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    out = []
+    for v in values[:width]:
+        idx = int((v - lo) / span * (len(blocks) - 1))
+        out.append(blocks[idx])
+    return "".join(out)

@@ -1,0 +1,6 @@
+"""Benchmark harness: canned experiments for every table and figure."""
+
+from repro.bench.harness import ExperimentResult, sweep
+from repro.bench import experiments
+
+__all__ = ["ExperimentResult", "experiments", "sweep"]

@@ -1,0 +1,98 @@
+"""Regenerate the paper's artifacts from the command line.
+
+Usage::
+
+    python -m repro.bench            # everything
+    python -m repro.bench t2 f5 f7   # selected artifacts
+    python -m repro.bench --list
+
+This is the pytest-free path to the same experiments the
+``benchmarks/`` suite runs (the suite additionally asserts the shapes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import experiments as ex
+
+
+def _fig5():
+    return ex.render_fig5(ex.fig5_bandwidth())
+
+
+def _table3():
+    return ex.table3_improvement().render(
+        "Table 3 — bandwidth and improvement factors"
+    )
+
+
+def _fig6():
+    return ex.fig6_andrew().render("Figure 6 — Andrew benchmark (seconds)")
+
+
+def _fig7():
+    return ex.fig7_checkpoint().render(
+        "Figure 7 — checkpoint schedules on RAID-x"
+    )
+
+
+def _headline():
+    claims = ex.headline_claims()
+    lines = [f"  {k:26s} {v:.3f}" for k, v in claims.items()]
+    return "Headline claims (measured):\n" + "\n".join(lines)
+
+
+ARTIFACTS = {
+    "t2": ("Table 2 (analytical peak performance)", ex.table2_peak),
+    "f1": ("Figure 1 (mirroring schemes)", ex.fig1_layout_maps),
+    "f3": ("Figure 3 (4x3 array)", ex.fig3_nk_map),
+    "f5": ("Figure 5 (bandwidth vs clients)", _fig5),
+    "t3": ("Table 3 (improvement factors)", _table3),
+    "f6": ("Figure 6 (Andrew benchmark)", _fig6),
+    "f7": ("Figure 7 (checkpointing)", _fig7),
+    "c1": ("Conclusions' headline ratios", _headline),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the RAID-x paper's tables and figures "
+        "on the simulator.",
+    )
+    parser.add_argument(
+        "artifacts",
+        nargs="*",
+        metavar="ID",
+        help=f"artifact ids to run (default: all): {', '.join(ARTIFACTS)}",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list artifact ids and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for key, (title, _fn) in ARTIFACTS.items():
+            print(f"  {key:4s} {title}")
+        return 0
+
+    chosen = args.artifacts or list(ARTIFACTS)
+    unknown = [a for a in chosen if a not in ARTIFACTS]
+    if unknown:
+        parser.error(f"unknown artifact ids: {unknown}")
+
+    for key in chosen:
+        title, fn = ARTIFACTS[key]
+        bar = "=" * max(24, len(title) + 8)
+        print(f"\n{bar}\n    {key.upper()} — {title}\n{bar}")
+        t0 = time.perf_counter()
+        print(fn())
+        print(f"[{key}: regenerated in {time.perf_counter() - t0:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

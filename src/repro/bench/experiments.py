@@ -1,0 +1,308 @@
+"""Canned experiment definitions — one per paper table/figure.
+
+Each ``run_*`` function regenerates the rows/series of its artifact and
+returns an :class:`~repro.bench.harness.ExperimentResult` (or a small
+dataclass) that the ``benchmarks/`` scripts print and assert on.  The
+experiment↔module map lives in DESIGN.md §4.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.peak import ARCH_ORDER, FORMULAS, PeakModel, peak_table
+from repro.analysis.report import render_series, render_table
+from repro.analysis.scalability import improvement_factor
+from repro.bench.harness import ExperimentResult, sweep
+from repro.cluster.cluster import build_cluster
+from repro.config import trojans_cluster
+from repro.units import KiB, MB, MS
+from repro.workloads.andrew import AndrewBenchmark, AndrewConfig, AndrewResult
+from repro.workloads.parallel_io import (
+    ParallelIOWorkload,
+    large_read,
+    large_write,
+    small_read,
+    small_write,
+)
+
+#: The four storage subsystems of Figs. 5/6.
+FIG_ARCHS = ("nfs", "raid5", "raid10", "raidx")
+#: Client counts swept in Fig. 5 (the Trojans cluster had 12 nodes).
+FIG5_CLIENTS = (1, 2, 4, 8, 12)
+#: Client counts swept in Fig. 6 (up to 32 Andrew clients).
+FIG6_CLIENTS = (1, 4, 8, 16, 32)
+
+_WORKLOADS = {
+    "large_read": large_read,
+    "large_write": large_write,
+    "small_read": small_read,
+    "small_write": small_write,
+}
+
+
+def run_parallel_io(
+    architecture: str,
+    clients: int,
+    workload: str,
+    n: int = 12,
+    k: int = 1,
+    **kw,
+):
+    """Build one Fig.-5 measurement point; returns the (unrun) workload."""
+    cluster = build_cluster(
+        trojans_cluster(n=n, k=k), architecture=architecture
+    )
+    maker = _WORKLOADS[workload]
+    return maker(cluster, clients, **kw)
+
+
+def fig5_bandwidth(
+    archs: Sequence[str] = FIG_ARCHS,
+    client_counts: Sequence[int] = FIG5_CLIENTS,
+    workloads: Sequence[str] = tuple(_WORKLOADS),
+) -> ExperimentResult:
+    """Fig. 5: aggregate bandwidth vs clients for each op × architecture."""
+
+    def point(architecture: str, clients: int, workload: str):
+        wl = run_parallel_io(architecture, clients, workload)
+        r = wl.run()
+        return {"mb_s": round(r.aggregate_bandwidth_mb_s, 2)}
+
+    return sweep(
+        "fig5_bandwidth",
+        point,
+        {
+            "workload": list(workloads),
+            "architecture": list(archs),
+            "clients": list(client_counts),
+        },
+    )
+
+
+def render_fig5(result: ExperimentResult) -> str:
+    """Print Fig. 5 as four series tables (one per panel)."""
+    chunks = []
+    for wl in dict.fromkeys(result.column("workload")):
+        sub = result.filter(workload=wl)
+        series = sub.pivot("architecture", "clients", "mb_s")
+        xs = sorted({r["clients"] for r in sub.rows})
+        chunks.append(
+            render_series(
+                "clients",
+                xs,
+                {a: [series[a].get(x) for x in xs] for a in series},
+                title=f"Fig.5 {wl} — aggregate MB/s",
+            )
+        )
+    return "\n\n".join(chunks)
+
+
+def table3_improvement(
+    archs: Sequence[str] = FIG_ARCHS,
+    endpoints: Sequence[int] = (1, 12),
+) -> ExperimentResult:
+    """Table 3: bandwidth at 1 and 12 clients + improvement factor."""
+    lo, hi = endpoints
+    result = ExperimentResult(
+        "table3",
+        ["architecture", "operation"],
+        [f"bw_{lo}cl", f"bw_{hi}cl", "improvement"],
+    )
+    for arch in archs:
+        for wl in ("large_read", "large_write", "small_write"):
+            b_lo = run_parallel_io(arch, lo, wl).run()
+            b_hi = run_parallel_io(arch, hi, wl).run()
+            lo_bw = b_lo.aggregate_bandwidth_mb_s
+            hi_bw = b_hi.aggregate_bandwidth_mb_s
+            result.add(
+                {"architecture": arch, "operation": wl},
+                {
+                    f"bw_{lo}cl": round(lo_bw, 2),
+                    f"bw_{hi}cl": round(hi_bw, 2),
+                    "improvement": round(
+                        improvement_factor(lo_bw, hi_bw), 2
+                    ),
+                },
+            )
+    return result
+
+
+def fig6_andrew(
+    archs: Sequence[str] = FIG_ARCHS,
+    client_counts: Sequence[int] = FIG6_CLIENTS,
+    andrew_config: Optional[AndrewConfig] = None,
+) -> ExperimentResult:
+    """Fig. 6: Andrew benchmark per-phase elapsed times."""
+    result = ExperimentResult(
+        "fig6_andrew",
+        ["architecture", "clients"],
+        list(AndrewResult.PHASES) + ["total"],
+    )
+    for arch in archs:
+        for ncl in client_counts:
+            cluster = build_cluster(trojans_cluster(), architecture=arch)
+            r = AndrewBenchmark(cluster, ncl, config=andrew_config).run()
+            metrics = {
+                p: round(r.phase_times[p], 3) for p in AndrewResult.PHASES
+            }
+            metrics["total"] = round(r.total, 3)
+            result.add({"architecture": arch, "clients": ncl}, metrics)
+    return result
+
+
+def fig7_checkpoint(
+    schemes: Sequence = (
+        ("parallel", None),
+        ("striped_staggered", 2),
+        ("striped_staggered", 3),
+        ("striped_staggered", 4),
+        ("staggered", None),
+    ),
+    processes: int = 12,
+    state_bytes: int = 8 * MB,
+    n: int = 12,
+    k: int = 1,
+) -> ExperimentResult:
+    """Fig. 7: checkpoint schedules — epoch time vs per-process overhead.
+
+    Reproduces the C/S trade-off: parallel minimizes the epoch wall
+    clock but stretches every process's own checkpoint write (C);
+    staggering shortens C (writes run uncontended) at the price of
+    waiting (S).  Also reports recovery times from the local mirror
+    (transient) vs striped reads (permanent) on RAID-x.
+    """
+    from repro.checkpoint import CheckpointConfig, CheckpointRun, recover
+
+    result = ExperimentResult(
+        "fig7_checkpoint",
+        ["scheme", "groups"],
+        [
+            "epoch_s",
+            "sync_ms",
+            "mean_C_s",
+            "max_C_s",
+            "agg_mb_s",
+            "recov_transient_ms",
+            "recov_permanent_ms",
+        ],
+    )
+    for scheme, groups in schemes:
+        cluster = build_cluster(
+            trojans_cluster(n=n, k=k), architecture="raidx"
+        )
+        cfg = CheckpointConfig(
+            processes=processes,
+            state_bytes=state_bytes,
+            scheme=scheme,
+            stagger_groups=groups,
+        )
+        run = CheckpointRun(cluster, cfg)
+        r = run.run()
+        cluster.env.run(cluster.env.process(cluster.storage.drain()))
+        writes = list(r.per_process_write.values())
+        rec_t = recover(run, 1, "transient")
+        rec_p = recover(run, 1, "permanent")
+        result.add(
+            {"scheme": scheme, "groups": groups or 1},
+            {
+                "epoch_s": round(r.total_time, 3),
+                "sync_ms": round(r.sync_overhead / MS, 2),
+                "mean_C_s": round(sum(writes) / len(writes), 3),
+                "max_C_s": round(max(writes), 3),
+                "agg_mb_s": round(r.aggregate_bandwidth_mb_s, 1),
+                "recov_transient_ms": round(rec_t.elapsed / MS, 1),
+                "recov_permanent_ms": round(rec_p.elapsed / MS, 1),
+            },
+        )
+    return result
+
+
+def table2_peak(
+    n: int = 12,
+    B: float = 10.0,
+    m: int = 64,
+    R: float = 3.2 * MS,
+    W: float = 3.2 * MS,
+) -> str:
+    """Table 2: the closed-form model, values + formulas."""
+    model = PeakModel(n=n, B=B, m=m, R=R, W=W)
+    table = peak_table(model)
+    indicators = list(next(iter(table.values())))
+    rows = []
+    for ind in indicators:
+        row: List = [ind]
+        for arch in ARCH_ORDER:
+            row.append(f"{FORMULAS[arch][ind]} = {table[arch][ind]:.4g}")
+        rows.append(row)
+    return render_table(
+        ["indicator"] + list(ARCH_ORDER),
+        rows,
+        title=f"Table 2 (n={n}, B={B} MB/s, m={m} blocks)",
+    )
+
+
+def fig1_layout_maps() -> str:
+    """Fig. 1: OSM vs chained declustering placement over 4 disks."""
+    from repro.raid import make_layout
+
+    out = []
+    for name in ("raidx", "chained"):
+        lay = make_layout(
+            name, n_disks=4, block_size=1, disk_capacity=8, stripe_width=4
+        )
+        lay.verify_invariants(lay.data_blocks)
+        out.append(f"--- {name} (Fig. 1{'a' if name == 'raidx' else 'b'}) ---")
+        out.append(lay.placement_map(12))
+    return "\n".join(out)
+
+
+def fig3_nk_map(n: int = 4, k: int = 3) -> str:
+    """Fig. 3: the n×k orthogonal striping and mirroring array."""
+    from repro.raid import make_layout
+
+    lay = make_layout(
+        "raidx",
+        n_disks=n * k,
+        block_size=1,
+        disk_capacity=8,
+        stripe_width=n,
+    )
+    lay.verify_invariants(lay.data_blocks)
+    header = (
+        f"Fig. 3: {n}x{k} RAID-x — stripe groups of {n} blocks, "
+        f"images clustered per disk group"
+    )
+    return header + "\n" + lay.placement_map(2 * n * k)
+
+
+def headline_claims() -> Dict[str, float]:
+    """Conclusions' headline ratios, re-measured on the simulator.
+
+    * parallel-read bandwidth of RAID-x vs RAID-5 and vs NFS (12 clients);
+    * small-write bandwidth of RAID-x vs RAID-5 (12 clients);
+    * Andrew total elapsed: RAID-x vs the RAID-5/RAID-10 mean.
+    """
+    lr = {
+        a: run_parallel_io(a, 12, "large_read").run()
+        .aggregate_bandwidth_mb_s
+        for a in ("raidx", "raid5", "nfs")
+    }
+    sw = {
+        a: run_parallel_io(a, 12, "small_write").run()
+        .aggregate_bandwidth_mb_s
+        for a in ("raidx", "raid5")
+    }
+    andrew = {}
+    for a in ("raidx", "raid5", "raid10"):
+        cluster = build_cluster(trojans_cluster(), architecture=a)
+        andrew[a] = AndrewBenchmark(cluster, 8).run().total
+    return {
+        "read_vs_raid5": lr["raidx"] / lr["raid5"],
+        "read_vs_nfs": lr["raidx"] / lr["nfs"],
+        "small_write_vs_raid5": sw["raidx"] / sw["raid5"],
+        "andrew_cut_vs_raid10": 1.0 - andrew["raidx"] / andrew["raid10"],
+        "andrew_cut_vs_raid5": 1.0 - andrew["raidx"] / andrew["raid5"],
+        "raidx_read_mb_s": lr["raidx"],
+        "raidx_small_write_mb_s": sw["raidx"],
+    }

@@ -1,0 +1,75 @@
+"""Generic experiment runner: parameter sweeps with tabular results."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Sequence
+
+from repro.analysis.report import render_table
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of (params, metrics) from one sweep."""
+
+    name: str
+    param_names: List[str]
+    metric_names: List[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+
+    def add(self, params: Dict[str, Any], metrics: Dict[str, Any]) -> None:
+        overlap = set(params) & set(metrics)
+        if overlap:
+            raise ValueError(f"param/metric name clash: {sorted(overlap)}")
+        self.rows.append({**params, **metrics})
+
+    def column(self, name: str) -> List[Any]:
+        return [r[name] for r in self.rows]
+
+    def filter(self, **match) -> "ExperimentResult":
+        """Rows matching all the given param values."""
+        out = ExperimentResult(
+            self.name, self.param_names, self.metric_names
+        )
+        out.rows = [
+            r
+            for r in self.rows
+            if all(r.get(k) == v for k, v in match.items())
+        ]
+        return out
+
+    def pivot(self, row_key: str, col_key: str, value: str) -> Dict:
+        """{row_value: {col_value: metric}} for quick series extraction."""
+        out: Dict[Any, Dict[Any, Any]] = {}
+        for r in self.rows:
+            out.setdefault(r[row_key], {})[r[col_key]] = r[value]
+        return out
+
+    def render(self, title: str = "") -> str:
+        headers = self.param_names + self.metric_names
+        rows = [[r.get(h) for h in headers] for r in self.rows]
+        return render_table(headers, rows, title=title or self.name)
+
+
+def sweep(
+    name: str,
+    fn: Callable[..., Dict[str, Any]],
+    grid: Dict[str, Sequence[Any]],
+) -> ExperimentResult:
+    """Run ``fn(**point)`` over the cartesian product of ``grid``.
+
+    ``fn`` returns a metrics dict; metric names are taken from the first
+    point's result.
+    """
+    names = list(grid)
+    result: ExperimentResult | None = None
+    for values in itertools.product(*(grid[k] for k in names)):
+        point = dict(zip(names, values))
+        metrics = fn(**point)
+        if result is None:
+            result = ExperimentResult(name, names, list(metrics))
+        result.add(point, metrics)
+    if result is None:
+        raise ValueError("empty parameter grid")
+    return result

@@ -1,0 +1,49 @@
+"""Striped and staggered checkpointing on the distributed array (§6).
+
+Coordinated checkpointing of P processes with three write schedules:
+
+* ``parallel``          — everyone writes at once (contention);
+* ``staggered``         — one process at a time (Vaidya), no contention
+  but P serial steps;
+* ``striped_staggered`` — the paper's scheme: processes are partitioned
+  into stripe groups that take turns, each group striping its writes in
+  parallel — the sweet spot between striped parallelism and staggering
+  depth.
+
+On RAID-x, checkpoint regions can be *placed* so every process's image
+blocks land on its own local disk (``local_image_region``), enabling
+transient-failure recovery from the local mirror without any network.
+"""
+
+from repro.checkpoint.placement import (
+    local_image_region,
+    region_blocks_for_disk_group,
+)
+from repro.checkpoint.coordinated import (
+    CheckpointConfig,
+    CheckpointResult,
+    CheckpointRun,
+    SCHEMES,
+)
+from repro.checkpoint.recovery import RecoveryResult, recover
+from repro.checkpoint.interval import (
+    IntervalPlan,
+    optimal_interval,
+    overhead_fraction,
+    plan_interval,
+)
+
+__all__ = [
+    "CheckpointConfig",
+    "CheckpointResult",
+    "CheckpointRun",
+    "IntervalPlan",
+    "RecoveryResult",
+    "SCHEMES",
+    "local_image_region",
+    "optimal_interval",
+    "overhead_fraction",
+    "plan_interval",
+    "recover",
+    "region_blocks_for_disk_group",
+]

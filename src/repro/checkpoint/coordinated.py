@@ -1,0 +1,240 @@
+"""Coordinated checkpointing with three write schedules (paper's Fig. 7).
+
+Protocol per checkpoint epoch:
+
+1. *Synchronize*: every process sends a marker to the coordinator and
+   waits for the commit broadcast (2 small messages per process — the
+   "S" overhead in Fig. 7);
+2. *Write*: each process writes its state to the array under the chosen
+   schedule (the "C" overhead);
+3. *Commit*: a final marker exchange.
+
+The result separates sync overhead from checkpoint-write overhead so the
+C/S breakdown of Fig. 7 can be reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster.message import ACK_BYTES, MessageKind
+from repro.errors import CheckpointError, ConfigurationError
+from repro.raid.raidx import RaidxLayout
+from repro.sim.sync import Barrier
+from repro.units import MB
+
+SCHEMES = ("parallel", "staggered", "striped_staggered")
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """One checkpoint epoch's shape."""
+
+    processes: int = 12
+    state_bytes: int = 4 * MB
+    scheme: str = "striped_staggered"
+    #: Stagger groups for striped_staggered (e.g. 3 for the 4×3 array);
+    #: None derives it from the array's pipeline depth k.
+    stagger_groups: Optional[int] = None
+    #: Place each process's region so images land on its local disk
+    #: (RAID-x only; ignored elsewhere).
+    local_images: bool = True
+
+    def validate(self) -> None:
+        if self.processes < 1:
+            raise ConfigurationError("need at least one process")
+        if self.state_bytes <= 0:
+            raise ConfigurationError("state must be non-empty")
+        if self.scheme not in SCHEMES:
+            raise ConfigurationError(
+                f"unknown scheme {self.scheme!r}; choose from {SCHEMES}"
+            )
+
+
+@dataclass
+class CheckpointResult:
+    """Timing breakdown of one checkpoint epoch."""
+
+    scheme: str
+    processes: int
+    state_bytes: int
+    total_time: float
+    sync_overhead: float
+    write_time: float
+    per_process_write: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def aggregate_bandwidth_mb_s(self) -> float:
+        if self.write_time <= 0:
+            return float("nan")
+        return self.processes * self.state_bytes / 1e6 / self.write_time
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return (
+            f"{self.scheme}: total={self.total_time:.3f}s "
+            f"(sync={self.sync_overhead * 1e3:.2f}ms, "
+            f"write={self.write_time:.3f}s, "
+            f"{self.aggregate_bandwidth_mb_s:.1f} MB/s)"
+        )
+
+
+class CheckpointRun:
+    """Execute one coordinated checkpoint epoch on a cluster."""
+
+    def __init__(self, cluster, config: Optional[CheckpointConfig] = None,
+                 coordinator: int = 0):
+        self.cluster = cluster
+        self.env = cluster.env
+        self.config = config or CheckpointConfig()
+        self.config.validate()
+        self.coordinator = coordinator
+        self._write_start: Dict[int, float] = {}
+        self._write_end: Dict[int, float] = {}
+
+    # -- placement -----------------------------------------------------
+    def node_of_process(self, p: int) -> int:
+        return p % self.cluster.n_nodes
+
+    def region_blocks(self, p: int) -> List[int]:
+        """The logical blocks process ``p`` checkpoints into."""
+        storage = self.cluster.storage
+        layout = getattr(storage, "layout", None)
+        bs = storage.block_size
+        n_blocks = -(-self.config.state_bytes // bs)
+        if (
+            self.config.local_images
+            and isinstance(layout, RaidxLayout)
+        ):
+            from repro.checkpoint.placement import local_image_region
+
+            node = self.node_of_process(p)
+            group = (p // layout.n) % layout.k
+            # Distinct processes of the same node use disjoint residue
+            # groups further down the region (offset by process index).
+            blocks = local_image_region(
+                layout, node, n_blocks * (p // self.cluster.n_nodes + 1),
+                disk_group=group,
+            )
+            return blocks[-n_blocks:]
+        # Generic contiguous placement, one span per process.
+        span = self.config.state_bytes + 63 * bs
+        first = p * (span // bs + 1)
+        return list(range(first, first + n_blocks))
+
+    # -- protocol phases -----------------------------------------------------
+    def _sync(self, p: int):
+        """Marker to the coordinator + wait for the commit broadcast."""
+        node = self.node_of_process(p)
+        tr = self.cluster.transport
+        if node != self.coordinator:
+            yield from tr.message(
+                MessageKind.CKPT_MARKER, node, self.coordinator, ACK_BYTES
+            )
+            yield from tr.message(
+                MessageKind.CKPT_MARKER, self.coordinator, node, ACK_BYTES
+            )
+
+    def _write_state(self, p: int):
+        """Stripe the process state over its region blocks."""
+        storage = self.cluster.storage
+        node = self.node_of_process(p)
+        bs = storage.block_size
+        remaining = self.config.state_bytes
+        self._write_start[p] = self.env.now
+        inflight: List = []
+        for b in self.region_blocks(p):
+            take = min(bs, remaining)
+            remaining -= take
+            inflight.append(storage.submit(node, "write", b * bs, take))
+            if len(inflight) >= 8:
+                yield inflight.pop(0)
+            if remaining <= 0:
+                break
+        for ev in inflight:
+            yield ev
+        self._write_end[p] = self.env.now
+
+    # -- schedules -----------------------------------------------------
+    def _stagger_group_of(self, p: int, n_groups: int) -> int:
+        per = -(-self.config.processes // n_groups)
+        return p // per
+
+    def _process_body(self, p: int, barrier: Barrier, gates: List):
+        yield from self._sync(p)
+        yield barrier.wait()  # sync phase complete for everyone
+        scheme = self.config.scheme
+        if scheme == "parallel":
+            yield from self._write_state(p)
+        elif scheme == "staggered":
+            yield gates[p]  # opened when process p-1 finishes
+            yield from self._write_state(p)
+            if p + 1 < len(gates):
+                gates[p + 1].succeed()
+        else:  # striped_staggered
+            g = self._stagger_group_of(p, len(gates))
+            yield gates[g][0]
+            yield from self._write_state(p)
+            gates[g][1].count_down()
+
+    def run(self) -> CheckpointResult:
+        cfg = self.config
+        env = self.env
+        start = env.now
+        barrier = Barrier(env, cfg.processes)
+
+        # Build the gating structure per scheme.
+        if cfg.scheme == "staggered":
+            gates: List = [env.event() for _ in range(cfg.processes)]
+            gates[0].succeed()
+        elif cfg.scheme == "striped_staggered":
+            n_groups = cfg.stagger_groups or self._default_groups()
+            from repro.sim.sync import CountdownLatch
+
+            per = -(-cfg.processes // n_groups)
+            gates = []
+            for g in range(n_groups):
+                members = min(per, cfg.processes - g * per)
+                members = max(members, 1)
+                gates.append(
+                    (env.event(), CountdownLatch(env, members))
+                )
+            gates[0][0].succeed()
+            # Chain: group g+1 opens when group g's latch fires.
+            for g in range(len(gates) - 1):
+                nxt = gates[g + 1][0]
+                gates[g][1].wait().callbacks.append(
+                    lambda _ev, nxt=nxt: nxt.succeed()
+                )
+        else:
+            gates = []
+
+        procs = [
+            env.process(self._process_body(p, barrier, gates))
+            for p in range(cfg.processes)
+        ]
+        env.run(env.all_of(procs))
+        write_window = max(self._write_end.values()) - min(
+            self._write_start.values()
+        )
+        sync_overhead = min(self._write_start.values()) - start
+        return CheckpointResult(
+            scheme=cfg.scheme,
+            processes=cfg.processes,
+            state_bytes=cfg.state_bytes,
+            total_time=env.now - start,
+            sync_overhead=sync_overhead,
+            write_time=write_window,
+            per_process_write={
+                p: self._write_end[p] - self._write_start[p]
+                for p in range(cfg.processes)
+            },
+        )
+
+    def _default_groups(self) -> int:
+        layout = getattr(self.cluster.storage, "layout", None)
+        if isinstance(layout, RaidxLayout):
+            return max(1, layout.k) if layout.k > 1 else min(
+                3, self.config.processes
+            )
+        return min(3, self.config.processes)

@@ -1,0 +1,72 @@
+"""Checkpoint-interval analysis (Young's first-order model).
+
+Given the measured checkpoint cost C (which this library produces per
+schedule — see Fig. 7) and the system's MTBF, Young's approximation
+gives the overhead-minimizing checkpoint interval::
+
+    T_opt ≈ sqrt(2 · C · MTBF)
+
+and the resulting expected overhead fraction.  This ties the paper's
+striped-checkpointing machinery (§6) to the classic question "how often
+should the application checkpoint?".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def optimal_interval(checkpoint_cost_s: float, mtbf_s: float) -> float:
+    """Young's interval: sqrt(2 · C · MTBF)."""
+    if checkpoint_cost_s <= 0 or mtbf_s <= 0:
+        raise ValueError("cost and MTBF must be positive")
+    if checkpoint_cost_s >= mtbf_s:
+        raise ValueError("model assumes C << MTBF")
+    return math.sqrt(2.0 * checkpoint_cost_s * mtbf_s)
+
+
+def overhead_fraction(
+    checkpoint_cost_s: float, interval_s: float, mtbf_s: float,
+    recovery_cost_s: float = 0.0,
+) -> float:
+    """Expected fraction of time lost to checkpointing + rework.
+
+    First-order model: per interval, pay C; on failure (probability
+    interval/MTBF) lose on average half an interval plus the recovery
+    read.
+    """
+    if min(checkpoint_cost_s, interval_s, mtbf_s) <= 0:
+        raise ValueError("all durations must be positive")
+    ckpt = checkpoint_cost_s / interval_s
+    rework = (interval_s / 2.0 + recovery_cost_s) / mtbf_s
+    return ckpt + rework
+
+
+@dataclass(frozen=True)
+class IntervalPlan:
+    """A checkpoint cadence recommendation."""
+
+    checkpoint_cost_s: float
+    mtbf_s: float
+    recovery_cost_s: float
+    interval_s: float
+    overhead: float
+
+
+def plan_interval(
+    checkpoint_cost_s: float,
+    mtbf_s: float,
+    recovery_cost_s: float = 0.0,
+) -> IntervalPlan:
+    """Compute Young's interval and its expected overhead."""
+    t = optimal_interval(checkpoint_cost_s, mtbf_s)
+    return IntervalPlan(
+        checkpoint_cost_s=checkpoint_cost_s,
+        mtbf_s=mtbf_s,
+        recovery_cost_s=recovery_cost_s,
+        interval_s=t,
+        overhead=overhead_fraction(
+            checkpoint_cost_s, t, mtbf_s, recovery_cost_s
+        ),
+    )

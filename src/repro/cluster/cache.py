@@ -1,0 +1,97 @@
+"""Per-node block cache with write-invalidate consistency.
+
+Used by the file-system layer (Andrew benchmark): reads hit the local
+cache when possible; writes invalidate the block on every peer that
+cached it, via small control messages — the data-consistency behaviour
+the CDDs maintain "at the data block level" (paper §4).
+
+The raw parallel-I/O benchmarks (Fig. 5) run uncached, matching the
+paper's "all files are uncached" methodology.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Set
+
+
+class BlockCache:
+    """An LRU cache of logical block numbers for one node."""
+
+    def __init__(self, node_id: int, capacity_blocks: int = 2048):
+        if capacity_blocks <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.node_id = node_id
+        self.capacity_blocks = capacity_blocks
+        self._lru: "OrderedDict[int, bool]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._lru
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def lookup(self, block: int) -> bool:
+        """True on hit (and refreshes recency)."""
+        if block in self._lru:
+            self._lru.move_to_end(block)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, block: int) -> None:
+        """Cache a block, evicting LRU entries as needed."""
+        if block in self._lru:
+            self._lru.move_to_end(block)
+            return
+        while len(self._lru) >= self.capacity_blocks:
+            self._lru.popitem(last=False)
+        self._lru[block] = True
+
+    def invalidate(self, block: int) -> bool:
+        """Drop a block (returns True if it was cached)."""
+        if self._lru.pop(block, None) is not None:
+            self.invalidations += 1
+            return True
+        return False
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CacheDirectory:
+    """Tracks which nodes cache which blocks, to target invalidations.
+
+    A simplification of the replicated lock-group table's knowledge: the
+    simulation keeps one authoritative directory instead of n replicas,
+    and charges invalidation messages per caching peer.
+    """
+
+    def __init__(self, caches: List[BlockCache]):
+        self.caches = caches
+        self._where: Dict[int, Set[int]] = {}
+
+    def note_cached(self, node: int, block: int) -> None:
+        self.caches[node].insert(block)
+        self._where.setdefault(block, set()).add(node)
+
+    def lookup(self, node: int, block: int) -> bool:
+        return self.caches[node].lookup(block)
+
+    def invalidate_peers(self, writer: int, block: int) -> List[int]:
+        """Invalidate ``block`` on all peers of ``writer``; returns the
+        list of nodes that actually held it (for message charging)."""
+        holders = self._where.get(block, set())
+        touched = []
+        for node in sorted(holders):
+            if node == writer:
+                continue
+            if self.caches[node].invalidate(block):
+                touched.append(node)
+        self._where[block] = {writer} if writer in holders else set()
+        return touched

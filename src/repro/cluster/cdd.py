@@ -1,0 +1,144 @@
+"""Cooperative disk drivers (CDDs).
+
+Each node runs one CDD made of the paper's three modules:
+
+* **client module** — redirects block I/O on any disk of the single I/O
+  space; local disks go straight to the SCSI path, remote disks ride the
+  CDD request/reply protocol at kernel level (no cross-space system
+  calls, no central server);
+* **storage manager** — serves incoming requests against the node's
+  local disks; in the simulation the manager's work is executed inline
+  by the requesting process against the owner node's shared resources
+  (CPU, SCSI bus, disk queues), which yields identical contention timing
+  to an explicit server loop;
+* **consistency module** — the replicated lock-group table, shared with
+  the other CDDs via :class:`repro.cluster.consistency.DistributedLockManager`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cluster.message import (
+    MessageKind,
+    read_reply_size,
+    read_request_size,
+    write_ack_size,
+    write_request_size,
+)
+from repro.cluster.transport import Transport
+from repro.hardware.node import Node
+
+
+class CooperativeDiskDriver:
+    """One node's CDD: client module + storage manager + consistency."""
+
+    def __init__(
+        self,
+        node: Node,
+        nodes: List[Node],
+        transport: Transport,
+        lock_manager=None,
+        manager_servers=None,
+    ):
+        """``manager_servers``: optional per-node explicit storage-manager
+        servers (see :mod:`repro.cluster.manager`).  When absent, remote
+        manager work executes inline against the owner node's resources —
+        timing-equivalent to an unbounded-concurrency server."""
+        self.node = node
+        self.nodes = nodes
+        self.transport = transport
+        self.lock_manager = lock_manager
+        self.manager_servers = manager_servers
+        #: Ops served by this CDD acting as a storage manager for peers.
+        self.served_remote_ops = 0
+        #: Ops this CDD's client module issued (local + remote).
+        self.issued_ops = 0
+
+    @property
+    def node_id(self) -> int:
+        return self.node.node_id
+
+    def owner_of(self, disk: int) -> int:
+        """The node driving a global disk id (Fig. 3 numbering)."""
+        return disk % len(self.nodes)
+
+    # -- client module -----------------------------------------------------
+    def block_io(
+        self, op: str, disk: int, offset: int, nbytes: int, priority: int = 0
+    ):
+        """Process generator: one block operation anywhere in the SIOS.
+
+        Completes when the data is on disk (write) or delivered to this
+        node (read).
+        """
+        self.issued_ops += 1
+        owner = self.owner_of(disk)
+        me = self.node_id
+        if owner == me:
+            self.transport.stats.local_block_ops += 1
+            yield self.node.cpu.driver_entry(kernel_level=True)
+            yield from self.node.disk_io(disk, op, offset, nbytes, priority)
+            return
+
+        # Remote path: request message -> manager work -> reply message.
+        self.transport.stats.remote_block_ops += 1
+        yield self.node.cpu.driver_entry(kernel_level=True)
+        if op == "read":
+            yield from self.transport.message(
+                MessageKind.READ_REQ, me, owner, read_request_size()
+            )
+            yield from self._manage(owner, op, disk, offset, nbytes, priority)
+            yield from self.transport.message(
+                MessageKind.READ_REPLY, owner, me, read_reply_size(nbytes)
+            )
+        else:
+            yield from self.transport.message(
+                MessageKind.WRITE_REQ, me, owner, write_request_size(nbytes)
+            )
+            yield from self._manage(owner, op, disk, offset, nbytes, priority)
+            yield from self.transport.message(
+                MessageKind.WRITE_ACK, owner, me, write_ack_size()
+            )
+
+    def submit(
+        self, op: str, disk: int, offset: int, nbytes: int, priority: int = 0
+    ):
+        """Run :meth:`block_io` as a process; returns its completion event."""
+        return self.node.env.process(
+            self.block_io(op, disk, offset, nbytes, priority)
+        )
+
+    # -- storage manager -----------------------------------------------------
+    def _manage(
+        self, owner: int, op: str, disk: int, offset: int, nbytes: int,
+        priority: int,
+    ):
+        """The remote storage manager's share of a request."""
+        if self.manager_servers is not None:
+            server = self.manager_servers[owner]
+            server.max_queue_seen = max(
+                server.max_queue_seen, server.queue_length + 1
+            )
+            yield server.submit(
+                op, disk, offset, nbytes, priority=priority,
+                client=self.node_id,
+            )
+            return
+        manager_node = self.nodes[owner]
+        yield manager_node.cpu.driver_entry(kernel_level=True)
+        yield from manager_node.disk_io(disk, op, offset, nbytes, priority)
+
+    # -- consistency module ---------------------------------------------------
+    def acquire_write_locks(self, blocks):
+        """Process generator: lock the groups covering ``blocks``."""
+        if self.lock_manager is None:
+            return None
+        handle = yield from self.lock_manager.acquire(self.node_id, blocks)
+        return handle
+
+    def release_write_locks(self, handle):
+        """Process generator: release locks acquired earlier."""
+        if self.lock_manager is None or handle is None:
+            return
+        yield from self.lock_manager.release(handle)

@@ -1,0 +1,105 @@
+"""Explicit storage-manager servers (the CDD's manager module as a
+first-class process).
+
+By default the simulation executes a remote request's manager work
+inline in the requesting process against the owner node's shared
+resources — timing-equivalent to a fully concurrent server and cheap to
+simulate.  This module provides the *explicit* alternative: each node
+runs a dispatcher process over an inbox, serving requests with a
+bounded number of service slots (kernel worker threads).  With
+``service_slots`` small, server-side queueing becomes visible — the
+knob the inline model cannot express.
+
+Enable via ``build_cluster(..., cdd_mode="server")`` (optionally
+``cdd_service_slots=N``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.sim.core import Environment
+from repro.sim.events import Event
+from repro.sim.resources import Resource, Store
+
+
+@dataclass
+class ManagerRequest:
+    """One queued block operation at a storage manager."""
+
+    op: str
+    disk: int
+    offset: int
+    nbytes: int
+    priority: int
+    client: int
+    done: Event = field(repr=False, default=None)  # type: ignore[assignment]
+    enqueued_at: float = 0.0
+
+
+class StorageManagerServer:
+    """A node's storage-manager: inbox + bounded worker pool."""
+
+    def __init__(self, node, service_slots: int = 8):
+        if service_slots < 1:
+            raise ValueError("need at least one service slot")
+        self.node = node
+        self.env: Environment = node.env
+        self.service_slots = service_slots
+        self.inbox: Store = Store(self.env)
+        self._slots = Resource(self.env, capacity=service_slots)
+        self.served = 0
+        self.max_queue_seen = 0
+        self.total_wait = 0.0
+        self._dispatcher = self.env.process(self._dispatch())
+
+    # -- client-facing ---------------------------------------------------
+    def submit(
+        self, op: str, disk: int, offset: int, nbytes: int,
+        priority: int = 0, client: int = -1,
+    ) -> Event:
+        """Queue a request; the returned event triggers when served."""
+        req = ManagerRequest(
+            op=op,
+            disk=disk,
+            offset=offset,
+            nbytes=nbytes,
+            priority=priority,
+            client=client,
+            done=self.env.event(),
+            enqueued_at=self.env.now,
+        )
+        self.inbox.put(req)
+        self.max_queue_seen = max(self.max_queue_seen, len(self.inbox))
+        return req.done
+
+    @property
+    def queue_length(self) -> int:
+        return len(self.inbox)
+
+    def mean_wait(self) -> float:
+        return self.total_wait / self.served if self.served else 0.0
+
+    # -- server side -----------------------------------------------------
+    def _dispatch(self):
+        while True:
+            req = yield self.inbox.get()
+            # Claim a service slot, then serve concurrently.
+            slot = self._slots.request()
+            yield slot
+            self.env.process(self._serve(req, slot))
+
+    def _serve(self, req: ManagerRequest, slot):
+        try:
+            self.total_wait += self.env.now - req.enqueued_at
+            yield self.node.cpu.driver_entry(kernel_level=True)
+            yield from self.node.disk_io(
+                req.disk, req.op, req.offset, req.nbytes, req.priority
+            )
+            self.served += 1
+            req.done.succeed()
+        except Exception as exc:  # disk failures propagate to the client
+            req.done.fail(exc)
+        finally:
+            self._slots.release(slot)

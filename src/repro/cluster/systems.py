@@ -1,0 +1,854 @@
+"""Storage-system protocols: how each architecture executes reads/writes.
+
+Each system turns a logical request on the single I/O space into block
+operations through the CDDs (or, for NFS, through RPCs to the central
+server), reproducing the per-architecture costs of the paper's Table 2:
+
+================  =========================================================
+Architecture      Write protocol
+================  =========================================================
+RAID-0            n parallel foreground block writes (no redundancy)
+RAID-10           data + pair-mirror both foreground (2 ops per block)
+Chained decl.     data + chained mirror both foreground (2 ops per block)
+RAID-5            full stripe: XOR parity in memory, n parallel writes;
+                  partial: read-modify-write (old data + old parity reads,
+                  2 XOR passes, data + parity writes) per stripe
+RAID-x (OSM)      n parallel foreground data writes; images *clustered*
+                  into long extents and flushed in the background
+NFS               every rsize/wsize chunk is a user-level RPC to the
+                  central server node
+================  =========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.cluster.cdd import CooperativeDiskDriver
+from repro.cluster.message import (
+    HEADER_BYTES,
+    MessageKind,
+)
+from repro.cluster.sios import Piece, SingleIOSpace
+from repro.errors import ConfigurationError, DataLossError
+from repro.raid import make_layout
+from repro.raid.layout import Layout, Placement
+from repro.raid.mirror_policy import MirrorPolicy
+from repro.raid.raid5 import Raid5Layout
+from repro.raid.raidx import RaidxLayout
+from repro.sim.events import Event
+from repro.sim.sync import Mutex
+from repro.units import KiB
+
+
+class StorageSystem:
+    """Common interface of all storage back-ends."""
+
+    name = "abstract"
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+        self.env = cluster.env
+        self.failed_disks: Set[int] = set()
+        #: Logical bytes moved, split by op (for bandwidth accounting).
+        self.bytes_read = 0.0
+        self.bytes_written = 0.0
+
+    # -- capacity / addressing ------------------------------------------
+    @property
+    def capacity(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def block_size(self) -> int:
+        raise NotImplementedError
+
+    # -- I/O ---------------------------------------------------------------
+    def io(self, client: int, op: str, offset: int, nbytes: int):
+        """Process generator: execute one logical request end to end."""
+        raise NotImplementedError
+
+    def submit(self, client: int, op: str, offset: int, nbytes: int) -> Event:
+        """Run :meth:`io` as a process; returns its completion event."""
+        return self.env.process(self.io(client, op, offset, nbytes))
+
+    def read(self, client: int, offset: int, nbytes: int) -> Event:
+        return self.submit(client, "read", offset, nbytes)
+
+    def write(self, client: int, offset: int, nbytes: int) -> Event:
+        return self.submit(client, "write", offset, nbytes)
+
+    def drain(self):
+        """Process generator: wait for background work (no-op by default)."""
+        return
+        yield  # pragma: no cover
+
+    # -- fault handling ----------------------------------------------------
+    def fail_disk(self, disk: int) -> None:
+        """Fail a disk at the hardware level and remember it."""
+        self.failed_disks.add(disk)
+        self.cluster.disk(disk).fail()
+
+    def repair_disk(self, disk: int) -> None:
+        self.failed_disks.discard(disk)
+        self.cluster.disk(disk).repair()
+
+
+class DistributedArraySystem(StorageSystem):
+    """Shared machinery for the serverless (CDD-based) architectures.
+
+    ``read_policy`` selects among a block's surviving copies:
+    ``"static"`` follows the layout's preference order (the paper's
+    behaviour); ``"shortest_queue"`` picks the copy whose disk currently
+    has the shallowest queue — the I/O load balancing the paper lists as
+    next-phase work (§7).  Benchmark A5 quantifies it.
+    """
+
+    layout_name = "raid0"
+
+    def __init__(
+        self,
+        cluster,
+        locking: bool = False,
+        read_policy: str = "static",
+    ):
+        super().__init__(cluster)
+        cfg = cluster.config
+        self.layout: Layout = make_layout(
+            self.layout_name,
+            n_disks=cfg.geometry.total_disks,
+            block_size=cfg.geometry.block_size,
+            disk_capacity=cfg.disk.capacity_bytes,
+            stripe_width=cfg.geometry.n,
+        )
+        self.layout.verify_invariants()
+        self.sios = SingleIOSpace(self.layout)
+        self.locking = locking
+        if read_policy not in ("static", "shortest_queue"):
+            raise ConfigurationError(
+                f"unknown read policy {read_policy!r}"
+            )
+        self.read_policy = read_policy
+
+    #: shortest_queue hysteresis: divert from the preferred copy only
+    #: when the alternative's disk queue is this much shallower — a
+    #: diverted read usually breaks the alternative disk's sequential
+    #: run (RAID-x images live in the far mirror half), so small queue
+    #: differences are not worth the seek.
+    read_balance_margin = 2
+
+    def _balance(self, sources: List[Placement]) -> Optional[Placement]:
+        """Apply the read policy to an ordered list of surviving copies."""
+        if not sources:
+            return None
+        if self.read_policy == "static" or len(sources) == 1:
+            return sources[0]
+        preferred = sources[0]
+        depth0 = self.cluster.disk(preferred.disk).queue_depth
+        best, best_depth = preferred, depth0
+        for alt in sources[1:]:
+            d = self.cluster.disk(alt.disk).queue_depth
+            if d < best_depth:
+                best, best_depth = alt, d
+        if best is preferred:
+            return preferred
+        return best if depth0 - best_depth >= self.read_balance_margin \
+            else preferred
+
+    @property
+    def capacity(self) -> int:
+        return self.sios.capacity
+
+    @property
+    def block_size(self) -> int:
+        return self.sios.block_size
+
+    def cdd(self, node: int) -> CooperativeDiskDriver:
+        return self.cluster.cdds[node]
+
+    # -- top-level request path ---------------------------------------------
+    def io(self, client: int, op: str, offset: int, nbytes: int):
+        pieces = self.sios.pieces(offset, nbytes)
+        if not pieces:
+            return
+        handle = None
+        if self.locking and op == "write":
+            handle = yield from self.cdd(client).acquire_write_locks(
+                [p.block for p in pieces]
+            )
+        try:
+            if op == "read":
+                yield from self._read(client, pieces)
+                self.bytes_read += nbytes
+            else:
+                yield from self._write(client, pieces)
+                self.bytes_written += nbytes
+        finally:
+            if handle is not None:
+                yield from self.cdd(client).release_write_locks(handle)
+
+    # -- reads ----------------------------------------------------------------
+    def _read_source(self, client: int, piece: Piece) -> Optional[Placement]:
+        """Pick the placement to serve a read piece (None = reconstruct)."""
+        sources = self.layout.surviving_read_sources(
+            piece.block, self.failed_disks
+        )
+        return self._balance(sources)
+
+    def _read(self, client: int, pieces: List[Piece]):
+        events = [
+            self.env.process(self._read_piece(client, piece))
+            for piece in pieces
+        ]
+        if events:
+            yield self.env.all_of(events)
+
+    def _read_piece(self, client: int, piece: Piece):
+        """Read one piece, retrying on mid-flight disk failures.
+
+        A request queued on a disk that fails before service returns EIO;
+        real drivers then mark the disk bad and re-issue against a
+        surviving copy — which is what the retry loop does (the failed
+        set grows on every iteration, so it terminates)."""
+        from repro.errors import DiskFailedError
+
+        while True:
+            src = self._read_source(client, piece)
+            if src is None:
+                yield from self._reconstruct_read(client, piece)
+                return
+            try:
+                yield from self.cdd(client).block_io(
+                    "read", src.disk, src.offset + piece.intra, piece.nbytes
+                )
+                return
+            except DiskFailedError as e:
+                self.failed_disks.add(e.disk_id)
+
+    def _reconstruct_read(self, client: int, piece: Piece):
+        """Fallback when no copy survives (overridden by RAID-5)."""
+        raise DataLossError(
+            f"block {piece.block}: all copies on failed disks "
+            f"{sorted(self.failed_disks)}"
+        )
+        yield  # pragma: no cover
+
+    # -- writes ----------------------------------------------------------------
+    def _write(self, client: int, pieces: List[Piece]):
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def _write_piece_to(
+        self, client: int, placement: Placement, piece: Piece
+    ) -> Event:
+        """Write one piece at a given placement (helper)."""
+        return self.cdd(client).submit(
+            "write", placement.disk, placement.offset + piece.intra,
+            piece.nbytes,
+        )
+
+    def _write_piece_tolerant(
+        self, client: int, placement: Placement, piece: Piece
+    ) -> Event:
+        """Like :meth:`_write_piece_to`, but a disk dying under the write
+        marks it failed instead of crashing — redundancy (the mirror copy
+        or image) keeps the block recoverable."""
+        from repro.errors import DiskFailedError
+
+        def body():
+            try:
+                yield from self.cdd(client).block_io(
+                    "write",
+                    placement.disk,
+                    placement.offset + piece.intra,
+                    piece.nbytes,
+                )
+            except DiskFailedError as e:
+                self.failed_disks.add(e.disk_id)
+
+        return self.env.process(body())
+
+
+class Raid0System(DistributedArraySystem):
+    """Striping only — the bandwidth ceiling, zero fault tolerance."""
+
+    name = "raid0"
+    layout_name = "raid0"
+
+    def _write(self, client: int, pieces: List[Piece]):
+        events = [
+            self._write_piece_to(client, p.placement, p) for p in pieces
+        ]
+        yield self.env.all_of(events)
+
+
+class _MirroredSystem(DistributedArraySystem):
+    """Foreground mirroring shared by RAID-10 and chained declustering.
+
+    ``serial_mirror`` commits the mirror copy after the primary completes
+    (write-through, as the era's simple mirroring drivers did) instead of
+    issuing both concurrently.  RAID-x's advantage over these systems is
+    precisely that its image update is deferred entirely.
+    """
+
+    serial_mirror = False
+
+    def _write(self, client: int, pieces: List[Piece]):
+        if self.serial_mirror:
+            yield from self._write_serial(client, pieces)
+            return
+        events = []
+        for p in pieces:
+            copies = [p.placement] + self.layout.redundancy_locations(p.block)
+            alive = [c for c in copies if c.disk not in self.failed_disks]
+            if not alive:
+                raise DataLossError(
+                    f"block {p.block}: every copy on a failed disk"
+                )
+            for c in alive:
+                events.append(self._write_piece_tolerant(client, c, p))
+        yield self.env.all_of(events)
+        self._check_copies_survive(pieces)
+
+    def _check_copies_survive(self, pieces: List[Piece]) -> None:
+        for p in pieces:
+            copies = [p.placement] + self.layout.redundancy_locations(p.block)
+            if all(c.disk in self.failed_disks for c in copies):
+                raise DataLossError(
+                    f"block {p.block}: every copy on a failed disk"
+                )
+
+    def _write_serial(self, client: int, pieces: List[Piece]):
+        for p in pieces:
+            copies = [p.placement] + self.layout.redundancy_locations(p.block)
+            if all(c.disk in self.failed_disks for c in copies):
+                raise DataLossError(
+                    f"block {p.block}: every copy on a failed disk"
+                )
+        # Primary wave first, mirror wave after it commits.
+        for copies in (
+            [(p, p.placement) for p in pieces],
+            [
+                (p, m)
+                for p in pieces
+                for m in self.layout.redundancy_locations(p.block)
+            ],
+        ):
+            events = []
+            for p, c in copies:
+                if c.disk in self.failed_disks:
+                    continue
+                events.append(self._write_piece_tolerant(client, c, p))
+            if events:
+                yield self.env.all_of(events)
+        self._check_copies_survive(pieces)
+
+
+class Raid10System(_MirroredSystem):
+    """Striped mirroring over disk pairs; write-through mirror commit
+    (matching the measured write latencies the paper reports, which
+    trail RAID-x by ~2× on small writes)."""
+
+    name = "raid10"
+    layout_name = "raid10"
+    serial_mirror = True
+
+
+class ChainedSystem(_MirroredSystem):
+    """Chained declustering: mirror of disk d lives on disk d+1."""
+
+    name = "chained"
+    layout_name = "chained"
+
+
+class Raid5System(DistributedArraySystem):
+    """Rotating parity with the small-write read-modify-write penalty."""
+
+    name = "raid5"
+    layout_name = "raid5"
+
+    def __init__(
+        self,
+        cluster,
+        locking: bool = False,
+        full_stripe_optimization: bool = False,
+        batch_rmw: bool = False,
+    ):
+        """RAID-5 write-path fidelity knobs.
+
+        ``full_stripe_optimization`` gathers aligned full-stripe writes
+        and computes parity without pre-reads (TickerTAIP-style).
+        ``batch_rmw`` amortizes one parity read/write over all the blocks
+        a request modifies in a stripe.  Both are **off by default**
+        because the paper's measured software RAID-5 (Linux 2.2 era) was
+        per-block read-modify-write bound even for large writes — its
+        large-write bandwidth trailed RAID-x by 5-10× (Table 3).
+        Benchmark A4 quantifies what each optimization recovers."""
+        super().__init__(cluster, locking)
+        self.full_stripe_optimization = full_stripe_optimization
+        self.batch_rmw = batch_rmw
+        self._stripe_locks: Dict[int, Mutex] = {}
+
+    def _stripe_lock(self, stripe: int) -> Mutex:
+        m = self._stripe_locks.get(stripe)
+        if m is None:
+            m = Mutex(self.env)
+            self._stripe_locks[stripe] = m
+        return m
+
+    # -- reads (degraded path) ---------------------------------------------
+    def _reconstruct_read(self, client: int, piece: Piece):
+        """Rebuild a lost block from the surviving stripe + parity."""
+        layout: Raid5Layout = self.layout  # type: ignore[assignment]
+        stripe = layout.stripe_of(piece.block)
+        reads = []
+        for b in layout.stripe_blocks(stripe):
+            if b == piece.block:
+                continue
+            loc = layout.data_location(b)
+            if loc.disk in self.failed_disks:
+                raise DataLossError(
+                    f"stripe {stripe}: second failure at disk {loc.disk}"
+                )
+            reads.append(
+                self.cdd(client).submit(
+                    "read", loc.disk, loc.offset, layout.block_size
+                )
+            )
+        ploc = layout.parity_location(stripe)
+        if ploc.disk in self.failed_disks:
+            raise DataLossError(f"stripe {stripe}: parity disk also failed")
+        reads.append(
+            self.cdd(client).submit(
+                "read", ploc.disk, ploc.offset, layout.block_size
+            )
+        )
+        yield self.env.all_of(reads)
+        # XOR all surviving blocks to regenerate the lost one.
+        yield self.cluster.nodes[client].cpu.xor(
+            (len(reads)) * layout.block_size
+        )
+
+    # -- writes ------------------------------------------------------------
+    def _write(self, client: int, pieces: List[Piece]):
+        layout: Raid5Layout = self.layout  # type: ignore[assignment]
+        by_stripe = self.sios.pieces_by_stripe(pieces)
+        stripe_events = []
+        for stripe, spieces in by_stripe.items():
+            stripe_events.append(
+                self.env.process(
+                    self._write_stripe(client, stripe, spieces)
+                )
+            )
+        yield self.env.all_of(stripe_events)
+
+    def _is_full_stripe(self, stripe: int, spieces: List[Piece]) -> bool:
+        want = set(self.layout.stripe_blocks(stripe))
+        have = {
+            p.block
+            for p in spieces
+            if p.intra == 0 and p.nbytes == self.layout.block_size
+        }
+        return want <= have
+
+    def _write_stripe(self, client: int, stripe: int, spieces: List[Piece]):
+        layout: Raid5Layout = self.layout  # type: ignore[assignment]
+        bs = layout.block_size
+        cpu = self.cluster.nodes[client].cpu
+        lock = self._stripe_lock(stripe).acquire(owner=client)
+        yield lock
+        try:
+            ploc = layout.parity_location(stripe)
+            parity_alive = ploc.disk not in self.failed_disks
+            if self.full_stripe_optimization and self._is_full_stripe(
+                stripe, spieces
+            ):
+                # Full-stripe write: parity computed in memory, no reads.
+                yield cpu.xor(len(spieces) * bs)
+                events = [
+                    self._write_piece_to(client, p.placement, p)
+                    for p in spieces
+                    if p.placement.disk not in self.failed_disks
+                ]
+                if parity_alive:
+                    events.append(
+                        self.cdd(client).submit(
+                            "write", ploc.disk, ploc.offset, bs
+                        )
+                    )
+                yield self.env.all_of(events)
+                return
+
+            # Read-modify-write.  The faithful (default) mode updates
+            # parity once per modified block, as the era's block-level
+            # software RAID-5 drivers did; batch mode amortizes one
+            # parity read/write over the whole request's stripe share.
+            groups = (
+                [spieces] if self.batch_rmw else [[p] for p in spieces]
+            )
+            for group in groups:
+                modified = sum(p.nbytes for p in group)
+                # Parity I/O covers the union of the modified intra-block
+                # ranges (parity bytes pair with data bytes positionally).
+                plo = min(p.intra for p in group)
+                phi = max(p.intra + p.nbytes for p in group)
+                reads = []
+                for p in group:
+                    if p.placement.disk not in self.failed_disks:
+                        reads.append(
+                            self.cdd(client).submit(
+                                "read",
+                                p.placement.disk,
+                                p.placement.offset + p.intra,
+                                p.nbytes,
+                            )
+                        )
+                if parity_alive:
+                    reads.append(
+                        self.cdd(client).submit(
+                            "read", ploc.disk, ploc.offset + plo, phi - plo
+                        )
+                    )
+                if reads:
+                    yield self.env.all_of(reads)
+                # Two XOR passes: strip old data out of parity, add new.
+                yield cpu.xor(modified, passes=2)
+                writes = [
+                    self._write_piece_to(client, p.placement, p)
+                    for p in group
+                    if p.placement.disk not in self.failed_disks
+                ]
+                if parity_alive:
+                    writes.append(
+                        self.cdd(client).submit(
+                            "write", ploc.disk, ploc.offset + plo, phi - plo
+                        )
+                    )
+                yield self.env.all_of(writes)
+        finally:
+            self._stripe_lock(stripe).release(lock)
+
+
+class RaidxSystem(DistributedArraySystem):
+    """RAID-x: orthogonal striping with background clustered mirroring."""
+
+    name = "raidx"
+    layout_name = "raidx"
+
+    def __init__(
+        self,
+        cluster,
+        locking: bool = False,
+        mirror_policy: MirrorPolicy | str = MirrorPolicy.BACKGROUND,
+        read_local_mirror: bool = False,
+        read_policy: str = "static",
+    ):
+        super().__init__(cluster, locking, read_policy=read_policy)
+        self.mirror_policy = MirrorPolicy.parse(mirror_policy)
+        self.read_local_mirror = read_local_mirror
+        #: Outstanding background image-flush events.
+        self._pending_flushes: List[Event] = []
+        #: Mirror groups with an un-flushed image (stale-image guard).
+        self._dirty_groups: Set[int] = set()
+        #: Extents queued but not yet issued to disk — rewrites of the
+        #: same extent are absorbed in the write-behind buffer.
+        self._queued_extents: Set[Tuple[int, int, int]] = set()
+        self.background_bytes = 0.0
+        self.coalesced_extents = 0
+        self.absorbed_rewrites = 0
+        #: Vulnerability windows: seconds each image extent spent
+        #: un-flushed after its data committed — the price of deferral
+        #: (a data-disk failure inside the window costs redundancy,
+        #: though never the data itself).
+        self.vulnerability_windows: List[float] = []
+
+    # -- reads -------------------------------------------------------------
+    def _image_clean(self, block: int) -> bool:
+        layout: RaidxLayout = self.layout  # type: ignore[assignment]
+        mg = layout.mirror_group_of(block)
+        return (
+            mg.image_disk not in self.failed_disks
+            and mg.group_id not in self._dirty_groups
+        )
+
+    def _read_source(self, client: int, piece: Piece) -> Optional[Placement]:
+        layout: RaidxLayout = self.layout  # type: ignore[assignment]
+        primary = piece.placement
+        mirror = layout.redundancy_locations(piece.block)[0]
+        if primary.disk not in self.failed_disks:
+            if self.read_local_mirror and self._image_clean(piece.block):
+                # Serve from a *local* image copy when the primary is
+                # remote and the image sits on the reading node's disk.
+                if (
+                    self.sios.node_of_disk(primary.disk) != client
+                    and self.sios.node_of_disk(mirror.disk) == client
+                ):
+                    return mirror
+            if (
+                self.read_policy == "shortest_queue"
+                and self._image_clean(piece.block)
+            ):
+                return self._balance([primary, mirror])
+            return primary
+        if not self._image_clean(piece.block):
+            return None  # image missing or not yet consistent
+        return mirror
+
+    # -- writes ------------------------------------------------------------
+    def _write(self, client: int, pieces: List[Piece]):
+        # Foreground: data blocks stripe across all disks in parallel.
+        events = []
+        for p in pieces:
+            if p.placement.disk in self.failed_disks:
+                # Degraded write: only the image will carry this block.
+                continue
+            events.append(self._write_piece_tolerant(client, p.placement, p))
+        extents = self._image_extents(pieces)
+        for g, disk, _off, _n in extents:
+            if disk not in self.failed_disks:
+                self._dirty_groups.add(g)
+        if self.mirror_policy is MirrorPolicy.FOREGROUND:
+            events.extend(self._flush_extents(client, extents))
+            if events:
+                yield self.env.all_of(events)
+            return
+        if events:
+            yield self.env.all_of(events)
+        # Background: hand the clustered image extents to the flusher;
+        # rewrites of an already-queued extent are absorbed.
+        self._pending_flushes.extend(
+            self._flush_extents(client, extents, absorb=True)
+        )
+
+    def _image_extents(
+        self, pieces: List[Piece]
+    ) -> List[Tuple[int, int, int, int]]:
+        """Coalesce image fragments into (group, disk, offset, nbytes) runs.
+
+        Fragments of one mirror group are contiguous in image space, so a
+        full group becomes a single long (n-1)-block extent — the paper's
+        "image blocks gathered as a long block written into the same disk".
+        """
+        layout: RaidxLayout = self.layout  # type: ignore[assignment]
+        bs = layout.block_size
+        frags: List[Tuple[int, int, int, int]] = []
+        for p in pieces:
+            mg = layout.mirror_group_of(p.block)
+            pos = mg.blocks.index(p.block)
+            frags.append(
+                (
+                    mg.group_id,
+                    mg.image_disk,
+                    mg.image_offset + pos * bs + p.intra,
+                    p.nbytes,
+                )
+            )
+        frags.sort(key=lambda f: (f[1], f[2]))
+        runs: List[Tuple[int, int, int, int]] = []
+        for g, disk, off, n in frags:
+            if runs and runs[-1][1] == disk and runs[-1][2] + runs[-1][3] == off:
+                pg, pd, po, pn = runs[-1]
+                runs[-1] = (pg, pd, po, pn + n)
+            else:
+                runs.append((g, disk, off, n))
+        self.coalesced_extents += len(runs)
+        return runs
+
+    def _flush_extents(self, client, extents, absorb: bool = False
+                       ) -> List[Event]:
+        events = []
+        for group, disk, off, nbytes in extents:
+            if disk in self.failed_disks:
+                continue
+            key = (disk, off, nbytes)
+            if absorb:
+                if key in self._queued_extents:
+                    # Write-behind absorption: the queued flush will
+                    # carry the newer contents of this extent.
+                    self.absorbed_rewrites += 1
+                    continue
+                self._queued_extents.add(key)
+            events.append(
+                self.env.process(
+                    self._flush_one(client, group, disk, off, nbytes, key,
+                                    absorb)
+                )
+            )
+        return events
+
+    def _flush_one(self, client, group, disk, off, nbytes, key, tracked):
+        from repro.errors import DiskFailedError
+
+        exposed_at = self.env.now
+        try:
+            yield from self.cdd(client).block_io(
+                "write", disk, off, nbytes, priority=1
+            )
+            self.vulnerability_windows.append(self.env.now - exposed_at)
+        except DiskFailedError as e:
+            # The image disk died under the flush: the data block still
+            # lives on its primary, so mark the disk and move on.
+            self.failed_disks.add(e.disk_id)
+            if tracked:
+                self._queued_extents.discard(key)
+            return
+        if tracked:
+            self._queued_extents.discard(key)
+        self.background_bytes += nbytes
+        self._dirty_groups.discard(group)
+
+    def drain(self):
+        """Wait until every background image flush has completed."""
+        while self._pending_flushes:
+            pending, self._pending_flushes = self._pending_flushes, []
+            yield self.env.all_of(pending)
+
+    @property
+    def pending_background_flushes(self) -> int:
+        return sum(1 for e in self._pending_flushes if not e.processed)
+
+    def vulnerability_stats(self) -> dict:
+        """Mean/max/p95 of the image-flush exposure windows (seconds)."""
+        w = self.vulnerability_windows
+        if not w:
+            return {"count": 0, "mean": 0.0, "max": 0.0, "p95": 0.0}
+        ordered = sorted(w)
+        return {
+            "count": len(w),
+            "mean": sum(w) / len(w),
+            "max": ordered[-1],
+            "p95": ordered[max(0, int(0.95 * len(ordered)) - 1)],
+        }
+
+
+class NfsSystem(StorageSystem):
+    """Central-server baseline: every chunk is a user-level RPC.
+
+    The server (node 0 by default) stripes its export RAID-0 style over
+    its own local disks.  Transfers move in rsize/wsize chunks — 8 KiB,
+    the NFSv2-over-UDP default of the paper's era — each a full RPC with
+    user-level processing at both ends.
+    """
+
+    name = "nfs"
+
+    def __init__(
+        self,
+        cluster,
+        server: int = 0,
+        transfer_size: int = 8 * KiB,
+        server_cache_mb: int = 128,
+        stable_writes: bool = True,
+    ):
+        """``server_cache_mb`` models the server's buffer cache: reads of
+        recently touched blocks skip the disk (network/CPU-bound), while
+        writes are stable — synchronously on disk — per NFSv2 semantics.
+        Set 0 to disable (fully cold server).  ``stable_writes=False``
+        models NFSv3 asynchronous writes (chunks pipeline like reads,
+        with the commit deferred)."""
+        super().__init__(cluster)
+        if transfer_size <= 0:
+            raise ConfigurationError("transfer size must be positive")
+        self.server = server
+        self.transfer_size = transfer_size
+        self.stable_writes = stable_writes
+        cfg = cluster.config
+        self._server_disks = list(cluster.nodes[server].disk_ids)
+        self._block_size = cfg.geometry.block_size
+        self._rows = cfg.disk.capacity_bytes // self._block_size
+        from repro.cluster.cache import BlockCache
+
+        cache_blocks = (server_cache_mb * 1_000_000) // self._block_size
+        self._cache = (
+            BlockCache(server, capacity_blocks=cache_blocks)
+            if cache_blocks > 0
+            else None
+        )
+
+    @property
+    def server_cache(self):
+        """The server's buffer cache (or None when disabled)."""
+        return self._cache
+
+    @property
+    def capacity(self) -> int:
+        return self._rows * self._block_size * len(self._server_disks)
+
+    @property
+    def block_size(self) -> int:
+        return self._block_size
+
+    def _server_location(self, block: int) -> Tuple[int, int]:
+        """(global disk id, byte offset) of an export block — RAID-0
+        striping across the server's local disks."""
+        width = len(self._server_disks)
+        disk = self._server_disks[block % width]
+        return disk, (block // width) * self._block_size
+
+    def io(self, client: int, op: str, offset: int, nbytes: int):
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.capacity:
+            raise ConfigurationError("request outside the NFS export")
+        pos = offset
+        end = offset + nbytes
+        if op == "write" and self.stable_writes:
+            # NFSv2 stable writes: each chunk commits synchronously
+            # before the next is issued — no client-side write-behind.
+            while pos < end:
+                take = min(self.transfer_size, end - pos)
+                yield from self._rpc(client, op, pos, take)
+                pos += take
+        else:
+            chunks = []
+            while pos < end:
+                take = min(self.transfer_size, end - pos)
+                chunks.append(
+                    self.env.process(self._rpc(client, op, pos, take))
+                )
+                pos += take
+            if chunks:
+                yield self.env.all_of(chunks)
+        if op == "read":
+            self.bytes_read += nbytes
+        else:
+            self.bytes_written += nbytes
+
+    def _rpc(self, client: int, op: str, offset: int, nbytes: int):
+        transport = self.cluster.transport
+        server_node = self.cluster.nodes[self.server]
+        client_node = self.cluster.nodes[client]
+        # Client-side user-level RPC processing.
+        yield client_node.cpu.driver_entry(kernel_level=False)
+        req_size = HEADER_BYTES + (nbytes if op == "write" else 0)
+        yield from transport.message(
+            MessageKind.RPC_REQ, client, self.server, req_size
+        )
+        # Server-side user-level processing + local disk I/O.
+        yield server_node.cpu.driver_entry(kernel_level=False)
+        from repro.io.request import split_into_blocks
+
+        for block, intra, take in split_into_blocks(
+            offset, nbytes, self.block_size
+        ):
+            if op == "read" and self._cache is not None:
+                if self._cache.lookup(block):
+                    # Buffer-cache hit: a memory copy instead of disk I/O.
+                    yield server_node.cpu.memcpy(take)
+                    continue
+            disk, disk_off = self._server_location(block)
+            yield from server_node.disk_io(disk, op, disk_off + intra, take)
+            if self._cache is not None:
+                self._cache.insert(block)
+        reply_size = HEADER_BYTES + (nbytes if op == "read" else 0)
+        yield from transport.message(
+            MessageKind.RPC_REPLY, self.server, client, reply_size
+        )
+
+
+ARCHITECTURES = {
+    "raid0": Raid0System,
+    "raid5": Raid5System,
+    "raid10": Raid10System,
+    "chained": ChainedSystem,
+    "raidx": RaidxSystem,
+    "nfs": NfsSystem,
+}

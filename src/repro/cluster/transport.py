@@ -1,0 +1,55 @@
+"""Transport: message delivery with endpoint protocol-CPU charging.
+
+A message from node A to node B costs, in order:
+
+1. protocol CPU at A (per-message + per-KB, charged to A's CPU queue),
+2. the fabric path (A's NIC TX → switch → B's NIC RX),
+3. protocol CPU at B.
+
+Loopback messages skip the fabric and charge a single memcpy instead —
+the CDD's kernel-level "no cross-space system calls" fast path.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cluster.message import Message, MessageKind, MessageStats
+from repro.config import ClusterConfig
+from repro.hardware.network import Network
+from repro.hardware.node import Node
+from repro.sim.core import Environment
+
+
+class Transport:
+    """Message-passing substrate shared by all CDDs of a cluster."""
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        nodes: List[Node],
+        config: ClusterConfig,
+    ):
+        self.env = env
+        self.network = network
+        self.nodes = nodes
+        self.config = config
+        self.stats = MessageStats()
+
+    def message(self, kind: MessageKind, src: int, dst: int, nbytes: int):
+        """Process generator: deliver one message end to end."""
+        msg = Message(kind=kind, src=src, dst=dst, nbytes=nbytes)
+        self.stats.record(msg)
+        net = self.config.network
+        if src == dst:
+            # Kernel-internal hand-off: one memory copy, no protocol stack.
+            yield self.nodes[src].cpu.memcpy(nbytes)
+            return
+        yield self.nodes[src].cpu.busy(net.message_cpu_cost(nbytes))
+        yield from self.network.send(src, dst, nbytes)
+        yield self.nodes[dst].cpu.busy(net.message_cpu_cost(nbytes))
+
+    def send(self, kind: MessageKind, src: int, dst: int, nbytes: int):
+        """Run :meth:`message` as a background process; returns its event."""
+        return self.env.process(self.message(kind, src, dst, nbytes))

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the RAID-x reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid cluster, array, or hardware configuration."""
+
+
+class AddressError(ReproError):
+    """A block address falls outside the device or array."""
+
+
+class LayoutError(ReproError):
+    """A RAID layout invariant was violated (e.g. orthogonality)."""
+
+
+class DiskFailedError(ReproError):
+    """An I/O touched a disk that is marked failed."""
+
+    def __init__(self, disk_id: int, message: str = ""):
+        super().__init__(message or f"disk {disk_id} has failed")
+        self.disk_id = disk_id
+
+
+class DataLossError(ReproError):
+    """A failure pattern exceeded the layout's fault coverage."""
+
+
+class LockProtocolError(ReproError):
+    """The CDD lock-group protocol was used incorrectly."""
+
+
+class FileSystemError(ReproError):
+    """Errors from the simulated file system layer."""
+
+
+class FileNotFound(FileSystemError):
+    """Path lookup failed."""
+
+
+class FileExists(FileSystemError):
+    """Exclusive creation hit an existing entry."""
+
+
+class NotADirectory(FileSystemError):
+    """A path component was not a directory."""
+
+
+class IsADirectory(FileSystemError):
+    """File data operation attempted on a directory."""
+
+
+class NoSpaceError(FileSystemError):
+    """Block or inode allocation failed: device full."""
+
+
+class CheckpointError(ReproError):
+    """Checkpoint write or recovery failed."""

@@ -1,0 +1,31 @@
+"""Fault tolerance: injection, coverage enumeration, reliability models."""
+
+from repro.fault.injector import FaultInjector, FailureEvent
+from repro.fault.coverage import (
+    coverage_profile,
+    guaranteed_coverage,
+    survivable_fraction,
+)
+from repro.fault.reliability import (
+    mttdl_mirrored_pairs,
+    mttdl_raid5,
+    mttdl_raidx,
+    mttdl_chained,
+    availability,
+)
+from repro.fault.montecarlo import MttdlEstimate, simulate_mttdl
+
+__all__ = [
+    "FailureEvent",
+    "FaultInjector",
+    "MttdlEstimate",
+    "simulate_mttdl",
+    "availability",
+    "coverage_profile",
+    "guaranteed_coverage",
+    "mttdl_chained",
+    "mttdl_mirrored_pairs",
+    "mttdl_raid5",
+    "mttdl_raidx",
+    "survivable_fraction",
+]

@@ -1,0 +1,69 @@
+"""Analytical reliability: mean time to data loss (MTTDL) per layout.
+
+Standard Markov repair models (Patterson/Gibson/Katz style): disks fail
+independently at rate λ = 1/MTTF and repair at rate µ = 1/MTTR.  Data is
+lost when a second failure hits the vulnerable set before repair
+completes.  These formulas back the qualitative reliability comparisons
+in the paper's Tables 1 and 2.
+"""
+
+from __future__ import annotations
+
+
+def _check(n_disks: int, mttf_h: float, mttr_h: float) -> None:
+    if n_disks < 2:
+        raise ValueError("need at least 2 disks")
+    if mttf_h <= 0 or mttr_h <= 0:
+        raise ValueError("MTTF and MTTR must be positive")
+    if mttr_h >= mttf_h:
+        raise ValueError("model assumes MTTR << MTTF")
+
+
+def mttdl_raid5(n_disks: int, mttf_h: float, mttr_h: float) -> float:
+    """RAID-5 over ``n_disks``: any second concurrent failure is fatal.
+
+    MTTDL ≈ MTTF² / (D · (D-1) · MTTR).
+    """
+    _check(n_disks, mttf_h, mttr_h)
+    return mttf_h**2 / (n_disks * (n_disks - 1) * mttr_h)
+
+
+def mttdl_mirrored_pairs(n_disks: int, mttf_h: float, mttr_h: float) -> float:
+    """RAID-10: fatal only if a disk's *pair partner* fails during repair.
+
+    MTTDL ≈ MTTF² / (D · MTTR)  (one vulnerable disk per failure).
+    """
+    _check(n_disks, mttf_h, mttr_h)
+    if n_disks % 2:
+        raise ValueError("RAID-10 needs an even disk count")
+    return mttf_h**2 / (n_disks * 1 * mttr_h)
+
+
+def mttdl_chained(n_disks: int, mttf_h: float, mttr_h: float) -> float:
+    """Chained declustering: the two ring neighbours are vulnerable.
+
+    MTTDL ≈ MTTF² / (D · 2 · MTTR).
+    """
+    _check(n_disks, mttf_h, mttr_h)
+    return mttf_h**2 / (n_disks * 2 * mttr_h)
+
+
+def mttdl_raidx(
+    n_disks: int, mttf_h: float, mttr_h: float, stripe_width: int
+) -> float:
+    """RAID-x (OSM): after one failure, the other n-1 disks of the same
+    disk group are vulnerable (mirroring is confined to the group).
+
+    MTTDL ≈ MTTF² / (D · (n-1) · MTTR) with n the stripe width.
+    """
+    _check(n_disks, mttf_h, mttr_h)
+    if not 2 <= stripe_width <= n_disks or n_disks % stripe_width:
+        raise ValueError("stripe width must divide the disk count")
+    return mttf_h**2 / (n_disks * (stripe_width - 1) * mttr_h)
+
+
+def availability(mttf_h: float, mttr_h: float) -> float:
+    """Steady-state availability MTTF / (MTTF + MTTR)."""
+    if mttf_h <= 0 or mttr_h < 0:
+        raise ValueError("bad MTTF/MTTR")
+    return mttf_h / (mttf_h + mttr_h)

@@ -1,0 +1,22 @@
+"""A block-level file system over the single I/O space.
+
+Minimal but real: inodes, directories, a block allocator, per-node
+caches with write-invalidate consistency — enough to run the Andrew
+benchmark with the metadata/data op mix the paper's file-system
+experiments generate, on top of *any* storage architecture.
+"""
+
+from repro.fs.blockdev import BlockDevice
+from repro.fs.allocator import BlockAllocator
+from repro.fs.inode import Inode, InodeTable, FileType
+from repro.fs.filesystem import FileSystem, FsConfig
+
+__all__ = [
+    "BlockAllocator",
+    "BlockDevice",
+    "FileSystem",
+    "FileType",
+    "FsConfig",
+    "Inode",
+    "InodeTable",
+]

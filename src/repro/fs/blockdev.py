@@ -1,0 +1,91 @@
+"""Block device adapter: FS-level block I/O with per-node caching.
+
+Translates "node X reads/writes FS block B" into storage-system requests
+and charges cache/consistency costs:
+
+* read hit  → one memory copy on the client's CPU;
+* read miss → storage read + cache insert;
+* write     → storage write, invalidations to every peer caching the
+  block (small control messages), then local insert.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cluster.cache import BlockCache, CacheDirectory
+from repro.cluster.message import ACK_BYTES, MessageKind
+
+
+class BlockDevice:
+    """FS-block interface over a storage system, with coherent caches."""
+
+    def __init__(
+        self,
+        cluster,
+        cache_blocks_per_node: int = 256,
+        cached: bool = True,
+        fs_block_size: int = 4096,
+    ):
+        """``fs_block_size`` is the file system's own block size (ext2-era
+        default 4 KiB) — independent of, and typically smaller than, the
+        RAID striping unit underneath."""
+        self.cluster = cluster
+        self.storage = cluster.storage
+        self.block_size = fs_block_size
+        self.n_blocks = self.storage.capacity // self.block_size
+        self.cached = cached and cache_blocks_per_node > 0
+        if self.cached:
+            self.caches: List[BlockCache] = [
+                BlockCache(i, capacity_blocks=cache_blocks_per_node)
+                for i in range(cluster.n_nodes)
+            ]
+            self.directory: Optional[CacheDirectory] = CacheDirectory(
+                self.caches
+            )
+        else:
+            self.caches = []
+            self.directory = None
+
+    def check(self, block: int) -> None:
+        if not 0 <= block < self.n_blocks:
+            raise ValueError(
+                f"FS block {block} outside device of {self.n_blocks} blocks"
+            )
+
+    def read_block(self, node: int, block: int, nbytes: Optional[int] = None):
+        """Process generator: read (part of) one FS block from ``node``."""
+        self.check(block)
+        nbytes = self.block_size if nbytes is None else nbytes
+        if self.directory is not None and self.directory.lookup(node, block):
+            yield self.cluster.nodes[node].cpu.memcpy(nbytes)
+            return
+        yield self.storage.submit(
+            node, "read", block * self.block_size, nbytes
+        )
+        if self.directory is not None:
+            self.directory.note_cached(node, block)
+
+    def write_block(self, node: int, block: int, nbytes: Optional[int] = None):
+        """Process generator: write (part of) one FS block from ``node``."""
+        self.check(block)
+        nbytes = self.block_size if nbytes is None else nbytes
+        yield self.storage.submit(
+            node, "write", block * self.block_size, nbytes
+        )
+        if self.directory is not None:
+            holders = self.directory.invalidate_peers(node, block)
+            for peer in holders:
+                # Invalidation control message (fire-and-forget).
+                self.cluster.transport.send(
+                    MessageKind.INVALIDATE, node, peer, ACK_BYTES
+                )
+            self.directory.note_cached(node, block)
+
+    def cache_hit_rate(self) -> float:
+        """Aggregate hit rate across node caches (0 when uncached)."""
+        if not self.caches:
+            return 0.0
+        hits = sum(c.hits for c in self.caches)
+        total = hits + sum(c.misses for c in self.caches)
+        return hits / total if total else 0.0

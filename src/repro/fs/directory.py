@@ -1,0 +1,74 @@
+"""Directory contents: ordered entry lists with block placement."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import FileExists, FileNotFound
+
+#: On-disk directory entry footprint (name + inode + record header).
+DIRENT_BYTES = 32
+
+
+@dataclass
+class DirEntry:
+    name: str
+    ino: int
+
+
+class DirectoryData:
+    """In-memory contents of one directory, with entry→block mapping."""
+
+    def __init__(self, block_size: int):
+        self.entries: List[DirEntry] = []
+        self._by_name: Dict[str, int] = {}
+        self.entries_per_block = max(1, block_size // DIRENT_BYTES)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def names(self) -> List[str]:
+        return [e.name for e in self.entries]
+
+    def block_index_of_entry(self, position: int) -> int:
+        """Which of the directory's data blocks holds entry ``position``."""
+        return position // self.entries_per_block
+
+    def n_blocks(self) -> int:
+        """Data blocks needed for the current entry count."""
+        if not self.entries:
+            return 1
+        return -(-len(self.entries) // self.entries_per_block)
+
+    def find(self, name: str) -> Optional[int]:
+        """Entry position of ``name`` (None if absent)."""
+        return self._by_name.get(name)
+
+    def lookup(self, name: str) -> DirEntry:
+        pos = self.find(name)
+        if pos is None:
+            raise FileNotFound(name)
+        return self.entries[pos]
+
+    def add(self, name: str, ino: int) -> int:
+        """Insert an entry; returns its position."""
+        if name in self._by_name:
+            raise FileExists(name)
+        self.entries.append(DirEntry(name, ino))
+        pos = len(self.entries) - 1
+        self._by_name[name] = pos
+        return pos
+
+    def remove(self, name: str) -> DirEntry:
+        """Delete an entry (compacting: last entry fills the hole)."""
+        pos = self.find(name)
+        if pos is None:
+            raise FileNotFound(name)
+        entry = self.entries[pos]
+        last = self.entries.pop()
+        del self._by_name[name]
+        if last is not entry:
+            self.entries[pos] = last
+            self._by_name[last.name] = pos
+        return entry

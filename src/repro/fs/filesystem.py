@@ -1,0 +1,411 @@
+"""The file system proper: path operations charging realistic block I/O.
+
+Every public operation is a process generator taking the acting client
+node as its first argument; it charges metadata and data block I/O
+through the :class:`~repro.fs.blockdev.BlockDevice` (which routes to the
+cluster's storage architecture and maintains cache coherence).
+
+On-disk region map::
+
+    block 0                superblock
+    [1, 1+bitmap_blocks)   allocation bitmap
+    [.., ..+inode_blocks)  inode table
+    [.., n_blocks)         data region
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import (
+    FileExists,
+    FileNotFound,
+    FileSystemError,
+    IsADirectory,
+    NotADirectory,
+)
+from repro.fs.allocator import BlockAllocator
+from repro.fs.blockdev import BlockDevice
+from repro.fs.directory import DirectoryData
+from repro.fs.inode import FileType, Inode, InodeTable, N_DIRECT
+
+
+@dataclass(frozen=True)
+class FsConfig:
+    """Tunables of the file system."""
+
+    n_inodes: int = 4096
+    cache_blocks_per_node: int = 256
+    cached: bool = True
+    #: In-flight data blocks per file read/write (kernel read-ahead /
+    #: write-behind window).
+    data_queue_depth: int = 4
+    #: NFS close-to-open consistency: charge one GETATTR round trip to
+    #: the server per path resolution when mounted over NFS (cache hits
+    #: do not exempt the client from revalidating).
+    nfs_close_to_open: bool = True
+    #: The file system's own block size (ext2-era default: 4 KiB).
+    fs_block_size: int = 4096
+
+
+@dataclass
+class StatResult:
+    """Subset of ``struct stat`` the benchmarks need."""
+
+    ino: int
+    type: FileType
+    size: int
+    nlink: int
+    mtime: float
+
+
+class FileSystem:
+    """A mounted file system instance over a cluster's storage."""
+
+    def __init__(self, cluster, config: Optional[FsConfig] = None):
+        self.cluster = cluster
+        self.config = config or FsConfig()
+        self.dev = BlockDevice(
+            cluster,
+            cache_blocks_per_node=self.config.cache_blocks_per_node,
+            cached=self.config.cached,
+            fs_block_size=self.config.fs_block_size,
+        )
+        bs = self.dev.block_size
+        total = self.dev.n_blocks
+        self.inodes = InodeTable(0, self.config.n_inodes, bs)  # placed below
+        bitmap_blocks = -(-total // (bs * 8))
+        inode_blocks = self.inodes.n_blocks
+        first_data = 1 + bitmap_blocks + inode_blocks
+        if first_data >= total:
+            raise FileSystemError("device too small for the FS layout")
+        self.inodes.first_block = 1 + bitmap_blocks
+        self._bitmap_first = 1
+        self._bitmap_blocks = bitmap_blocks
+        self.alloc = BlockAllocator(first_data, total - first_data)
+        self._dirs: Dict[int, DirectoryData] = {}
+        # Root directory.
+        root = self.inodes.allocate(FileType.DIRECTORY, 0.0)
+        root.nlink = 2
+        self.root_ino = root.ino
+        self._dirs[root.ino] = DirectoryData(bs)
+        # Statistics.
+        self.ops: Dict[str, int] = {}
+
+    # -- small helpers -----------------------------------------------------
+    @property
+    def block_size(self) -> int:
+        return self.dev.block_size
+
+    def _count(self, op: str) -> None:
+        self.ops[op] = self.ops.get(op, 0) + 1
+
+    def _bitmap_block_for(self, block: int) -> int:
+        bs = self.dev.block_size
+        return self._bitmap_first + block // (bs * 8)
+
+    def _dir_data(self, inode: Inode) -> DirectoryData:
+        if not inode.is_dir:
+            raise NotADirectory(f"inode {inode.ino}")
+        return self._dirs[inode.ino]
+
+    @staticmethod
+    def split_path(path: str) -> List[str]:
+        parts = [p for p in path.split("/") if p]
+        for p in parts:
+            if p in (".", ".."):
+                raise FileSystemError("relative components not supported")
+        return parts
+
+    # -- metadata I/O charging ------------------------------------------------
+    def _read_inode(self, client: int, ino: int):
+        yield from self.dev.read_block(client, self.inodes.block_of(ino))
+
+    def _write_inode(self, client: int, ino: int):
+        yield from self.dev.write_block(client, self.inodes.block_of(ino))
+
+    def _charge_alloc(self, client: int, blocks: List[int]):
+        """One bitmap-block write per distinct bitmap block touched."""
+        touched = sorted({self._bitmap_block_for(b) for b in blocks})
+        for bb in touched:
+            yield from self.dev.write_block(client, bb)
+
+    def _read_dir_entry(self, client: int, dir_inode: Inode, position: int):
+        """Charge the linear-scan reads up to the entry's block."""
+        data = self._dir_data(dir_inode)
+        last = data.block_index_of_entry(position)
+        for idx in range(last + 1):
+            if idx < len(dir_inode.block_list()):
+                yield from self.dev.read_block(
+                    client, dir_inode.nth_block(idx)
+                )
+
+    def _dir_block_for_entry(self, client: int, dir_inode: Inode,
+                             position: int):
+        """Ensure the directory has a data block for ``position``; returns
+        its FS block (allocating and charging as needed)."""
+        data = self._dir_data(dir_inode)
+        idx = data.block_index_of_entry(position)
+        blocks = dir_inode.block_list()
+        while idx >= len(blocks):
+            newb = self.alloc.allocate(1)
+            yield from self._charge_alloc(client, newb)
+            dir_inode.attach_blocks(newb)
+            blocks = dir_inode.block_list()
+        return blocks[idx]
+
+    def _revalidate(self, client: int):
+        """NFS close-to-open: one GETATTR RPC per path resolution."""
+        from repro.cluster.message import (
+            ACK_BYTES,
+            HEADER_BYTES,
+            MessageKind,
+        )
+        from repro.cluster.systems import NfsSystem
+
+        storage = self.cluster.storage
+        if not self.config.nfs_close_to_open:
+            return
+        if not isinstance(storage, NfsSystem):
+            return
+        tr = self.cluster.transport
+        server = storage.server
+        yield from tr.message(
+            MessageKind.RPC_REQ, client, server, HEADER_BYTES
+        )
+        yield self.cluster.nodes[server].cpu.driver_entry(kernel_level=False)
+        yield from tr.message(MessageKind.RPC_REPLY, server, client, ACK_BYTES)
+
+    # -- path resolution ---------------------------------------------------
+    def _resolve(self, client: int, path: str, want_parent: bool = False):
+        """Walk ``path``; returns (inode, parent_inode, leaf_name).
+
+        Charges a directory-block scan and an inode read per component.
+        """
+        yield from self._revalidate(client)
+        parts = self.split_path(path)
+        cur = self.inodes.get(self.root_ino)
+        yield from self._read_inode(client, cur.ino)
+        parent: Optional[Inode] = None
+        name = ""
+        for depth, comp in enumerate(parts):
+            data = self._dir_data(cur)
+            pos = data.find(comp)
+            is_leaf = depth == len(parts) - 1
+            if pos is None:
+                if want_parent and is_leaf:
+                    return None, cur, comp
+                raise FileNotFound(path)
+            yield from self._read_dir_entry(client, cur, pos)
+            child = self.inodes.get(data.entries[pos].ino)
+            yield from self._read_inode(client, child.ino)
+            parent, cur, name = cur, child, comp
+        if not parts:
+            name = "/"
+        return cur, parent, name
+
+    # -- public operations -----------------------------------------------
+    def mkdir(self, client: int, path: str):
+        """Create a directory; returns its inode number."""
+        self._count("mkdir")
+        inode, parent, name = yield from self._resolve(
+            client, path, want_parent=True
+        )
+        if inode is not None:
+            raise FileExists(path)
+        child = self.inodes.allocate(FileType.DIRECTORY, self.env_now())
+        child.nlink = 2
+        self._dirs[child.ino] = DirectoryData(self.block_size)
+        yield from self._link(client, parent, name, child)
+        return child.ino
+
+    def create(self, client: int, path: str):
+        """Create an empty regular file; returns its inode number."""
+        self._count("create")
+        inode, parent, name = yield from self._resolve(
+            client, path, want_parent=True
+        )
+        if inode is not None:
+            raise FileExists(path)
+        child = self.inodes.allocate(FileType.FILE, self.env_now())
+        yield from self._link(client, parent, name, child)
+        return child.ino
+
+    def _link(self, client: int, parent: Inode, name: str, child: Inode):
+        data = self._dir_data(parent)
+        pos = data.add(name, child.ino)
+        dir_block = yield from self._dir_block_for_entry(client, parent, pos)
+        yield from self.dev.write_block(client, dir_block)
+        parent.size = len(data) * 32
+        parent.mtime = self.env_now()
+        yield from self._write_inode(client, parent.ino)
+        yield from self._write_inode(client, child.ino)
+
+    def write_file(self, client: int, path: str, nbytes: int,
+                   truncate: bool = True):
+        """Write ``nbytes`` to a file (replacing contents by default)."""
+        self._count("write_file")
+        inode, _parent, _ = yield from self._resolve(client, path)
+        if inode.is_dir:
+            raise IsADirectory(path)
+        if truncate and inode.size:
+            freed = inode.truncate_blocks()
+            if freed:
+                self.alloc.free(freed)
+                yield from self._charge_alloc(client, freed)
+        bs = self.block_size
+        need = -(-nbytes // bs) if nbytes else 0
+        have = len(inode.block_list())
+        if need > have:
+            fresh = self.alloc.allocate(need - have)
+            yield from self._charge_alloc(client, fresh)
+            if inode.needs_indirect(need) and inode.indirect_block is None:
+                ib = self.alloc.allocate(1)
+                inode.indirect_block = ib[0]
+                yield from self._charge_alloc(client, ib)
+            inode.attach_blocks(fresh)
+        if inode.indirect_block is not None:
+            yield from self.dev.write_block(client, inode.indirect_block)
+        # Data writes with a bounded write-behind window.
+        yield from self._data_io(client, "write", inode, nbytes)
+        inode.size = nbytes if truncate else max(inode.size, nbytes)
+        inode.mtime = self.env_now()
+        yield from self._write_inode(client, inode.ino)
+        return nbytes
+
+    def read_file(self, client: int, path: str):
+        """Read a whole file; returns its size."""
+        self._count("read_file")
+        inode, _parent, _ = yield from self._resolve(client, path)
+        if inode.is_dir:
+            raise IsADirectory(path)
+        if inode.indirect_block is not None:
+            yield from self.dev.read_block(client, inode.indirect_block)
+        yield from self._data_io(client, "read", inode, inode.size)
+        return inode.size
+
+    def _data_io(self, client: int, op: str, inode: Inode, nbytes: int):
+        bs = self.block_size
+        blocks = inode.block_list()
+        remaining = nbytes
+        inflight: List = []
+        env = self.cluster.env
+        for b in blocks:
+            if remaining <= 0:
+                break
+            take = min(bs, remaining)
+            remaining -= take
+            if op == "read":
+                ev = env.process(self.dev.read_block(client, b, take))
+            else:
+                ev = env.process(self.dev.write_block(client, b, take))
+            inflight.append(ev)
+            if len(inflight) >= self.config.data_queue_depth:
+                yield inflight.pop(0)
+        for ev in inflight:
+            yield ev
+
+    def stat(self, client: int, path: str):
+        """Return a :class:`StatResult` for ``path``."""
+        self._count("stat")
+        inode, _parent, _ = yield from self._resolve(client, path)
+        return StatResult(
+            ino=inode.ino,
+            type=inode.type,
+            size=inode.size,
+            nlink=inode.nlink,
+            mtime=inode.mtime,
+        )
+
+    def readdir(self, client: int, path: str):
+        """List a directory; returns the entry names."""
+        self._count("readdir")
+        inode, _parent, _ = yield from self._resolve(client, path)
+        data = self._dir_data(inode)
+        for b in inode.block_list():
+            yield from self.dev.read_block(client, b)
+        return data.names()
+
+    def unlink(self, client: int, path: str):
+        """Remove a file (directories use :meth:`rmdir`)."""
+        self._count("unlink")
+        inode, parent, name = yield from self._resolve(client, path)
+        if inode.is_dir:
+            raise IsADirectory(path)
+        yield from self._unlink_common(client, parent, name, inode)
+
+    def rmdir(self, client: int, path: str):
+        """Remove an empty directory."""
+        self._count("rmdir")
+        inode, parent, name = yield from self._resolve(client, path)
+        if not inode.is_dir:
+            raise NotADirectory(path)
+        if len(self._dir_data(inode)):
+            raise FileSystemError(f"directory not empty: {path}")
+        del self._dirs[inode.ino]
+        yield from self._unlink_common(client, parent, name, inode)
+
+    def _unlink_common(self, client, parent: Inode, name: str, inode: Inode):
+        if parent is None:
+            raise FileSystemError("cannot remove the root directory")
+        data = self._dir_data(parent)
+        data.remove(name)
+        blocks = parent.block_list()
+        if blocks:
+            yield from self.dev.write_block(client, blocks[0])
+        freed = inode.truncate_blocks()
+        if freed:
+            self.alloc.free(freed)
+            yield from self._charge_alloc(client, freed)
+        self.inodes.release(inode.ino)
+        yield from self._write_inode(client, inode.ino)
+        parent.mtime = self.env_now()
+        yield from self._write_inode(client, parent.ino)
+
+    def rename(self, client: int, src: str, dst: str):
+        """Move/rename a file or directory (fails if ``dst`` exists)."""
+        self._count("rename")
+        inode, src_parent, src_name = yield from self._resolve(client, src)
+        if src_parent is None:
+            raise FileSystemError("cannot rename the root directory")
+        existing, dst_parent, dst_name = yield from self._resolve(
+            client, dst, want_parent=True
+        )
+        if existing is not None:
+            raise FileExists(dst)
+        if inode.is_dir and dst.startswith(src.rstrip("/") + "/"):
+            raise FileSystemError("cannot move a directory into itself")
+        # Drop the old entry, add the new one; charge one directory
+        # block write at each end plus the parents' inode updates.
+        self._dir_data(src_parent).remove(src_name)
+        src_blocks = src_parent.block_list()
+        if src_blocks:
+            yield from self.dev.write_block(client, src_blocks[0])
+        data = self._dir_data(dst_parent)
+        pos = data.add(dst_name, inode.ino)
+        dir_block = yield from self._dir_block_for_entry(
+            client, dst_parent, pos
+        )
+        yield from self.dev.write_block(client, dir_block)
+        now = self.env_now()
+        src_parent.mtime = now
+        dst_parent.mtime = now
+        yield from self._write_inode(client, src_parent.ino)
+        if dst_parent.ino != src_parent.ino:
+            yield from self._write_inode(client, dst_parent.ino)
+
+    def exists(self, client: int, path: str):
+        """True if ``path`` resolves (charges the lookup I/O)."""
+        try:
+            yield from self._resolve(client, path)
+            return True
+        except FileNotFound:
+            return False
+
+    # -- misc ---------------------------------------------------------------
+    def env_now(self) -> float:
+        return self.cluster.env.now
+
+    def op_counts(self) -> Dict[str, int]:
+        return dict(self.ops)

@@ -1,0 +1,123 @@
+"""Inodes and the on-disk inode table."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+from repro.errors import FileSystemError, NoSpaceError
+
+#: On-disk inode footprint (drives inode-table block addressing).
+INODE_BYTES = 128
+#: Direct block pointers per inode; larger files use one indirect block.
+N_DIRECT = 12
+
+
+class FileType(str, Enum):
+    FILE = "file"
+    DIRECTORY = "dir"
+
+
+@dataclass
+class Inode:
+    """An in-memory inode; block layout mirrors a classic Unix FS."""
+
+    ino: int
+    type: FileType
+    size: int = 0
+    nlink: int = 1
+    direct: List[int] = field(default_factory=list)
+    indirect_block: Optional[int] = None
+    indirect: List[int] = field(default_factory=list)
+    ctime: float = 0.0
+    mtime: float = 0.0
+
+    @property
+    def is_dir(self) -> bool:
+        return self.type is FileType.DIRECTORY
+
+    def block_list(self) -> List[int]:
+        """All data blocks of the file, in order."""
+        return list(self.direct) + list(self.indirect)
+
+    def nth_block(self, idx: int) -> int:
+        blocks = self.block_list()
+        if not 0 <= idx < len(blocks):
+            raise FileSystemError(
+                f"inode {self.ino}: block index {idx} out of range"
+            )
+        return blocks[idx]
+
+    def needs_indirect(self, n_blocks: int) -> bool:
+        return n_blocks > N_DIRECT
+
+    def attach_blocks(self, blocks: List[int]) -> None:
+        """Append data blocks, spilling past N_DIRECT into the indirect
+        list (the indirect *pointer block* itself is allocated by the FS)."""
+        for b in blocks:
+            if len(self.direct) < N_DIRECT:
+                self.direct.append(b)
+            else:
+                self.indirect.append(b)
+
+    def truncate_blocks(self) -> List[int]:
+        """Drop all data blocks; returns them for deallocation."""
+        freed = self.block_list()
+        if self.indirect_block is not None:
+            freed.append(self.indirect_block)
+        self.direct = []
+        self.indirect = []
+        self.indirect_block = None
+        self.size = 0
+        return freed
+
+
+class InodeTable:
+    """Fixed-size inode array with on-disk block addressing."""
+
+    def __init__(self, first_block: int, n_inodes: int, block_size: int):
+        if n_inodes <= 0:
+            raise ValueError("need at least one inode")
+        self.first_block = first_block
+        self.n_inodes = n_inodes
+        self.inodes_per_block = max(1, block_size // INODE_BYTES)
+        self._table: dict[int, Inode] = {}
+        self._next = 0
+
+    @property
+    def n_blocks(self) -> int:
+        """Blocks the table occupies on disk."""
+        return -(-self.n_inodes // self.inodes_per_block)
+
+    def block_of(self, ino: int) -> int:
+        """The FS block holding inode ``ino``."""
+        if not 0 <= ino < self.n_inodes:
+            raise FileSystemError(f"inode {ino} out of range")
+        return self.first_block + ino // self.inodes_per_block
+
+    def allocate(self, type: FileType, now: float) -> Inode:
+        """Create a fresh inode."""
+        start = self._next
+        for probe in range(self.n_inodes):
+            ino = (start + probe) % self.n_inodes
+            if ino not in self._table:
+                inode = Inode(ino=ino, type=type, ctime=now, mtime=now)
+                self._table[ino] = inode
+                self._next = (ino + 1) % self.n_inodes
+                return inode
+        raise NoSpaceError("inode table full")
+
+    def get(self, ino: int) -> Inode:
+        try:
+            return self._table[ino]
+        except KeyError:
+            raise FileSystemError(f"stale inode {ino}") from None
+
+    def release(self, ino: int) -> None:
+        if ino not in self._table:
+            raise FileSystemError(f"double release of inode {ino}")
+        del self._table[ino]
+
+    def __len__(self) -> int:
+        return len(self._table)

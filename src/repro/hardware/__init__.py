@@ -1,0 +1,25 @@
+"""Hardware models: disks, buses, NICs, switched fabric, CPUs, nodes.
+
+Everything here is architecture-agnostic — RAID layouts and the CDD
+protocol are layered on top (``repro.raid``, ``repro.cluster``).  The
+models are calibrated to the USC Trojans cluster (see
+:func:`repro.config.trojans_cluster` and DESIGN.md §6.2).
+"""
+
+from repro.hardware.disk import Disk, DiskRequest, DiskStats
+from repro.hardware.scsi import ScsiBus
+from repro.hardware.nic import Nic
+from repro.hardware.network import Network
+from repro.hardware.cpu import Cpu
+from repro.hardware.node import Node
+
+__all__ = [
+    "Cpu",
+    "Disk",
+    "DiskRequest",
+    "DiskStats",
+    "Network",
+    "Nic",
+    "Node",
+    "ScsiBus",
+]

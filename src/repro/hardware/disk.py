@@ -1,0 +1,246 @@
+"""Mechanical disk model.
+
+Service time for a request at byte offset ``o`` of size ``s``::
+
+    controller + seek(|o - head|) + rotation + s / media_rate
+
+where seek and rotation are skipped when the request continues a
+sequential run (within ``sequential_window_bytes`` ahead of the head).
+Seek time interpolates between track-to-track and full-stroke with the
+usual square-root profile.
+
+Requests are served one at a time by a server process; the queue
+discipline is pluggable (see :mod:`repro.io.scheduler`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.config import DiskParams
+from repro.errors import AddressError, DiskFailedError
+from repro.sim.core import Environment
+from repro.sim.events import Event
+from repro.sim.resources import Store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.io.scheduler import DiskScheduler
+
+
+@dataclass
+class DiskStats:
+    """Cumulative per-disk accounting."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+    busy_time: float = 0.0
+    #: Busy time split by priority class: foreground (class 0) vs
+    #: background (e.g. RAID-x image flushes) — background work has
+    #: slack, so only the foreground share sits on the critical path.
+    busy_time_foreground: float = 0.0
+    busy_time_background: float = 0.0
+    seek_time: float = 0.0
+    rotation_time: float = 0.0
+    transfer_time: float = 0.0
+    sequential_hits: int = 0
+
+    @property
+    def total_ops(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def total_bytes(self) -> float:
+        return self.bytes_read + self.bytes_written
+
+
+@dataclass
+class DiskRequest:
+    """One disk operation; ``done`` triggers with the service time."""
+
+    op: str  # "read" | "write"
+    offset: int  # byte offset on this disk
+    nbytes: int
+    done: Event = field(repr=False, default=None)  # type: ignore[assignment]
+    submitted_at: float = 0.0
+    #: Scheduling priority: lower values served first when the queue
+    #: discipline honours priorities (background mirror flushes use >0).
+    priority: int = 0
+
+    def validate(self, capacity: int) -> None:
+        if self.op not in ("read", "write"):
+            raise ValueError(f"bad disk op {self.op!r}")
+        if self.nbytes < 0:
+            raise ValueError("negative request size")
+        if self.offset < 0 or self.offset + self.nbytes > capacity:
+            raise AddressError(
+                f"request [{self.offset}, {self.offset + self.nbytes}) "
+                f"outside disk of {capacity} bytes"
+            )
+
+
+class Disk:
+    """A single simulated disk with its own server process."""
+
+    def __init__(
+        self,
+        env: Environment,
+        params: Optional[DiskParams] = None,
+        disk_id: int = 0,
+        scheduler: Optional["DiskScheduler"] = None,
+        name: str = "",
+    ):
+        from repro.io.scheduler import FifoScheduler
+
+        self.env = env
+        self.params = params or DiskParams()
+        self.disk_id = disk_id
+        self.name = name or f"disk{disk_id}"
+        # NB: "scheduler or ..." would discard a custom scheduler — an
+        # empty DiskScheduler is falsy because it defines __len__.
+        self.scheduler = scheduler if scheduler is not None else FifoScheduler()
+        self.stats = DiskStats()
+        self.failed = False
+        #: Current head position (byte offset).
+        self._head = 0
+        #: End of the last completed request, for sequential detection.
+        self._last_end = 0
+        self._inbox: Store = Store(env)
+        self._pending = 0
+        self._server = env.process(self._serve())
+
+    # -- public API ------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self.params.capacity_bytes
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests submitted but not yet completed."""
+        return self._pending
+
+    def submit(
+        self, op: str, offset: int, nbytes: int, priority: int = 0
+    ) -> Event:
+        """Queue a request; returns the completion event.
+
+        The event fails with :class:`DiskFailedError` if the disk is (or
+        becomes) failed before the request is served.
+        """
+        req = DiskRequest(
+            op=op,
+            offset=offset,
+            nbytes=nbytes,
+            done=self.env.event(),
+            submitted_at=self.env.now,
+            priority=priority,
+        )
+        req.validate(self.capacity)
+        if self.failed:
+            req.done.fail(DiskFailedError(self.disk_id))
+            return req.done
+        self._pending += 1
+        self._inbox.put(req)
+        return req.done
+
+    def read(self, offset: int, nbytes: int, priority: int = 0) -> Event:
+        """Shorthand for a read request."""
+        return self.submit("read", offset, nbytes, priority)
+
+    def write(self, offset: int, nbytes: int, priority: int = 0) -> Event:
+        """Shorthand for a write request."""
+        return self.submit("write", offset, nbytes, priority)
+
+    def fail(self) -> None:
+        """Mark the disk failed; subsequent and queued requests error."""
+        self.failed = True
+
+    def repair(self) -> None:
+        """Bring a failed disk back (contents considered rebuilt)."""
+        self.failed = False
+
+    def utilization(self) -> float:
+        """Busy fraction since simulation start."""
+        if self.env.now <= 0:
+            return 0.0
+        return min(1.0, self.stats.busy_time / self.env.now)
+
+    # -- service model -----------------------------------------------------
+    def seek_time(self, distance_bytes: int) -> float:
+        """Seek time for a head movement of ``distance_bytes``.
+
+        Square-root interpolation between track-to-track and full-stroke,
+        the standard fit for mechanical arms.
+        """
+        if distance_bytes <= 0:
+            return 0.0
+        p = self.params
+        frac = min(1.0, distance_bytes / p.capacity_bytes)
+        return p.track_to_track_seek_s + (
+            p.full_stroke_seek_s - p.track_to_track_seek_s
+        ) * math.sqrt(frac)
+
+    def service_time(self, req: DiskRequest) -> tuple:
+        """(seek, rotation, transfer) components for ``req`` now."""
+        p = self.params
+        sequential = (
+            req.offset >= self._last_end
+            and req.offset - self._last_end < p.sequential_window_bytes
+        )
+        if sequential:
+            seek = 0.0
+            rot = 0.0
+        else:
+            seek = self.seek_time(abs(req.offset - self._head))
+            rot = p.avg_rotation_s
+        xfer = req.nbytes / p.media_rate
+        return seek, rot, xfer
+
+    def _serve(self):
+        sched = self.scheduler
+        while True:
+            # Refill the scheduler from the inbox; block when idle.
+            if sched.empty():
+                req = yield self._inbox.get()
+                sched.push(req)
+            while len(self._inbox) > 0:
+                sched.push(self._inbox.items.pop(0))
+
+            req = sched.pop(head=self._head)
+            if self.failed:
+                self._pending -= 1
+                req.done.fail(DiskFailedError(self.disk_id))
+                continue
+
+            seek, rot, xfer = self.service_time(req)
+            service = self.params.controller_overhead_s + seek + rot + xfer
+            yield self.env.timeout(service)
+
+            st = self.stats
+            st.busy_time += service
+            if req.priority == 0:
+                st.busy_time_foreground += service
+            else:
+                st.busy_time_background += service
+            st.seek_time += seek
+            st.rotation_time += rot
+            st.transfer_time += xfer
+            if seek == 0.0 and rot == 0.0:
+                st.sequential_hits += 1
+            if req.op == "read":
+                st.reads += 1
+                st.bytes_read += req.nbytes
+            else:
+                st.writes += 1
+                st.bytes_written += req.nbytes
+
+            self._head = req.offset + req.nbytes
+            self._last_end = self._head
+            self._pending -= 1
+            if self.failed:
+                req.done.fail(DiskFailedError(self.disk_id))
+            else:
+                req.done.succeed(service)

@@ -1,0 +1,20 @@
+"""I/O path helpers: request objects and per-disk queue disciplines."""
+
+from repro.io.request import IORequest, split_into_blocks
+from repro.io.scheduler import (
+    DiskScheduler,
+    FifoScheduler,
+    LookScheduler,
+    SstfScheduler,
+    make_scheduler,
+)
+
+__all__ = [
+    "DiskScheduler",
+    "FifoScheduler",
+    "IORequest",
+    "LookScheduler",
+    "SstfScheduler",
+    "make_scheduler",
+    "split_into_blocks",
+]

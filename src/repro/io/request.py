@@ -1,0 +1,63 @@
+"""Logical I/O requests against the single I/O space.
+
+A client issues an :class:`IORequest` over a *global* byte range of the
+virtual disk; the RAID layout maps it to per-disk block operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple
+
+
+@dataclass(frozen=True)
+class IORequest:
+    """A logical read or write over the global virtual-disk address space."""
+
+    op: str  # "read" | "write"
+    offset: int  # global byte offset
+    nbytes: int
+    client_node: int = 0
+
+    def __post_init__(self) -> None:
+        if self.op not in ("read", "write"):
+            raise ValueError(f"bad op {self.op!r}")
+        if self.offset < 0 or self.nbytes < 0:
+            raise ValueError("negative offset or size")
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.nbytes
+
+
+def split_into_blocks(
+    offset: int, nbytes: int, block_size: int
+) -> List[Tuple[int, int, int]]:
+    """Split a byte range into (block_index, intra_offset, length) pieces.
+
+    Pieces never cross block boundaries; partial first/last blocks are
+    represented by a non-zero ``intra_offset`` / short ``length``.
+    """
+    if block_size <= 0:
+        raise ValueError("block_size must be positive")
+    if nbytes < 0:
+        raise ValueError("negative size")
+    out: List[Tuple[int, int, int]] = []
+    pos = offset
+    end = offset + nbytes
+    while pos < end:
+        block = pos // block_size
+        intra = pos - block * block_size
+        take = min(block_size - intra, end - pos)
+        out.append((block, intra, take))
+        pos += take
+    return out
+
+
+def block_span(offset: int, nbytes: int, block_size: int) -> range:
+    """The range of block indices a byte range touches."""
+    if nbytes <= 0:
+        return range(0)
+    first = offset // block_size
+    last = (offset + nbytes - 1) // block_size
+    return range(first, last + 1)

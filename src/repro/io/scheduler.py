@@ -1,0 +1,110 @@
+"""Per-disk queue disciplines.
+
+The disk's server process pulls the next request through one of these
+policies.  All of them serve *priority class 0 before class 1* (class 1
+is RAID-x's background mirror traffic — the paper's "images updated at
+the background"), applying their geometric policy within a class.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.hardware.disk import DiskRequest
+
+
+class DiskScheduler:
+    """Interface: a mutable bag of pending requests with a pop policy."""
+
+    def __init__(self) -> None:
+        self._queues: dict[int, List[DiskRequest]] = {}
+        self._count = 0
+
+    def push(self, req: DiskRequest) -> None:
+        """Add a request to the pending set."""
+        self._queues.setdefault(req.priority, []).append(req)
+        self._count += 1
+
+    def empty(self) -> bool:
+        return self._count == 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def pop(self, head: int) -> DiskRequest:
+        """Remove and return the next request given the head position."""
+        if self._count == 0:
+            raise IndexError("pop from empty scheduler")
+        cls = min(k for k, q in self._queues.items() if q)
+        queue = self._queues[cls]
+        idx = self._select(queue, head)
+        self._count -= 1
+        return queue.pop(idx)
+
+    def _select(self, queue: List[DiskRequest], head: int) -> int:
+        raise NotImplementedError
+
+
+class FifoScheduler(DiskScheduler):
+    """First-come, first-served within a priority class."""
+
+    def _select(self, queue: List[DiskRequest], head: int) -> int:
+        return 0
+
+
+class SstfScheduler(DiskScheduler):
+    """Shortest-seek-time-first: nearest offset to the head wins."""
+
+    def _select(self, queue: List[DiskRequest], head: int) -> int:
+        best, best_d = 0, None
+        for i, req in enumerate(queue):
+            d = abs(req.offset - head)
+            if best_d is None or d < best_d:
+                best, best_d = i, d
+        return best
+
+
+class LookScheduler(DiskScheduler):
+    """Elevator (LOOK): sweep upward, reverse at the last request."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._direction = 1
+
+    def _select(self, queue: List[DiskRequest], head: int) -> int:
+        def candidates(direction: int):
+            return [
+                (i, req.offset)
+                for i, req in enumerate(queue)
+                if (req.offset - head) * direction >= 0
+            ]
+
+        ahead = candidates(self._direction)
+        if not ahead:
+            self._direction = -self._direction
+            ahead = candidates(self._direction)
+        # Nearest in the sweep direction.
+        best_i, _ = min(ahead, key=lambda t: abs(t[1] - head))
+        return best_i
+
+
+_POLICIES = {
+    "fifo": FifoScheduler,
+    "fcfs": FifoScheduler,
+    "sstf": SstfScheduler,
+    "look": LookScheduler,
+    "elevator": LookScheduler,
+}
+
+
+def make_scheduler(policy: Optional[str]) -> DiskScheduler:
+    """Instantiate a scheduler by name (default FIFO)."""
+    if policy is None:
+        return FifoScheduler()
+    try:
+        return _POLICIES[policy.lower()]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler policy {policy!r}; "
+            f"choose from {sorted(set(_POLICIES))}"
+        ) from None

@@ -1,0 +1,74 @@
+"""RAID layouts: block-placement geometry for five architectures.
+
+Each layout is *pure geometry* — a mapping from logical data blocks to
+physical ``(disk, byte offset)`` placements for data and redundancy —
+plus fault-coverage predicates.  The I/O protocols that act on the
+geometry (foreground/background mirroring, read-modify-write parity,
+degraded reads) live in :mod:`repro.cluster.systems`.
+"""
+
+from repro.raid.layout import Layout, Placement
+from repro.raid.raid0 import Raid0Layout
+from repro.raid.raid5 import Raid5Layout
+from repro.raid.raid10 import Raid10Layout
+from repro.raid.chained import ChainedDeclusteringLayout
+from repro.raid.raidx import RaidxLayout
+from repro.raid.geometry import reconfigure, valid_geometries
+from repro.raid.mirror_policy import MirrorPolicy
+from repro.raid.reconstruct import (
+    RebuildResult,
+    RebuildStep,
+    execute_rebuild,
+    plan_rebuild,
+)
+from repro.raid.migrate import (
+    MigrationPlan,
+    MigrationResult,
+    Move,
+    execute_migration,
+    migration_plan,
+)
+
+LAYOUTS = {
+    "raid0": Raid0Layout,
+    "raid5": Raid5Layout,
+    "raid10": Raid10Layout,
+    "chained": ChainedDeclusteringLayout,
+    "raidx": RaidxLayout,
+}
+
+
+def make_layout(name: str, **kwargs) -> Layout:
+    """Instantiate a layout by architecture name."""
+    try:
+        cls = LAYOUTS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown layout {name!r}; choose from {sorted(LAYOUTS)}"
+        ) from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "ChainedDeclusteringLayout",
+    "LAYOUTS",
+    "Layout",
+    "MirrorPolicy",
+    "Placement",
+    "Raid0Layout",
+    "Raid10Layout",
+    "Raid5Layout",
+    "RaidxLayout",
+    "make_layout",
+    "migration_plan",
+    "execute_migration",
+    "MigrationPlan",
+    "MigrationResult",
+    "Move",
+    "plan_rebuild",
+    "execute_rebuild",
+    "RebuildResult",
+    "RebuildStep",
+    "reconfigure",
+    "valid_geometries",
+]

@@ -1,0 +1,45 @@
+"""n × k geometry helpers and array reconfiguration.
+
+The paper (§6) notes the 4×3 layout "can be reconfigured from a 4×3
+array to a 6×2 array, if pipelined access shows less advantage" — the
+trade-off between stripe parallelism (n) and pipeline depth (k).  These
+helpers enumerate the valid factorizations of a disk count and rebuild a
+layout under a new (n, k).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.raid.layout import Layout
+
+
+def valid_geometries(
+    n_disks: int, min_width: int = 3
+) -> List[Tuple[int, int]]:
+    """All (n, k) with n·k == n_disks and n >= min_width, widest first."""
+    out = []
+    for n in range(n_disks, min_width - 1, -1):
+        if n_disks % n == 0:
+            out.append((n, n_disks // n))
+    return out
+
+
+def reconfigure(layout: Layout, n: int, k: int) -> Layout:
+    """Rebuild ``layout`` with stripe width n and depth k (same disks).
+
+    This is a *geometry* operation: it returns a new layout object; data
+    migration cost is modeled by the checkpoint/rebuild machinery, not
+    here.
+    """
+    if n * k != layout.n_disks:
+        raise ConfigurationError(
+            f"{n}x{k} does not cover {layout.n_disks} disks"
+        )
+    return type(layout)(
+        n_disks=layout.n_disks,
+        block_size=layout.block_size,
+        disk_capacity=layout.disk_capacity,
+        stripe_width=n,
+    )

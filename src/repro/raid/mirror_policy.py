@@ -1,0 +1,35 @@
+"""Mirror-update policies for RAID-x.
+
+The paper's OSM updates images "simultaneously at the background"; the
+ablation benchmark A1 compares that against a foreground (synchronous)
+variant to quantify how much of RAID-x's write advantage comes from
+deferral versus from clustering.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class MirrorPolicy(str, Enum):
+    """When image writes complete relative to the client's write."""
+
+    #: Paper's OSM: client write returns after data blocks land; images
+    #: are flushed by a background daemon at low disk priority.
+    BACKGROUND = "background"
+    #: Synchronous variant: the write waits for images too (RAID-10-like
+    #: latency but keeps OSM's clustered long image writes).
+    FOREGROUND = "foreground"
+
+    @classmethod
+    def parse(cls, value) -> "MirrorPolicy":
+        """Accept enum instances or their string values."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError:
+            raise ValueError(
+                f"unknown mirror policy {value!r}; "
+                f"choose from {[m.value for m in cls]}"
+            ) from None

@@ -1,0 +1,190 @@
+"""RAID-x: orthogonal striping and mirroring (OSM) — the paper's §2.
+
+Geometry for an ``n × k`` array (n nodes = stripe width, k disks per
+node = pipeline depth, D = nk disks total):
+
+* **Data** stripes RAID-0-style across *all* D disks in the order
+  D0, D1, …, D(D-1): block ``i`` → disk ``i mod D``, data row ``i // D``
+  (top half of every disk), exactly as in the paper's Fig. 3.
+* **Mirroring** is confined to each *disk group* of n disks (disks
+  ``[cn, (c+1)n)`` — one disk per node, the unit of stripe parallelism).
+  Within group ``c``, the group's data blocks in address order get local
+  indices ℓ = 0, 1, 2, …; each run of ``n-1`` consecutive indices forms
+  a **mirror group** whose images are *clustered* — stored as one long
+  (n-1)-block sequential extent — on the single image disk
+
+      image_disk(g) = c·n + ((g+1)·(n-1)) mod n
+
+  in the bottom half of the disk.  Since ``gcd(n-1, n) = 1`` the image
+  disk cycles through all n disks of the group (load balance), and the
+  congruence ``p ≡ n-1 (mod n)`` is unsatisfiable for in-group positions
+  ``p ≤ n-2``, so **no image ever shares a disk with its data block**
+  (orthogonality — verified by property tests).
+
+Consequences reproduced from the paper:
+
+* the images of one n-block stripe group land on exactly two disks;
+* a full-stripe write issues n parallel foreground block writes plus
+  two long background image writes — no read-modify-write ever;
+* one disk failure per disk group is survivable (``k`` failures total
+  for an n×k array — the paper's "up to 3 failures in 3 stripe groups"
+  for the 4×3 configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.errors import ConfigurationError
+from repro.raid.layout import Layout, Placement
+
+
+@dataclass(frozen=True)
+class MirrorGroup:
+    """One clustered image extent: ``n-1`` consecutive blocks of a disk
+    group, stored as a single long block on ``image_disk``."""
+
+    group_id: int  # global id: (disk_group, local_group) flattened
+    disk_group: int
+    image_disk: int
+    image_offset: int  # byte offset of the extent start
+    blocks: tuple  # logical data blocks, in image order
+
+    @property
+    def nbytes_per_block(self) -> int:  # pragma: no cover - helper
+        return 0
+
+
+class RaidxLayout(Layout):
+    """Orthogonal striping and mirroring over an n × k disk array."""
+
+    name = "raidx"
+
+    def __init__(
+        self,
+        n_disks: int,
+        block_size: int,
+        disk_capacity: int,
+        stripe_width: int | None = None,
+    ):
+        super().__init__(n_disks, block_size, disk_capacity, stripe_width)
+        self.n = self.stripe_width
+        self.k = n_disks // self.n
+        if self.n < 3:
+            raise ConfigurationError(
+                "RAID-x needs stripe width >= 3 (n-1 >= 2 blocks per "
+                "mirror group)"
+            )
+
+    # -- capacity ----------------------------------------------------------
+    @property
+    def data_rows(self) -> int:
+        return self.rows // 2
+
+    @property
+    def data_blocks(self) -> int:
+        return self.data_rows * self.n_disks
+
+    @property
+    def mirror_base(self) -> int:
+        """Byte offset where the clustered-image region starts."""
+        return self.data_rows * self.block_size
+
+    # -- data placement ----------------------------------------------------
+    def data_location(self, block: int) -> Placement:
+        self.check_block(block)
+        disk = block % self.n_disks
+        row = block // self.n_disks
+        return Placement(disk, row * self.block_size)
+
+    # -- mirror placement ----------------------------------------------------
+    def _group_local_index(self, block: int) -> tuple:
+        """(disk_group c, local index ℓ) of a data block within its group."""
+        D = self.n_disks
+        disk = block % D
+        c = disk // self.n
+        q = block // D
+        r = disk - c * self.n
+        return c, q * self.n + r
+
+    def _local_block(self, c: int, ell: int) -> int:
+        """Inverse of :meth:`_group_local_index`."""
+        q, r = divmod(ell, self.n)
+        return q * self.n_disks + c * self.n + r
+
+    def mirror_group_of(self, block: int) -> MirrorGroup:
+        """The mirror group (clustered image extent) containing ``block``."""
+        self.check_block(block)
+        n = self.n
+        c, ell = self._group_local_index(block)
+        g, _p = divmod(ell, n - 1)
+        image_local = ((g + 1) * (n - 1)) % n
+        image_disk = c * n + image_local
+        image_row = (g // n) * (n - 1)
+        blocks = tuple(
+            self._local_block(c, g * (n - 1) + j)
+            for j in range(n - 1)
+            if g * (n - 1) + j < self._local_blocks_in_group()
+        )
+        return MirrorGroup(
+            group_id=c * self._groups_per_disk_group() + g,
+            disk_group=c,
+            image_disk=image_disk,
+            image_offset=self.mirror_base + image_row * self.block_size,
+            blocks=blocks,
+        )
+
+    def _local_blocks_in_group(self) -> int:
+        return self.data_rows * self.n
+
+    def _groups_per_disk_group(self) -> int:
+        n = self.n
+        return (self._local_blocks_in_group() + n - 2) // (n - 1)
+
+    def redundancy_locations(self, block: int) -> List[Placement]:
+        mg = self.mirror_group_of(block)
+        _c, ell = self._group_local_index(block)
+        p = ell % (self.n - 1)
+        return [Placement(mg.image_disk, mg.image_offset + p * self.block_size)]
+
+    # -- stripes -------------------------------------------------------------
+    def stripe_of(self, block: int) -> int:
+        self.check_block(block)
+        return block // self.n
+
+    def stripe_blocks(self, stripe: int) -> List[int]:
+        start = stripe * self.n
+        return [b for b in range(start, start + self.n) if b < self.data_blocks]
+
+    def stripe_image_disks(self, stripe: int) -> List[int]:
+        """The (at most two) disks carrying the stripe group's images."""
+        disks = []
+        for b in self.stripe_blocks(stripe):
+            d = self.mirror_group_of(b).image_disk
+            if d not in disks:
+                disks.append(d)
+        return disks
+
+    # -- fault model -----------------------------------------------------
+    def tolerates(self, failed: Iterable[int]) -> bool:
+        """Survivable iff no disk group has two failed disks.
+
+        Mirroring is confined to disk groups, and within a group every
+        ordered disk pair (data, image) is realized by some mirror group,
+        so two failures in one group always lose data while failures in
+        distinct groups never conflict.
+        """
+        failed = set(failed)
+        if any(not 0 <= d < self.n_disks for d in failed):
+            return False
+        per_group: dict[int, int] = {}
+        for d in failed:
+            c = d // self.n
+            per_group[c] = per_group.get(c, 0) + 1
+            if per_group[c] > 1:
+                return False
+        return True
+
+    def max_fault_coverage(self) -> int:
+        return self.k

@@ -1,0 +1,263 @@
+"""Environment and Process: the heart of the simulation kernel.
+
+The :class:`Environment` owns simulated time and the event heap.  A
+:class:`Process` wraps a generator; every value the generator yields must
+be an :class:`~repro.sim.events.Event`, and the process resumes when that
+event is processed, receiving the event's value at the ``yield``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, Optional
+
+from repro.sim.events import (
+    _NORMAL,
+    _PENDING,
+    AllOf,
+    AnyOf,
+    Event,
+    Initialize,
+    Interruption,
+    Timeout,
+)
+
+
+class SimulationError(Exception):
+    """An unrecoverable error inside the simulation kernel."""
+
+
+class EmptySchedule(Exception):
+    """Internal: the event queue has drained."""
+
+
+class StopProcess(Exception):
+    """Internal carrier for a process's return value (legacy exit path)."""
+
+    def __init__(self, value: Any):
+        super().__init__(value)
+        self.value = value
+
+
+class Environment:
+    """A simulation environment: clock plus event queue.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of :attr:`now` (seconds by convention).
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list = []  # heap of (time, priority, seq, event)
+        self._seq = count()
+        self._active_process: Optional[Process] = None
+
+    # -- clock & introspection -----------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional["Process"]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    # -- event factories -------------------------------------------------
+    def event(self) -> Event:
+        """Create a new pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event triggering ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> "Process":
+        """Start ``generator`` as a new simulation process."""
+        return Process(self, generator)
+
+    def all_of(self, events) -> AllOf:
+        """Event triggering when all ``events`` have triggered."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        """Event triggering when any of ``events`` has triggered."""
+        return AnyOf(self, events)
+
+    # -- scheduling ------------------------------------------------------
+    def schedule(
+        self, event: Event, priority: int = _NORMAL, delay: float = 0.0
+    ) -> None:
+        """Queue ``event`` for processing ``delay`` time units from now."""
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._seq), event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event (advancing the clock)."""
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:  # pragma: no cover - defensive
+            return
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            exc = event._value
+            raise SimulationError(
+                f"unhandled failure of {event!r}: {exc!r}"
+            ) from exc
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the queue drains), a number
+        (run until that simulated time), or an :class:`Event` (run until
+        it is processed, returning its value).
+        """
+        stop: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop = until
+                if stop.callbacks is None:  # already processed
+                    return stop._value
+            else:
+                at = float(until)
+                if at < self._now:
+                    raise ValueError(
+                        f"until={at} lies in the past (now={self._now})"
+                    )
+                stop = Event(self)
+                # Trigger just before any event at exactly `at` runs.
+                stop._ok = True
+                stop._value = None
+                heapq.heappush(
+                    self._queue, (at, _NORMAL - 1, next(self._seq), stop)
+                )
+            stop.callbacks.append(_stop_callback)
+
+        try:
+            while True:
+                self.step()
+        except _StopSimulation as exc:
+            return exc.value
+        except EmptySchedule:
+            if stop is not None and not stop.triggered:
+                if isinstance(until, Event):
+                    raise SimulationError(
+                        "run(until=event): queue drained before the event "
+                        "triggered"
+                    ) from None
+            return None
+
+
+class _StopSimulation(Exception):
+    """Internal: raised by the stop-event callback to end :meth:`run`."""
+
+    def __init__(self, value: Any):
+        super().__init__(value)
+        self.value = value
+
+
+def _stop_callback(event: Event) -> None:
+    if event._ok:
+        raise _StopSimulation(event._value)
+    # The awaited event failed: surface its exception out of run().
+    event.defused()
+    raise event._value
+
+
+class Process(Event):
+    """A running simulation process.
+
+    A process is itself an event: it triggers when the generator returns,
+    with the generator's return value, so processes can wait on each
+    other simply by yielding them.
+    """
+
+    __slots__ = ("_generator", "_target")
+
+    def __init__(self, env: Environment, generator: Generator):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return self._value is _PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting on."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Raise :class:`Interrupt` inside the process at its yield point."""
+        Interruption(self, cause)
+
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        try:
+            while True:
+                try:
+                    if event._ok:
+                        next_event = self._generator.send(event._value)
+                    else:
+                        # The awaited event failed: deliver its exception.
+                        event.defused()
+                        next_event = self._generator.throw(event._value)
+                except (StopIteration, StopProcess) as exc:
+                    self._finish(exc.value)
+                    break
+                except BaseException as exc:
+                    # The generator itself raised (or re-raised): the
+                    # process fails with that exception as its outcome.
+                    self._fail_out(exc)
+                    break
+
+                if not isinstance(next_event, Event):
+                    self._fail_out(
+                        TypeError(
+                            f"process yielded a non-event: {next_event!r}"
+                        )
+                    )
+                    break
+
+                if next_event.callbacks is not None:
+                    # Pending or triggered-but-unprocessed: park here.
+                    next_event.callbacks.append(self._resume)
+                    self._target = next_event
+                    break
+                # Already processed: loop and deliver immediately.
+                event = next_event
+        finally:
+            self.env._active_process = None
+
+    def _finish(self, value: Any) -> None:
+        self._target = None
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+
+    def _fail_out(self, exc: BaseException) -> None:
+        self._target = None
+        self._ok = False
+        self._value = exc
+        self.env.schedule(self)

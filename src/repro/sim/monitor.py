@@ -1,0 +1,142 @@
+"""Measurement helpers: sample series and time-weighted statistics.
+
+The benchmark harness relies on these to compute aggregate bandwidth,
+utilization, and latency distributions without storing per-event logs
+larger than needed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.sim.core import Environment
+
+
+class Monitor:
+    """Collects (time, value) samples and summarizes them."""
+
+    def __init__(self, env: Environment, name: str = ""):
+        self.env = env
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def record(self, value: float) -> None:
+        """Sample ``value`` at the current simulated time."""
+        self.times.append(self.env.now)
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    # -- summaries -------------------------------------------------------
+    def mean(self) -> float:
+        """Arithmetic mean of the samples (nan when empty)."""
+        if not self.values:
+            return math.nan
+        return sum(self.values) / len(self.values)
+
+    def total(self) -> float:
+        return sum(self.values)
+
+    def min(self) -> float:
+        return min(self.values) if self.values else math.nan
+
+    def max(self) -> float:
+        return max(self.values) if self.values else math.nan
+
+    def stddev(self) -> float:
+        """Population standard deviation (nan when < 2 samples)."""
+        n = len(self.values)
+        if n < 2:
+            return math.nan
+        mu = self.mean()
+        return math.sqrt(sum((v - mu) ** 2 for v in self.values) / n)
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile; ``q`` in [0, 100]."""
+        if not self.values:
+            return math.nan
+        if not 0 <= q <= 100:
+            raise ValueError("q must be within [0, 100]")
+        ordered = sorted(self.values)
+        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    def rate(self) -> float:
+        """Total value divided by elapsed simulated time."""
+        if self.env.now <= 0:
+            return math.nan
+        return self.total() / self.env.now
+
+    def summary(self) -> Dict[str, float]:
+        """All headline statistics as a dict (for reports)."""
+        return {
+            "count": float(len(self)),
+            "mean": self.mean(),
+            "min": self.min(),
+            "max": self.max(),
+            "stddev": self.stddev(),
+            "total": self.total(),
+        }
+
+
+class TimeWeightedStat:
+    """Tracks a piecewise-constant signal, e.g. queue length over time.
+
+    ``update(v)`` records that the signal takes value ``v`` from now on;
+    the mean weights each value by how long it was held.
+    """
+
+    def __init__(self, env: Environment, initial: float = 0.0):
+        self.env = env
+        self._value = float(initial)
+        self._last = env.now
+        self._area = 0.0
+        self._start = env.now
+        self._max = float(initial)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    @property
+    def max(self) -> float:
+        return self._max
+
+    def update(self, value: float) -> None:
+        """Change the signal to ``value`` as of the current time."""
+        now = self.env.now
+        self._area += self._value * (now - self._last)
+        self._last = now
+        self._value = float(value)
+        self._max = max(self._max, self._value)
+
+    def add(self, delta: float) -> None:
+        """Increment the signal by ``delta`` (e.g. queue arrival)."""
+        self.update(self._value + delta)
+
+    def time_average(self) -> float:
+        """Time-weighted mean from construction until now."""
+        now = self.env.now
+        elapsed = now - self._start
+        if elapsed <= 0:
+            return self._value
+        area = self._area + self._value * (now - self._last)
+        return area / elapsed
+
+
+def throughput_mb_s(total_bytes: float, elapsed_s: float) -> float:
+    """Aggregate bandwidth in MB/s (MB = 1e6 bytes, matching the paper)."""
+    if elapsed_s <= 0:
+        return math.nan
+    return total_bytes / 1e6 / elapsed_s
+
+
+def merge_series(
+    series: Iterable[Tuple[float, float]],
+) -> Tuple[List[float], List[float]]:
+    """Sort a (time, value) iterable into parallel time/value lists."""
+    pts = sorted(series, key=lambda tv: tv[0])
+    return [t for t, _ in pts], [v for _, v in pts]

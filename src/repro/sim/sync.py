@@ -1,0 +1,113 @@
+"""Synchronization primitives built on the kernel.
+
+:class:`Barrier` reproduces the MPI_Barrier semantics the paper's
+parallel-I/O experiments use; :class:`Mutex` and :class:`CountdownLatch`
+support the CDD locking protocol and coordinated checkpointing.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sim.core import Environment
+from repro.sim.events import Event
+from repro.sim.resources import Resource
+
+
+class Barrier:
+    """A reusable cyclic barrier for ``parties`` processes.
+
+    Each participant yields ``barrier.wait()``; all are released together
+    when the last one arrives.  The barrier then resets for the next
+    cycle.
+    """
+
+    def __init__(self, env: Environment, parties: int):
+        if parties <= 0:
+            raise ValueError("parties must be positive")
+        self.env = env
+        self.parties = parties
+        self._waiting: List[Event] = []
+        #: Number of completed barrier cycles (generations).
+        self.generation = 0
+
+    @property
+    def n_waiting(self) -> int:
+        """Processes currently blocked at the barrier."""
+        return len(self._waiting)
+
+    def wait(self) -> Event:
+        """Arrive at the barrier; the event triggers on full arrival."""
+        ev = self.env.event()
+        self._waiting.append(ev)
+        if len(self._waiting) >= self.parties:
+            waiters, self._waiting = self._waiting, []
+            self.generation += 1
+            gen = self.generation
+            for w in waiters:
+                w.succeed(gen)
+        return ev
+
+
+class CountdownLatch:
+    """Triggers once after ``n`` countdown events; not reusable."""
+
+    def __init__(self, env: Environment, n: int):
+        if n <= 0:
+            raise ValueError("n must be positive")
+        self.env = env
+        self._remaining = n
+        self._event = env.event()
+
+    @property
+    def remaining(self) -> int:
+        return self._remaining
+
+    def count_down(self) -> None:
+        """Record one completion; fires the latch at zero."""
+        if self._remaining <= 0:
+            raise RuntimeError("latch already fired")
+        self._remaining -= 1
+        if self._remaining == 0:
+            self._event.succeed()
+
+    def wait(self) -> Event:
+        """Event that triggers when the count reaches zero."""
+        if self._event.callbacks is None or self._event.triggered:
+            done = self.env.event()
+            done.succeed()
+            return done
+        return self._event
+
+
+class Mutex:
+    """A FIFO mutual-exclusion lock (capacity-1 resource with holder info)."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._res = Resource(env, capacity=1)
+        self._holder = None
+
+    @property
+    def locked(self) -> bool:
+        return self._res.count > 0
+
+    @property
+    def holder(self):
+        """Opaque token identifying the current holder (or ``None``)."""
+        return self._holder
+
+    def acquire(self, owner=None):
+        """Request the lock; yields when granted.  Remember the request."""
+        req = self._res.request()
+
+        def _note(_ev, owner=owner):
+            self._holder = owner
+
+        req.callbacks.append(_note)
+        return req
+
+    def release(self, request) -> None:
+        """Release the lock previously granted to ``request``."""
+        self._holder = None
+        self._res.release(request)

@@ -1,0 +1,20 @@
+"""Workload generators: parallel I/O, Andrew benchmark, synthetic mixes."""
+
+from repro.workloads.base import ClientWorkload, WorkloadResult
+from repro.workloads.openloop import LatencyResult, OpenLoopWorkload
+from repro.workloads.parallel_io import ParallelIOWorkload
+from repro.workloads.synthetic import SyntheticWorkload, ZipfAccessPattern
+from repro.workloads.traces import TraceOp, TraceRecorder, replay_trace
+
+__all__ = [
+    "ClientWorkload",
+    "LatencyResult",
+    "OpenLoopWorkload",
+    "ParallelIOWorkload",
+    "SyntheticWorkload",
+    "TraceOp",
+    "TraceRecorder",
+    "WorkloadResult",
+    "ZipfAccessPattern",
+    "replay_trace",
+]

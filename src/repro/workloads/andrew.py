@@ -1,0 +1,231 @@
+"""The Andrew benchmark (Howard et al. 1988) — the paper's Fig. 6.
+
+Five phases over a small source tree, per client, with phase barriers:
+
+1. **MakeDir** — recreate the directory skeleton;
+2. **Copy**    — copy every source file into the client's tree;
+3. **ScanDir** — recursively list directories and stat every file;
+4. **ReadAll** — read every copied file;
+5. **Make**    — "compile": read each source, burn CPU, emit an object
+   file, then link everything into one binary.
+
+The paper runs it with up to 32 concurrent clients (wrapping onto the
+12 nodes) on each of NFS, RAID-5, RAID-10, and RAID-x and reports
+per-phase elapsed times; the RAID-5 Copy phase degrades fastest with
+clients because the benchmark's files are small (the small-write
+problem).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.fs import FileSystem, FsConfig
+from repro.sim.sync import Barrier
+from repro.units import KB
+
+#: Classic MAB file-size flavour: many small sources, a few bigger ones.
+DEFAULT_SIZES = (1, 2, 2, 3, 4, 6, 8, 12, 16, 24)  # KB, cycled per file
+
+
+@dataclass(frozen=True)
+class AndrewConfig:
+    """Shape of the source tree and the compile cost model."""
+
+    n_dirs: int = 5
+    files_per_dir: int = 4
+    file_sizes_kb: Tuple[int, ...] = DEFAULT_SIZES
+    #: CPU seconds per KB of source in the Make phase (PII/400-class).
+    compile_cpu_s_per_kb: float = 0.004
+    #: Object file size as a fraction of its source.
+    object_fraction: float = 0.7
+
+    def file_size(self, dir_idx: int, file_idx: int) -> int:
+        sizes = self.file_sizes_kb
+        return sizes[(dir_idx * self.files_per_dir + file_idx) % len(sizes)] * KB
+
+    @property
+    def n_files(self) -> int:
+        return self.n_dirs * self.files_per_dir
+
+    @property
+    def tree_bytes(self) -> int:
+        return sum(
+            self.file_size(d, f)
+            for d in range(self.n_dirs)
+            for f in range(self.files_per_dir)
+        )
+
+
+@dataclass
+class AndrewResult:
+    """Per-phase elapsed times (seconds, max across clients)."""
+
+    clients: int
+    phase_times: Dict[str, float] = field(default_factory=dict)
+    cache_hit_rate: float = 0.0
+    fs_ops: Dict[str, int] = field(default_factory=dict)
+
+    PHASES = ("MakeDir", "Copy", "ScanDir", "ReadAll", "Make")
+
+    @property
+    def total(self) -> float:
+        return sum(self.phase_times.values())
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        per = "  ".join(
+            f"{k}={v:.2f}s" for k, v in self.phase_times.items()
+        )
+        return f"Andrew x{self.clients}: {per}  total={self.total:.2f}s"
+
+
+class AndrewBenchmark:
+    """Run the five-phase Andrew benchmark with N concurrent clients."""
+
+    def __init__(
+        self,
+        cluster,
+        clients: int,
+        config: Optional[AndrewConfig] = None,
+        fs_config: Optional[FsConfig] = None,
+    ):
+        if clients < 1:
+            raise ValueError("need at least one client")
+        self.cluster = cluster
+        self.env = cluster.env
+        self.clients = clients
+        self.config = config or AndrewConfig()
+        self.fs = FileSystem(cluster, fs_config)
+        self._phase_start: Dict[str, float] = {}
+        self._phase_end: Dict[str, float] = {}
+
+    # -- paths ------------------------------------------------------------
+    @staticmethod
+    def src_dir(d: int) -> str:
+        return f"/src/d{d}"
+
+    @staticmethod
+    def src_file(d: int, f: int) -> str:
+        return f"/src/d{d}/f{f}.c"
+
+    def work_root(self, client: int) -> str:
+        return f"/work{client}"
+
+    def node_of_client(self, client: int) -> int:
+        from repro.workloads.base import client_node
+
+        return client_node(self.cluster, client)
+
+    # -- source tree (untimed) -----------------------------------------------
+    def _build_source_tree(self):
+        cfg = self.config
+        fs = self.fs
+        yield from fs.mkdir(0, "/src")
+        for d in range(cfg.n_dirs):
+            yield from fs.mkdir(0, self.src_dir(d))
+            for f in range(cfg.files_per_dir):
+                path = self.src_file(d, f)
+                yield from fs.create(0, path)
+                yield from fs.write_file(0, path, cfg.file_size(d, f))
+
+    # -- phases ---------------------------------------------------------------
+    def _phase_makedir(self, client: int):
+        node = self.node_of_client(client)
+        root = self.work_root(client)
+        yield from self.fs.mkdir(node, root)
+        for d in range(self.config.n_dirs):
+            yield from self.fs.mkdir(node, f"{root}/d{d}")
+
+    def _phase_copy(self, client: int):
+        cfg = self.config
+        node = self.node_of_client(client)
+        root = self.work_root(client)
+        for d in range(cfg.n_dirs):
+            for f in range(cfg.files_per_dir):
+                size = yield from self.fs.read_file(node, self.src_file(d, f))
+                dst = f"{root}/d{d}/f{f}.c"
+                yield from self.fs.create(node, dst)
+                yield from self.fs.write_file(node, dst, size)
+
+    def _phase_scandir(self, client: int):
+        cfg = self.config
+        node = self.node_of_client(client)
+        root = self.work_root(client)
+        yield from self.fs.readdir(node, root)
+        for d in range(cfg.n_dirs):
+            names = yield from self.fs.readdir(node, f"{root}/d{d}")
+            for name in names:
+                yield from self.fs.stat(node, f"{root}/d{d}/{name}")
+
+    def _phase_readall(self, client: int):
+        cfg = self.config
+        node = self.node_of_client(client)
+        root = self.work_root(client)
+        for d in range(cfg.n_dirs):
+            for f in range(cfg.files_per_dir):
+                yield from self.fs.read_file(node, f"{root}/d{d}/f{f}.c")
+
+    def _phase_make(self, client: int):
+        cfg = self.config
+        node = self.node_of_client(client)
+        cpu = self.cluster.nodes[node].cpu
+        root = self.work_root(client)
+        objects: List[Tuple[str, int]] = []
+        for d in range(cfg.n_dirs):
+            for f in range(cfg.files_per_dir):
+                src = f"{root}/d{d}/f{f}.c"
+                size = yield from self.fs.read_file(node, src)
+                yield cpu.busy(cfg.compile_cpu_s_per_kb * size / KB)
+                obj = f"{root}/d{d}/f{f}.o"
+                osize = max(1, int(size * cfg.object_fraction))
+                yield from self.fs.create(node, obj)
+                yield from self.fs.write_file(node, obj, osize)
+                objects.append((obj, osize))
+        # Link step: read every object, write the binary.
+        total = 0
+        for obj, osize in objects:
+            yield from self.fs.read_file(node, obj)
+            total += osize
+        exe = f"{root}/app"
+        yield from self.fs.create(node, exe)
+        yield from self.fs.write_file(node, exe, max(1, total // 2))
+
+    PHASE_BODIES = {
+        "MakeDir": _phase_makedir,
+        "Copy": _phase_copy,
+        "ScanDir": _phase_scandir,
+        "ReadAll": _phase_readall,
+        "Make": _phase_make,
+    }
+
+    # -- driver ---------------------------------------------------------------
+    def _client_proc(self, client: int, barrier: Barrier,
+                     ends: Dict[str, List[float]]):
+        for phase in AndrewResult.PHASES:
+            yield barrier.wait()
+            if client == 0:
+                self._phase_start.setdefault(phase, self.env.now)
+            body = self.PHASE_BODIES[phase]
+            yield from body(self, client)
+            ends[phase].append(self.env.now)
+
+    def run(self) -> AndrewResult:
+        env = self.env
+        env.run(env.process(self._build_source_tree()))
+        if self.cluster.storage is not None:
+            env.run(env.process(self.cluster.storage.drain()))
+        barrier = Barrier(env, self.clients)
+        ends: Dict[str, List[float]] = {p: [] for p in AndrewResult.PHASES}
+        procs = [
+            env.process(self._client_proc(c, barrier, ends))
+            for c in range(self.clients)
+        ]
+        env.run(env.all_of(procs))
+        result = AndrewResult(clients=self.clients)
+        for phase in AndrewResult.PHASES:
+            start = self._phase_start[phase]
+            result.phase_times[phase] = max(ends[phase]) - start
+        result.cache_hit_rate = self.fs.dev.cache_hit_rate()
+        result.fs_ops = self.fs.op_counts()
+        return result

@@ -1,0 +1,146 @@
+"""Open-loop workload: Poisson arrivals, response-time measurement.
+
+The barrier workloads (Fig. 5) measure *bandwidth*; this one measures
+*latency under offered load*: requests arrive at rate λ regardless of
+completions (open loop), each timed individually.  Sweeping λ produces
+the classic response-time hockey-stick and locates each architecture's
+saturation point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.units import KiB
+from repro.workloads.base import client_node
+
+
+@dataclass
+class LatencyResult:
+    """Response-time statistics from one open-loop run."""
+
+    offered_ops_per_s: float
+    completed: int
+    #: Total time including draining the backlog after arrivals stop.
+    duration_s: float
+    #: The arrival window itself.
+    window_s: float = 0.0
+    latencies: List[float] = field(default_factory=list)
+
+    @property
+    def achieved_ops_per_s(self) -> float:
+        if self.duration_s <= 0:
+            return float("nan")
+        return self.completed / self.duration_s
+
+    @property
+    def drain_s(self) -> float:
+        """How long completions kept trickling after the last arrival."""
+        return max(0.0, self.duration_s - self.window_s)
+
+    def mean_latency(self) -> float:
+        return float(np.mean(self.latencies)) if self.latencies else float(
+            "nan"
+        )
+
+    def p95_latency(self) -> float:
+        if not self.latencies:
+            return float("nan")
+        return float(np.percentile(self.latencies, 95))
+
+    @property
+    def saturated(self) -> bool:
+        """True when the backlog at window end took a substantial extra
+        drain — i.e. completions fell behind arrivals."""
+        if self.window_s <= 0:
+            return False
+        return self.drain_s > 0.25 * self.window_s
+
+
+class OpenLoopWorkload:
+    """Poisson request stream against the cluster storage.
+
+    Arrivals are assigned round-robin to client nodes; each request is
+    an ``op_size`` access at a random block-aligned offset within
+    ``region_bytes``.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        rate_ops_per_s: float,
+        duration_s: float = 1.0,
+        op: str = "write",
+        op_size: int = 32 * KiB,
+        read_fraction: Optional[float] = None,
+        region_bytes: Optional[int] = None,
+        seed: int = 42,
+    ):
+        if rate_ops_per_s <= 0 or duration_s <= 0:
+            raise ValueError("rate and duration must be positive")
+        if op not in ("read", "write", "mixed"):
+            raise ValueError(f"bad op {op!r}")
+        if op == "mixed" and read_fraction is None:
+            read_fraction = 0.5
+        self.cluster = cluster
+        self.env = cluster.env
+        self.rate = rate_ops_per_s
+        self.duration = duration_s
+        self.op = op
+        self.op_size = op_size
+        self.read_fraction = read_fraction
+        storage = cluster.storage
+        region = region_bytes or min(storage.capacity, 512_000_000)
+        self.n_blocks = max(1, region // storage.block_size - 1)
+        self._rng = np.random.default_rng(seed)
+        self._latencies: List[float] = []
+        self._completed = [0]
+
+    def _one(self, op: str, offset: int):
+        start = self.env.now
+        yield self.cluster.storage.submit(
+            client_node(self.cluster, self._completed[0]),
+            op,
+            offset,
+            min(self.op_size, self.cluster.storage.block_size),
+        )
+        self._latencies.append(self.env.now - start)
+        self._completed[0] += 1
+
+    def _arrivals(self):
+        bs = self.cluster.storage.block_size
+        end = self.env.now + self.duration
+        spawned = []
+        while self.env.now < end:
+            yield self.env.timeout(
+                float(self._rng.exponential(1.0 / self.rate))
+            )
+            if self.env.now >= end:
+                break
+            if self.op == "mixed":
+                op = (
+                    "read"
+                    if self._rng.random() < self.read_fraction
+                    else "write"
+                )
+            else:
+                op = self.op
+            offset = int(self._rng.integers(0, self.n_blocks)) * bs
+            spawned.append(self.env.process(self._one(op, offset)))
+        if spawned:
+            yield self.env.all_of(spawned)
+
+    def run(self) -> LatencyResult:
+        """Generate arrivals for ``duration_s``; wait for stragglers."""
+        start = self.env.now
+        self.env.run(self.env.process(self._arrivals()))
+        return LatencyResult(
+            offered_ops_per_s=self.rate,
+            completed=self._completed[0],
+            duration_s=self.env.now - start,
+            window_s=self.duration,
+            latencies=list(self._latencies),
+        )

@@ -1,0 +1,163 @@
+"""Parallel I/O workload — the paper's Fig. 5 / Table 3 methodology.
+
+"For large read and large write, each client accesses a large file of
+2 MB long, striping across all disks in the array. […] All files are
+uncached and each client only reads its own private file.  All reads
+are performed simultaneously using the MPI_Barrier() command.  In case
+of small read or small write, 32 KB data is accessed in one block of
+the stripe group."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.units import KiB, MB
+from repro.workloads.base import (
+    DEFAULT_FILE_SPACING,
+    ClientWorkload,
+    chunked_io,
+)
+
+
+class ParallelIOWorkload(ClientWorkload):
+    """Barrier-synchronized private-file I/O on the cluster storage."""
+
+    name = "parallel_io"
+
+    def __init__(
+        self,
+        cluster,
+        clients: int,
+        op: str = "read",
+        size: int = 2 * MB,
+        chunk: Optional[int] = None,
+        queue_depth: int = 4,
+        file_spacing: int = DEFAULT_FILE_SPACING,
+        prepare_files: bool = True,
+        repeats: int = 1,
+    ):
+        """``repeats`` re-issues the access on ``repeats`` consecutive
+        regions of the private file — the small-I/O measurements repeat
+        the single-block access and report the average, as a timed
+        one-shot 32 KB op would mostly measure the initial head seek."""
+        super().__init__(cluster, clients)
+        if op not in ("read", "write"):
+            raise ValueError(f"bad op {op!r}")
+        if repeats < 1:
+            raise ValueError("repeats must be positive")
+        self.op = op
+        self.size = int(size)
+        self.chunk = chunk or cluster.storage.block_size
+        self.queue_depth = queue_depth
+        self.file_spacing = file_spacing
+        self.prepare_files = prepare_files
+        self.repeats = repeats
+        self.name = f"parallel_{op}_{self.size // 1000}KB"
+        if repeats * size > file_spacing:
+            raise ValueError("repeats*size exceeds the per-client file span")
+        last_end = self.file_offset(clients - 1) + self.size * self.repeats
+        if last_end > cluster.storage.capacity:
+            raise ValueError(
+                "client files exceed the virtual disk; reduce clients or "
+                "spacing"
+            )
+
+    def file_offset(self, client: int) -> int:
+        """Start of a client's private file.
+
+        Files are block-aligned (a real file system allocates whole
+        blocks), spaced by ``file_spacing`` rounded up to whole
+        array-width rows, plus a one-block stagger per client so client
+        i's first block lands on disk i (single-block accesses spread
+        over the array).
+
+        On RAID-x the row spacing is additionally bumped until it is
+        coprime with the mirror-group period ``n·(n-1)``: an exactly
+        resonant spacing would map every client's image extents onto the
+        same few image disks — a simulation artifact (real file systems
+        place files irregularly) that concentrates the background mirror
+        traffic and collapses write bandwidth.
+        """
+        import math
+
+        bs = self.cluster.storage.block_size
+        width = max(1, self.cluster.n_disks)
+        spacing_blocks = -(-self.file_spacing // bs)
+        rows = -(-spacing_blocks // width)
+        layout = getattr(self.cluster.storage, "layout", None)
+        n = getattr(layout, "n", None)
+        if n is not None and n >= 3:
+            while math.gcd(rows, n * (n - 1)) != 1:
+                rows += 1
+        return (client * rows * width + client) * bs
+
+    def prepare(self):
+        """Create the private files (untimed), warming server-side state."""
+        if not self.prepare_files:
+            return
+        events = []
+        for c in range(self.clients):
+            node = self.node_of_client(c)
+            events.append(
+                self.cluster.storage.submit(
+                    node, "write", self.file_offset(c),
+                    self.size * self.repeats,
+                )
+            )
+        yield self.env.all_of(events)
+
+    def client_body(self, client: int):
+        node = self.node_of_client(client)
+        base = self.file_offset(client)
+        for rep in range(self.repeats):
+            yield from chunked_io(
+                self.cluster.storage,
+                node,
+                self.op,
+                base + rep * self.size,
+                self.size,
+                chunk=self.chunk,
+                queue_depth=self.queue_depth,
+            )
+
+    def bytes_per_client(self) -> float:
+        return float(self.size * self.repeats)
+
+    def extras(self) -> Dict[str, float]:
+        st = self.cluster.transport.stats
+        return {
+            "remote_block_ops": float(st.remote_block_ops),
+            "local_block_ops": float(st.local_block_ops),
+            "disk_utilization": self.cluster.disk_utilization(),
+        }
+
+
+def large_read(cluster, clients: int, **kw) -> ParallelIOWorkload:
+    """Fig. 5(a): 2 MB reads per client."""
+    return ParallelIOWorkload(cluster, clients, op="read", size=2 * MB, **kw)
+
+
+def large_write(cluster, clients: int, **kw) -> ParallelIOWorkload:
+    """Fig. 5(c): 2 MB writes per client."""
+    return ParallelIOWorkload(cluster, clients, op="write", size=2 * MB, **kw)
+
+
+def small_read(cluster, clients: int, **kw) -> ParallelIOWorkload:
+    """Fig. 5(b): one 32 KB block per client (averaged over repeats)."""
+    kw.setdefault("repeats", 8)
+    return ParallelIOWorkload(
+        cluster, clients, op="read", size=32 * KiB, **kw
+    )
+
+
+def small_write(cluster, clients: int, **kw) -> ParallelIOWorkload:
+    """Fig. 5(d): one 32 KB block per client.
+
+    One-shot on purpose: the client-perceived latency of a single small
+    write is exactly where OSM's background mirroring pays off; repeated
+    sustained writes converge to RAID-10-like bandwidth because the
+    images must eventually reach the disks (see benchmark A1)."""
+    return ParallelIOWorkload(
+        cluster, clients, op="write", size=32 * KiB, **kw
+    )

@@ -1,0 +1,122 @@
+"""I/O trace record / replay.
+
+A trace is a list of (time, client, op, offset, nbytes) records.  The
+recorder wraps a storage system to capture whatever a workload does; the
+replayer re-issues a trace against any other architecture — the standard
+way to compare storage systems on identical op streams.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from typing import Iterable, List
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One traced logical operation."""
+
+    time: float
+    client: int
+    op: str
+    offset: int
+    nbytes: int
+
+    def validate(self) -> None:
+        if self.op not in ("read", "write"):
+            raise ValueError(f"bad traced op {self.op!r}")
+        if self.time < 0 or self.offset < 0 or self.nbytes < 0:
+            raise ValueError("negative field in trace record")
+
+
+class TraceRecorder:
+    """Wraps a storage system; records every submit() it forwards."""
+
+    def __init__(self, storage):
+        self.storage = storage
+        self.ops: List[TraceOp] = []
+
+    # Pass-through interface matching StorageSystem.
+    @property
+    def env(self):
+        return self.storage.env
+
+    @property
+    def capacity(self):
+        return self.storage.capacity
+
+    @property
+    def block_size(self):
+        return self.storage.block_size
+
+    def submit(self, client: int, op: str, offset: int, nbytes: int):
+        self.ops.append(
+            TraceOp(self.storage.env.now, client, op, offset, nbytes)
+        )
+        return self.storage.submit(client, op, offset, nbytes)
+
+    def drain(self):
+        return self.storage.drain()
+
+    # -- serialization -----------------------------------------------------
+    def dumps(self) -> str:
+        """Serialize the trace as CSV text."""
+        buf = io.StringIO()
+        w = csv.writer(buf)
+        w.writerow(["time", "client", "op", "offset", "nbytes"])
+        for t in self.ops:
+            w.writerow([f"{t.time:.9f}", t.client, t.op, t.offset, t.nbytes])
+        return buf.getvalue()
+
+
+def loads(text: str) -> List[TraceOp]:
+    """Parse a CSV trace produced by :meth:`TraceRecorder.dumps`."""
+    out = []
+    reader = csv.DictReader(io.StringIO(text))
+    for row in reader:
+        op = TraceOp(
+            time=float(row["time"]),
+            client=int(row["client"]),
+            op=row["op"],
+            offset=int(row["offset"]),
+            nbytes=int(row["nbytes"]),
+        )
+        op.validate()
+        out.append(op)
+    return out
+
+
+def replay_trace(cluster, ops: Iterable[TraceOp], preserve_timing: bool = True):
+    """Replay a trace on a cluster; returns (elapsed, completed_ops).
+
+    With ``preserve_timing`` the replayer honours the recorded issue
+    times (open-loop); otherwise ops are issued as fast as dependencies
+    allow, per client in order (closed-loop).
+    """
+    env = cluster.env
+    storage = cluster.storage
+    ops = sorted(ops, key=lambda o: o.time)
+    start = env.now
+    completed = [0]
+
+    def open_loop():
+        events = []
+        t0 = ops[0].time if ops else 0.0
+        for op in ops:
+            delay = (op.time - t0) - (env.now - start)
+            if preserve_timing and delay > 0:
+                yield env.timeout(delay)
+            ev = storage.submit(op.client, op.op, op.offset, op.nbytes)
+
+            def _count(_e):
+                completed[0] += 1
+
+            ev.callbacks.append(_count)
+            events.append(ev)
+        if events:
+            yield env.all_of(events)
+
+    env.run(env.process(open_loop()))
+    return env.now - start, completed[0]

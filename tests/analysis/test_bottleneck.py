@@ -1,0 +1,59 @@
+"""Bottleneck analysis over a run cluster."""
+
+import pytest
+
+from repro.analysis.bottleneck import bottleneck, resource_usage, usage_table
+from repro.cluster.cluster import build_cluster
+from repro.units import MB
+from repro.workloads.parallel_io import ParallelIOWorkload
+from tests.conftest import small_config
+
+
+def run_cluster():
+    cluster = build_cluster(small_config(n=4), architecture="raidx")
+    ParallelIOWorkload(cluster, 4, op="write", size=1 * MB).run()
+    return cluster
+
+
+def test_usage_covers_all_resource_classes():
+    cluster = run_cluster()
+    usages = {u.name for u in resource_usage(cluster)}
+    assert usages == {"disk", "disk_foreground", "nic_tx", "nic_rx", "cpu", "scsi"}
+
+
+def test_usages_bounded():
+    cluster = run_cluster()
+    for u in resource_usage(cluster):
+        assert 0.0 <= u.mean <= u.peak <= 1.0
+
+
+def test_bottleneck_is_loaded():
+    cluster = run_cluster()
+    b = bottleneck(cluster)
+    assert b.peak > 0.1
+
+
+def test_bottleneck_before_run_rejected():
+    cluster = build_cluster(small_config(n=4), architecture="raidx")
+    with pytest.raises(ValueError):
+        bottleneck(cluster)
+
+
+def test_foreground_disk_usage_excludes_background():
+    cluster = run_cluster()
+    table = usage_table(cluster)
+    # RAID-x background image flushes inflate total disk busy time.
+    assert table["disk_foreground"]["peak"] <= table["disk"]["peak"]
+
+
+def test_bottleneck_never_names_raw_disk():
+    cluster = run_cluster()
+    assert bottleneck(cluster).name != "disk"
+
+
+def test_usage_table_shape():
+    cluster = run_cluster()
+    table = usage_table(cluster)
+    assert set(table) == {"disk", "disk_foreground", "nic_tx", "nic_rx", "cpu", "scsi"}
+    for vals in table.values():
+        assert set(vals) == {"mean", "peak"}

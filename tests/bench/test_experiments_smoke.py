@@ -1,0 +1,55 @@
+"""Smoke tests of the canned experiments (small configurations)."""
+
+import pytest
+
+from repro.bench import experiments as ex
+
+
+def test_fig1_layout_maps_verify():
+    out = ex.fig1_layout_maps()
+    assert "raidx" in out and "chained" in out
+    assert "M0" in out
+
+
+def test_fig3_map():
+    out = ex.fig3_nk_map(n=4, k=3)
+    assert "4x3" in out
+    assert "B0" in out
+
+
+def test_table2_renders():
+    out = ex.table2_peak(n=4)
+    assert "nB" in out and "raidx" in out
+
+
+def test_fig5_small_sweep():
+    res = ex.fig5_bandwidth(
+        archs=("raidx", "nfs"),
+        client_counts=(1, 2),
+        workloads=("small_write",),
+    )
+    assert len(res.rows) == 4
+    assert all(r["mb_s"] > 0 for r in res.rows)
+    out = ex.render_fig5(res)
+    assert "small_write" in out
+
+
+def test_table3_small():
+    res = ex.table3_improvement(archs=("raidx",), endpoints=(1, 2))
+    assert len(res.rows) == 3
+    for row in res.rows:
+        assert row["improvement"] > 0
+
+
+def test_fig7_small():
+    res = ex.fig7_checkpoint(
+        schemes=(("parallel", None), ("staggered", None)),
+        processes=4,
+        state_bytes=512 * 1024,
+        n=4,
+    )
+    assert len(res.rows) == 2
+    par = res.filter(scheme="parallel").rows[0]
+    st = res.filter(scheme="staggered").rows[0]
+    assert par["epoch_s"] <= st["epoch_s"]
+    assert st["mean_C_s"] <= par["mean_C_s"] * 1.05

@@ -1,0 +1,48 @@
+"""Experiment sweep harness."""
+
+import pytest
+
+from repro.bench.harness import ExperimentResult, sweep
+
+
+def test_sweep_cartesian_product():
+    calls = []
+
+    def fn(a, b):
+        calls.append((a, b))
+        return {"sum": a + b}
+
+    res = sweep("demo", fn, {"a": [1, 2], "b": [10, 20]})
+    assert len(res.rows) == 4
+    assert calls == [(1, 10), (1, 20), (2, 10), (2, 20)]
+    assert res.column("sum") == [11, 21, 12, 22]
+
+
+def test_empty_grid_rejected():
+    with pytest.raises(ValueError):
+        sweep("demo", lambda a: {"x": a}, {"a": []})
+
+
+def test_filter_and_pivot():
+    res = ExperimentResult("r", ["arch", "n"], ["bw"])
+    for arch in ("a", "b"):
+        for n in (1, 2):
+            res.add({"arch": arch, "n": n}, {"bw": n * 10})
+    sub = res.filter(arch="a")
+    assert len(sub.rows) == 2
+    piv = res.pivot("arch", "n", "bw")
+    assert piv["b"][2] == 20
+
+
+def test_name_clash_rejected():
+    res = ExperimentResult("r", ["a"], ["a"])
+    with pytest.raises(ValueError):
+        res.add({"a": 1}, {"a": 2})
+
+
+def test_render_contains_values():
+    res = ExperimentResult("r", ["n"], ["bw"])
+    res.add({"n": 4}, {"bw": 12.5})
+    out = res.render("My Table")
+    assert "My Table" in out
+    assert "12.50" in out

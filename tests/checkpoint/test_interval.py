@@ -1,0 +1,71 @@
+"""Young's checkpoint-interval model."""
+
+import math
+
+import pytest
+
+from repro.checkpoint.interval import (
+    optimal_interval,
+    overhead_fraction,
+    plan_interval,
+)
+
+
+def test_optimal_interval_formula():
+    assert optimal_interval(10.0, 20_000.0) == pytest.approx(
+        math.sqrt(2 * 10 * 20_000)
+    )
+
+
+def test_optimal_interval_minimizes_overhead():
+    c, mtbf = 5.0, 50_000.0
+    t_opt = optimal_interval(c, mtbf)
+    best = overhead_fraction(c, t_opt, mtbf)
+    for factor in (0.5, 0.8, 1.25, 2.0):
+        assert overhead_fraction(c, t_opt * factor, mtbf) >= best - 1e-12
+
+
+def test_overhead_includes_recovery():
+    base = overhead_fraction(5.0, 500.0, 50_000.0)
+    with_recovery = overhead_fraction(
+        5.0, 500.0, 50_000.0, recovery_cost_s=100.0
+    )
+    assert with_recovery > base
+
+
+def test_plan_interval_bundles_everything():
+    plan = plan_interval(5.0, 50_000.0, recovery_cost_s=2.0)
+    assert plan.interval_s == pytest.approx(optimal_interval(5.0, 50_000))
+    assert 0 < plan.overhead < 1
+
+
+def test_cheaper_checkpoints_allow_shorter_intervals():
+    """The RAID-x pitch: faster checkpoints (smaller C) shrink both the
+    optimal interval and the total overhead."""
+    fast = plan_interval(2.0, 50_000.0)
+    slow = plan_interval(20.0, 50_000.0)
+    assert fast.interval_s < slow.interval_s
+    assert fast.overhead < slow.overhead
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        optimal_interval(0, 100)
+    with pytest.raises(ValueError):
+        optimal_interval(200, 100)
+    with pytest.raises(ValueError):
+        overhead_fraction(1, 0, 100)
+
+
+def test_end_to_end_with_measured_checkpoint_cost():
+    """Wire a measured C from the simulator into the interval model."""
+    from repro.checkpoint import CheckpointConfig, CheckpointRun
+    from repro.cluster.cluster import build_cluster
+    from tests.conftest import small_config
+
+    cluster = build_cluster(small_config(n=4), architecture="raidx")
+    cfg = CheckpointConfig(processes=4, state_bytes=512 * 1024)
+    result = CheckpointRun(cluster, cfg).run()
+    plan = plan_interval(result.total_time, mtbf_s=24 * 3600.0)
+    assert plan.interval_s > result.total_time
+    assert plan.overhead < 0.1

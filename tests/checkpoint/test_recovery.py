@@ -1,0 +1,70 @@
+"""Recovery from striped checkpoints: transient vs permanent."""
+
+import pytest
+
+from repro.checkpoint import CheckpointConfig, CheckpointRun, recover
+from repro.cluster.cluster import build_cluster
+from repro.errors import CheckpointError
+from repro.units import KiB
+from tests.conftest import run_proc, small_config
+
+STATE = 512 * KiB
+
+
+def completed_run(arch="raidx", local_images=True):
+    cluster = build_cluster(small_config(n=4), architecture=arch)
+    cfg = CheckpointConfig(
+        processes=4,
+        state_bytes=STATE,
+        scheme="striped_staggered",
+        stagger_groups=2,
+        local_images=local_images,
+    )
+    run = CheckpointRun(cluster, cfg)
+    run.run()
+    run_proc(cluster, cluster.storage.drain())
+    return run
+
+
+def test_transient_uses_local_mirror():
+    run = completed_run()
+    r = recover(run, 0, "transient")
+    assert r.used_local_mirror
+    assert r.elapsed > 0
+    assert r.nbytes == STATE
+    assert r.bandwidth_mb_s > 0
+
+
+def test_transient_recovery_is_network_free():
+    run = completed_run()
+    before = run.cluster.transport.stats.remote_block_ops
+    recover(run, 1, "transient")
+    assert run.cluster.transport.stats.remote_block_ops == before
+
+
+def test_permanent_reads_striped_data():
+    run = completed_run()
+    before = run.cluster.transport.stats.remote_block_ops
+    r = recover(run, 0, "permanent")
+    assert not r.used_local_mirror
+    # Striped reads must touch remote disks.
+    assert run.cluster.transport.stats.remote_block_ops > before
+
+
+def test_transient_without_local_placement_falls_back():
+    run = completed_run(local_images=False)
+    r = recover(run, 0, "transient")
+    assert not r.used_local_mirror
+
+
+def test_non_raidx_recovery_is_striped():
+    run = completed_run(arch="raid10")
+    r = recover(run, 0, "transient")
+    assert not r.used_local_mirror
+    assert r.elapsed > 0
+
+
+def test_unknown_kind_rejected():
+    run = completed_run()
+    with pytest.raises(CheckpointError):
+        recover(run, 0, "cosmic")

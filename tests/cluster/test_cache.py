@@ -1,0 +1,88 @@
+"""Block cache LRU behaviour and invalidation directory."""
+
+import pytest
+
+from repro.cluster.cache import BlockCache, CacheDirectory
+
+
+def test_lru_eviction_order():
+    c = BlockCache(0, capacity_blocks=2)
+    c.insert(1)
+    c.insert(2)
+    c.insert(3)  # evicts 1
+    assert 1 not in c and 2 in c and 3 in c
+
+
+def test_lookup_refreshes_recency():
+    c = BlockCache(0, capacity_blocks=2)
+    c.insert(1)
+    c.insert(2)
+    assert c.lookup(1)
+    c.insert(3)  # evicts 2, not 1
+    assert 1 in c and 2 not in c
+
+
+def test_hit_miss_counters():
+    c = BlockCache(0, capacity_blocks=4)
+    assert not c.lookup(9)
+    c.insert(9)
+    assert c.lookup(9)
+    assert c.hits == 1 and c.misses == 1
+    assert c.hit_rate() == pytest.approx(0.5)
+
+
+def test_invalidate():
+    c = BlockCache(0, capacity_blocks=4)
+    c.insert(7)
+    assert c.invalidate(7)
+    assert not c.invalidate(7)
+    assert c.invalidations == 1
+
+
+def test_insert_idempotent():
+    c = BlockCache(0, capacity_blocks=2)
+    c.insert(1)
+    c.insert(1)
+    assert len(c) == 1
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(ValueError):
+        BlockCache(0, capacity_blocks=0)
+
+
+def test_directory_tracks_holders():
+    caches = [BlockCache(i, 8) for i in range(3)]
+    d = CacheDirectory(caches)
+    d.note_cached(0, 5)
+    d.note_cached(1, 5)
+    assert d.lookup(0, 5) and d.lookup(1, 5)
+    assert not d.lookup(2, 5)
+
+
+def test_directory_invalidation_targets_peers_only():
+    caches = [BlockCache(i, 8) for i in range(3)]
+    d = CacheDirectory(caches)
+    d.note_cached(0, 5)
+    d.note_cached(1, 5)
+    d.note_cached(2, 5)
+    touched = d.invalidate_peers(writer=1, block=5)
+    assert sorted(touched) == [0, 2]
+    assert 5 in caches[1]
+    assert 5 not in caches[0] and 5 not in caches[2]
+
+
+def test_directory_invalidation_when_writer_not_holder():
+    caches = [BlockCache(i, 8) for i in range(2)]
+    d = CacheDirectory(caches)
+    d.note_cached(0, 3)
+    touched = d.invalidate_peers(writer=1, block=3)
+    assert touched == [0]
+    # Writer didn't cache it, so nobody holds it now.
+    assert not d.lookup(0, 3)
+
+
+def test_directory_invalidation_unknown_block():
+    caches = [BlockCache(i, 8) for i in range(2)]
+    d = CacheDirectory(caches)
+    assert d.invalidate_peers(writer=0, block=42) == []

@@ -1,0 +1,144 @@
+"""The distributed lock-group protocol and its replicated table."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.consistency import (
+    DistributedLockManager,
+    LockGroupTable,
+)
+from repro.errors import LockProtocolError
+from tests.conftest import run_proc, small_config
+
+
+def manager(cluster, **kw):
+    return DistributedLockManager(
+        cluster.env, cluster.transport, cluster.n_nodes, **kw
+    )
+
+
+def test_table_grant_release_cycle():
+    t = LockGroupTable()
+    t.record_grant(5, owner=2, now=0.0)
+    assert t.holder(5) == 2
+    assert len(t) == 1
+    t.record_release(5, owner=2)
+    assert t.holder(5) is None
+    assert t.grants == 1 and t.releases == 1
+
+
+def test_table_double_grant_rejected():
+    t = LockGroupTable()
+    t.record_grant(1, 0, 0.0)
+    with pytest.raises(LockProtocolError):
+        t.record_grant(1, 1, 0.0)
+
+
+def test_table_foreign_release_rejected():
+    t = LockGroupTable()
+    t.record_grant(1, 0, 0.0)
+    with pytest.raises(LockProtocolError):
+        t.record_release(1, owner=3)
+    with pytest.raises(LockProtocolError):
+        t.record_release(99, owner=0)
+
+
+def test_groups_for_blocks_sorted_unique():
+    cluster = Cluster(small_config(n=4))
+    lm = manager(cluster, lock_group_blocks=10)
+    assert lm.groups_for_blocks([25, 5, 15, 7]) == [0, 1, 2]
+
+
+def test_acquire_release_roundtrip():
+    cluster = Cluster(small_config(n=4))
+    lm = manager(cluster)
+
+    def p():
+        h = yield from lm.acquire(0, [0, 1, 2])
+        assert lm.table.holder(0) == 0
+        yield from lm.release(h)
+        assert lm.table.holder(0) is None
+
+    run_proc(cluster, p())
+
+
+def test_contending_writers_serialize():
+    cluster = Cluster(small_config(n=4))
+    lm = manager(cluster)
+    env = cluster.env
+    order = []
+
+    def writer(node, hold):
+        h = yield from lm.acquire(node, [0])
+        order.append(("in", node, env.now))
+        yield env.timeout(hold)
+        yield from lm.release(h)
+        order.append(("out", node, env.now))
+
+    env.process(writer(1, 1.0))
+    env.process(writer(2, 1.0))
+    env.run()
+    ins = [e for e in order if e[0] == "in"]
+    outs = [e for e in order if e[0] == "out"]
+    # Second writer enters only after the first released.
+    assert ins[1][2] >= outs[0][2]
+
+
+def test_remote_lock_costs_messages():
+    cluster = Cluster(small_config(n=4))
+    lm = manager(cluster)
+    before = cluster.transport.stats.total_messages
+
+    def p():
+        # Group 1's home is node 1; client is node 0 -> remote grant.
+        h = yield from lm.acquire(0, [lm.lock_group_blocks])
+        yield from lm.release(h)
+
+    run_proc(cluster, p())
+    assert cluster.transport.stats.total_messages > before
+
+
+def test_local_home_lock_is_message_free():
+    cluster = Cluster(small_config(n=4))
+    lm = manager(cluster)
+    before = cluster.transport.stats.total_messages
+
+    def p():
+        h = yield from lm.acquire(0, [0])  # group 0's home is node 0
+        yield from lm.release(h)
+
+    run_proc(cluster, p())
+    assert cluster.transport.stats.total_messages == before
+
+
+def test_broadcast_grants_notifies_peers():
+    cluster = Cluster(small_config(n=4))
+    lm = manager(cluster, broadcast_grants=True)
+
+    def p():
+        h = yield from lm.acquire(0, [0])
+        yield from lm.release(h)
+
+    run_proc(cluster, p())
+    cluster.env.run()  # drain async broadcasts
+    kinds = cluster.transport.stats.by_kind
+    assert kinds.get("lock_grant", (0, 0))[0] >= 2
+
+
+def test_ordered_acquisition_prevents_deadlock():
+    cluster = Cluster(small_config(n=4))
+    lm = manager(cluster, lock_group_blocks=1)
+    env = cluster.env
+    done = []
+
+    def writer(node, blocks):
+        h = yield from lm.acquire(node, blocks)
+        yield env.timeout(0.01)
+        yield from lm.release(h)
+        done.append(node)
+
+    # Opposite textual order, same sorted lock order -> no deadlock.
+    env.process(writer(0, [0, 1]))
+    env.process(writer(1, [1, 0]))
+    env.run()
+    assert sorted(done) == [0, 1]

@@ -1,0 +1,167 @@
+"""Edge behaviours: NFSv3 async writes, MTU fragmentation, degraded
+RAID-5 writes, and NFS close-to-open charging through the FS."""
+
+import pytest
+
+from repro.cluster.cluster import build_cluster
+from repro.config import NetworkParams
+from repro.hardware.network import Network
+from repro.units import KiB
+from tests.conftest import run_proc, small_config
+
+BS = 32 * KiB
+
+
+# -- NFSv3 asynchronous writes ------------------------------------------------
+
+def test_nfs_async_writes_faster_than_stable():
+    def write_time(stable):
+        c = build_cluster(
+            small_config(n=4), architecture="nfs", stable_writes=stable
+        )
+        t = {}
+
+        def p():
+            t0 = c.env.now
+            yield c.storage.submit(1, "write", 0, 4 * BS)
+            t["w"] = c.env.now - t0
+
+        run_proc(c, p())
+        return t["w"]
+
+    assert write_time(stable=False) < write_time(stable=True)
+
+
+def test_nfs_async_writes_still_hit_disk():
+    c = build_cluster(
+        small_config(n=4), architecture="nfs", stable_writes=False
+    )
+
+    def p():
+        yield c.storage.submit(1, "write", 0, 2 * BS)
+
+    run_proc(c, p())
+    assert sum(d.stats.writes for d in c.all_disks()) > 0
+
+
+# -- MTU fragmentation ---------------------------------------------------------
+
+def test_large_message_pipelines_across_fragments(env):
+    params = NetworkParams(incast_flow_threshold=None)
+    net = Network(env, 2, params)
+    mtu = params.mtu_bytes
+    done = []
+
+    def p(env):
+        yield net.transfer(0, 1, 4 * mtu)
+        done.append(env.now)
+
+    env.process(p(env))
+    env.run()
+    rate = params.link_rate
+    store_and_forward = 2 * (4 * mtu / rate)
+    pipelined_floor = (4 * mtu + mtu) / rate
+    # Faster than store-and-forward, no faster than perfect pipelining.
+    assert done[0] < store_and_forward
+    assert done[0] >= pipelined_floor
+
+
+def test_fragments_interleave_between_senders(env):
+    """A small message is not stuck behind a whole multi-MTU transfer."""
+    params = NetworkParams(incast_flow_threshold=None)
+    net = Network(env, 3, params)
+    mtu = params.mtu_bytes
+    done = {}
+
+    def big(env):
+        yield net.transfer(0, 2, 8 * mtu)
+        done["big"] = env.now
+
+    def small(env):
+        yield env.timeout(0.001)  # arrive while the big one streams
+        yield net.transfer(1, 2, mtu // 4)
+        done["small"] = env.now
+
+    env.process(big(env))
+    env.process(small(env))
+    env.run()
+    assert done["small"] < done["big"]
+
+
+# -- degraded RAID-5 writes -----------------------------------------------------
+
+def test_raid5_write_with_failed_parity_disk():
+    c = build_cluster(small_config(n=4), architecture="raid5")
+    lay = c.storage.layout
+    pdisk = lay.parity_disk(0)
+    c.storage.fail_disk(pdisk)
+
+    def p():
+        yield c.storage.submit(0, "write", 0, BS)
+
+    run_proc(c, p())
+    # Data landed; no parity ops were attempted on the dead disk.
+    data_disk = lay.data_location(0).disk
+    assert c.disk(data_disk).stats.writes == 1
+    assert c.disk(pdisk).stats.writes == 0
+
+
+def test_raid5_write_with_failed_data_disk_updates_parity():
+    c = build_cluster(small_config(n=4), architecture="raid5")
+    lay = c.storage.layout
+    ddisk = lay.data_location(0).disk
+    c.storage.fail_disk(ddisk)
+
+    def p():
+        yield c.storage.submit(0, "write", 0, BS)
+
+    run_proc(c, p())
+    pdisk = lay.parity_disk(lay.stripe_of(0))
+    assert c.disk(pdisk).stats.writes == 1
+
+
+# -- NFS close-to-open charging through the FS ------------------------------------
+
+def test_fs_on_nfs_charges_getattr_rpcs():
+    from repro.fs import FileSystem
+
+    c = build_cluster(small_config(n=4), architecture="nfs")
+    fs = FileSystem(c)
+
+    def setup():
+        yield from fs.create(1, "/f")
+        yield from fs.write_file(1, "/f", 4096)
+        yield from fs.read_file(2, "/f")
+
+    run_proc(c, setup())
+    before = c.transport.stats.by_kind.get("rpc_req", (0, 0))[0]
+
+    def reread():
+        # Fully cached on node 2 — but close-to-open still revalidates.
+        yield from fs.read_file(2, "/f")
+
+    run_proc(c, reread())
+    after = c.transport.stats.by_kind["rpc_req"][0]
+    assert after > before
+
+
+def test_fs_on_nfs_revalidation_can_be_disabled():
+    from repro.fs import FileSystem, FsConfig
+
+    c = build_cluster(small_config(n=4), architecture="nfs")
+    fs = FileSystem(c, FsConfig(nfs_close_to_open=False))
+
+    def setup():
+        yield from fs.create(1, "/f")
+        yield from fs.write_file(1, "/f", 2048)
+        yield from fs.read_file(2, "/f")
+
+    run_proc(c, setup())
+    before = c.transport.stats.by_kind.get("rpc_req", (0, 0))[0]
+
+    def reread():
+        yield from fs.read_file(2, "/f")
+
+    run_proc(c, reread())
+    after = c.transport.stats.by_kind.get("rpc_req", (0, 0))[0]
+    assert after == before  # served wholly from the node cache

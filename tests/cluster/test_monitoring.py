@@ -1,0 +1,72 @@
+"""Cluster time-series monitoring."""
+
+import pytest
+
+from repro.cluster.cluster import build_cluster
+from repro.cluster.monitoring import ClusterMonitor
+from repro.units import MB
+from repro.workloads.parallel_io import ParallelIOWorkload
+from tests.conftest import small_config
+
+
+def test_monitor_samples_on_cadence():
+    cluster = build_cluster(small_config(n=4), architecture="raidx")
+    mon = ClusterMonitor(cluster, interval=0.01)
+    mon.start()
+    r = ParallelIOWorkload(cluster, 4, op="write", size=1 * MB).run()
+    assert len(mon.log) >= 3
+    times = mon.log.times()
+    assert times == sorted(times)
+    # Cadence is the configured interval.
+    assert times[1] - times[0] == pytest.approx(0.01)
+    assert r.elapsed > 0
+
+
+def test_monitor_sees_load():
+    cluster = build_cluster(small_config(n=4), architecture="raidx")
+    mon = ClusterMonitor(cluster, interval=0.01)
+    mon.start()
+    ParallelIOWorkload(cluster, 4, op="write", size=1 * MB).run()
+    assert mon.log.peak("disk_utilization") > 0.1
+    assert mon.log.peak("network_utilization") > 0.05
+    assert all(
+        0 <= u <= 1 for u in mon.log.series("disk_utilization")
+    )
+
+
+def test_monitor_stop():
+    cluster = build_cluster(small_config(n=4), architecture="raidx")
+    mon = ClusterMonitor(cluster, interval=0.01)
+    mon.start()
+    ParallelIOWorkload(cluster, 2, op="write", size=256 * 1024).run()
+    n = len(mon.log)
+    mon.stop()
+    ParallelIOWorkload(cluster, 2, op="write", size=256 * 1024).run()
+    assert len(mon.log) == n  # no samples after stop
+    mon.stop()  # idempotent
+
+
+def test_monitor_validation():
+    cluster = build_cluster(small_config(n=4), architecture="raidx")
+    with pytest.raises(ValueError):
+        ClusterMonitor(cluster, interval=0)
+
+
+def test_monitor_start_idempotent():
+    cluster = build_cluster(small_config(n=4), architecture="raidx")
+    mon = ClusterMonitor(cluster, interval=0.01)
+    mon.start()
+    mon.start()
+    ParallelIOWorkload(cluster, 2, op="read", size=256 * 1024).run()
+    # One sampler, strictly increasing times.
+    times = mon.log.times()
+    assert all(b > a for a, b in zip(times, times[1:]))
+
+
+def test_monitor_tracks_pending_flushes():
+    cluster = build_cluster(small_config(n=4), architecture="raidx")
+    mon = ClusterMonitor(cluster, interval=0.002)
+    mon.start()
+    ParallelIOWorkload(cluster, 4, op="write", size=2 * MB).run()
+    assert mon.log.peak("pending_flushes") >= 0
+    assert mon.log.peak("max_disk_queue") >= 1

@@ -1,0 +1,55 @@
+"""Shared fixtures: small, fast cluster configurations."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cluster.cluster import build_cluster
+from repro.config import ArrayGeometry, ClusterConfig, trojans_cluster
+from repro.sim.core import Environment
+from repro.units import KiB, MB
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def small_config(n: int = 4, k: int = 1, block_size: int = 32 * KiB,
+                 disk_mb: int = 64) -> ClusterConfig:
+    """A small cluster config with tiny disks (fast to enumerate)."""
+    cfg = trojans_cluster(n=n, k=k)
+    disk = replace(cfg.disk, capacity_bytes=disk_mb * MB)
+    geo = ArrayGeometry(n=n, k=k, block_size=block_size)
+    return replace(cfg, disk=disk, geometry=geo)
+
+
+@pytest.fixture
+def config4():
+    return small_config(n=4)
+
+
+@pytest.fixture
+def raidx_cluster():
+    return build_cluster(small_config(n=4), architecture="raidx")
+
+
+@pytest.fixture(params=["raid0", "raid5", "raid10", "chained", "raidx"])
+def any_array_cluster(request):
+    """A cluster per distributed-array architecture."""
+    return build_cluster(small_config(n=4), architecture=request.param)
+
+
+@pytest.fixture(params=["raid0", "raid5", "raid10", "chained", "raidx",
+                        "nfs"])
+def any_cluster(request):
+    """A cluster per architecture, NFS included."""
+    return build_cluster(small_config(n=4), architecture=request.param)
+
+
+def run_proc(cluster_or_env, gen):
+    """Drive one process generator to completion; returns its value."""
+    env = getattr(cluster_or_env, "env", cluster_or_env)
+    return env.run(env.process(gen))

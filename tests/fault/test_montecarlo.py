@@ -1,0 +1,77 @@
+"""Monte-Carlo MTTDL vs the analytical closed forms."""
+
+import numpy as np
+import pytest
+
+from repro.fault.montecarlo import MttdlEstimate, simulate_mttdl
+from repro.fault.reliability import (
+    mttdl_mirrored_pairs,
+    mttdl_raid5,
+    mttdl_raidx,
+)
+from repro.raid import make_layout
+
+# Exaggerated failure rates keep the simulated horizons short.
+MTTF, MTTR = 1000.0, 10.0
+
+
+def lay(name, n=8, stripe_width=None):
+    return make_layout(
+        name,
+        n_disks=n,
+        block_size=1,
+        disk_capacity=16,
+        stripe_width=stripe_width,
+    )
+
+
+def test_raid5_simulation_matches_model():
+    rng = np.random.default_rng(1)
+    est = simulate_mttdl(lay("raid5"), MTTF, MTTR, runs=300, rng=rng)
+    assert est.within(mttdl_raid5(8, MTTF, MTTR), factor=2.0)
+
+
+def test_raid10_simulation_matches_model():
+    rng = np.random.default_rng(2)
+    est = simulate_mttdl(lay("raid10"), MTTF, MTTR, runs=300, rng=rng)
+    assert est.within(mttdl_mirrored_pairs(8, MTTF, MTTR), factor=2.0)
+
+
+def test_raidx_simulation_matches_model():
+    rng = np.random.default_rng(3)
+    est = simulate_mttdl(
+        lay("raidx", stripe_width=4), MTTF, MTTR, runs=300, rng=rng
+    )
+    assert est.within(
+        mttdl_raidx(8, MTTF, MTTR, stripe_width=4), factor=2.0
+    )
+
+
+def test_relative_ordering_survives_simulation():
+    rng = np.random.default_rng(4)
+    r10 = simulate_mttdl(lay("raid10"), MTTF, MTTR, runs=200, rng=rng)
+    r5 = simulate_mttdl(lay("raid5"), MTTF, MTTR, runs=200, rng=rng)
+    assert r10.mean_hours > r5.mean_hours
+
+
+def test_raid0_dies_at_first_failure():
+    rng = np.random.default_rng(5)
+    est = simulate_mttdl(lay("raid0"), MTTF, MTTR, runs=200, rng=rng)
+    # Minimum of 8 exponential clocks: MTTF/8.
+    assert est.mean_hours == pytest.approx(MTTF / 8, rel=0.3)
+
+
+def test_estimate_has_error_bar():
+    est = simulate_mttdl(lay("raid5"), MTTF, MTTR, runs=50)
+    assert est.runs == 50
+    assert est.stderr_hours > 0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        simulate_mttdl(lay("raid5"), 0, 1)
+    with pytest.raises(ValueError):
+        simulate_mttdl(lay("raid5"), 1, 1, runs=0)
+    est = MttdlEstimate(mean_hours=10, stderr_hours=1, runs=5)
+    with pytest.raises(ValueError):
+        est.within(0)

@@ -1,0 +1,57 @@
+"""Directory entry management."""
+
+import pytest
+
+from repro.errors import FileExists, FileNotFound
+from repro.fs.directory import DirectoryData
+
+
+def test_add_lookup_remove_cycle():
+    d = DirectoryData(block_size=4096)
+    d.add("a.txt", 7)
+    assert d.lookup("a.txt").ino == 7
+    entry = d.remove("a.txt")
+    assert entry.ino == 7
+    with pytest.raises(FileNotFound):
+        d.lookup("a.txt")
+
+
+def test_duplicate_add_rejected():
+    d = DirectoryData(4096)
+    d.add("x", 1)
+    with pytest.raises(FileExists):
+        d.add("x", 2)
+
+
+def test_remove_missing_rejected():
+    d = DirectoryData(4096)
+    with pytest.raises(FileNotFound):
+        d.remove("ghost")
+
+
+def test_compacting_removal_keeps_index_consistent():
+    d = DirectoryData(4096)
+    for i, name in enumerate("abcde"):
+        d.add(name, i)
+    d.remove("b")  # 'e' moves into slot 1
+    assert d.lookup("e").ino == 4
+    assert d.lookup("a").ino == 0
+    assert sorted(d.names()) == ["a", "c", "d", "e"]
+    assert len(d) == 4
+
+
+def test_block_placement_math():
+    d = DirectoryData(block_size=64)  # 2 entries per block
+    assert d.entries_per_block == 2
+    for i in range(5):
+        d.add(f"f{i}", i)
+    assert d.block_index_of_entry(0) == 0
+    assert d.block_index_of_entry(2) == 1
+    assert d.block_index_of_entry(4) == 2
+    assert d.n_blocks() == 3
+
+
+def test_empty_directory_needs_one_block():
+    d = DirectoryData(4096)
+    assert d.n_blocks() == 1
+    assert d.names() == []

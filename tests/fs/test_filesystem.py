@@ -1,0 +1,305 @@
+"""File system operations end to end over the simulated storage."""
+
+import pytest
+
+from repro.errors import (
+    FileExists,
+    FileNotFound,
+    FileSystemError,
+    IsADirectory,
+    NotADirectory,
+)
+from repro.fs import FileSystem, FsConfig
+from repro.fs.inode import N_DIRECT, FileType
+from tests.conftest import run_proc
+
+
+@pytest.fixture
+def fs(raidx_cluster):
+    return FileSystem(raidx_cluster)
+
+
+def test_create_and_stat(fs):
+    def p():
+        yield from fs.mkdir(0, "/d")
+        yield from fs.create(0, "/d/f")
+        st = yield from fs.stat(1, "/d/f")
+        assert st.size == 0
+        assert st.type is FileType.FILE
+        st2 = yield from fs.stat(1, "/d")
+        assert st2.type is FileType.DIRECTORY
+
+    run_proc(fs.cluster, p())
+
+
+def test_write_then_read_roundtrip_size(fs):
+    def p():
+        yield from fs.create(0, "/f")
+        yield from fs.write_file(0, "/f", 10_000)
+        size = yield from fs.read_file(2, "/f")
+        assert size == 10_000
+
+    run_proc(fs.cluster, p())
+
+
+def test_write_missing_file_raises(fs):
+    def p():
+        yield from fs.write_file(0, "/nope", 10)
+
+    with pytest.raises(FileNotFound):
+        run_proc(fs.cluster, p())
+
+
+def test_duplicate_create_rejected(fs):
+    def p():
+        yield from fs.create(0, "/f")
+        yield from fs.create(0, "/f")
+
+    with pytest.raises(FileExists):
+        run_proc(fs.cluster, p())
+
+
+def test_mkdir_in_missing_parent_rejected(fs):
+    def p():
+        yield from fs.mkdir(0, "/a/b/c")
+
+    with pytest.raises(FileNotFound):
+        run_proc(fs.cluster, p())
+
+
+def test_readdir_lists_entries(fs):
+    def p():
+        yield from fs.mkdir(0, "/d")
+        for name in ("x", "y", "z"):
+            yield from fs.create(0, f"/d/{name}")
+        names = yield from fs.readdir(1, "/d")
+        assert sorted(names) == ["x", "y", "z"]
+
+    run_proc(fs.cluster, p())
+
+
+def test_unlink_frees_blocks(fs):
+    def p():
+        yield from fs.create(0, "/f")
+        yield from fs.write_file(0, "/f", 50_000)
+        used = fs.alloc.allocated
+        yield from fs.unlink(0, "/f")
+        assert fs.alloc.allocated < used
+        exists = yield from fs.exists(0, "/f")
+        assert not exists
+
+    run_proc(fs.cluster, p())
+
+
+def test_unlink_directory_rejected(fs):
+    def p():
+        yield from fs.mkdir(0, "/d")
+        yield from fs.unlink(0, "/d")
+
+    with pytest.raises(IsADirectory):
+        run_proc(fs.cluster, p())
+
+
+def test_rmdir_requires_empty(fs):
+    def p():
+        yield from fs.mkdir(0, "/d")
+        yield from fs.create(0, "/d/f")
+        yield from fs.rmdir(0, "/d")
+
+    with pytest.raises(FileSystemError):
+        run_proc(fs.cluster, p())
+
+
+def test_rmdir_success(fs):
+    def p():
+        yield from fs.mkdir(0, "/d")
+        yield from fs.rmdir(0, "/d")
+        assert not (yield from fs.exists(0, "/d"))
+
+    run_proc(fs.cluster, p())
+
+
+def test_rmdir_on_file_rejected(fs):
+    def p():
+        yield from fs.create(0, "/f")
+        yield from fs.rmdir(0, "/f")
+
+    with pytest.raises(NotADirectory):
+        run_proc(fs.cluster, p())
+
+
+def test_read_on_directory_rejected(fs):
+    def p():
+        yield from fs.mkdir(0, "/d")
+        yield from fs.read_file(0, "/d")
+
+    with pytest.raises(IsADirectory):
+        run_proc(fs.cluster, p())
+
+
+def test_path_through_file_rejected(fs):
+    def p():
+        yield from fs.create(0, "/f")
+        yield from fs.create(0, "/f/child")
+
+    with pytest.raises(NotADirectory):
+        run_proc(fs.cluster, p())
+
+
+def test_relative_components_rejected(fs):
+    def p():
+        yield from fs.stat(0, "/a/../b")
+
+    with pytest.raises(FileSystemError):
+        run_proc(fs.cluster, p())
+
+
+def test_large_file_uses_indirect_block(fs):
+    big = (N_DIRECT + 4) * fs.block_size
+
+    def p():
+        yield from fs.create(0, "/big")
+        yield from fs.write_file(0, "/big", big)
+        inode, _, _ = yield from fs._resolve(0, "/big")
+        assert inode.indirect_block is not None
+        assert len(inode.block_list()) == N_DIRECT + 4
+        size = yield from fs.read_file(1, "/big")
+        assert size == big
+
+    run_proc(fs.cluster, p())
+
+
+def test_truncating_rewrite_releases_blocks(fs):
+    def p():
+        yield from fs.create(0, "/f")
+        yield from fs.write_file(0, "/f", 8 * fs.block_size)
+        used = fs.alloc.allocated
+        yield from fs.write_file(0, "/f", fs.block_size)
+        assert fs.alloc.allocated < used
+        size = yield from fs.read_file(0, "/f")
+        assert size == fs.block_size
+
+    run_proc(fs.cluster, p())
+
+
+def test_cache_hits_on_rereads(fs):
+    def p():
+        yield from fs.create(0, "/f")
+        yield from fs.write_file(0, "/f", 4096)
+        yield from fs.read_file(0, "/f")
+        yield from fs.read_file(0, "/f")
+
+    run_proc(fs.cluster, p())
+    assert fs.dev.cache_hit_rate() > 0
+
+
+def test_uncached_mode_never_hits(raidx_cluster):
+    fs = FileSystem(raidx_cluster, FsConfig(cached=False))
+
+    def p():
+        yield from fs.create(0, "/f")
+        yield from fs.write_file(0, "/f", 4096)
+        yield from fs.read_file(0, "/f")
+        yield from fs.read_file(0, "/f")
+
+    run_proc(fs.cluster, p())
+    assert fs.dev.cache_hit_rate() == 0.0
+
+
+def test_write_invalidates_peer_cache(fs):
+    def p():
+        yield from fs.create(0, "/f")
+        yield from fs.write_file(0, "/f", 4096)
+        yield from fs.read_file(1, "/f")  # node 1 caches the data
+        hits_before = fs.dev.caches[1].invalidations
+        yield from fs.write_file(0, "/f", 4096)
+        assert fs.dev.caches[1].invalidations > hits_before
+
+    run_proc(fs.cluster, p())
+
+
+def test_rename_within_directory(fs):
+    def p():
+        yield from fs.create(0, "/old")
+        yield from fs.write_file(0, "/old", 5000)
+        yield from fs.rename(0, "/old", "/new")
+        assert not (yield from fs.exists(0, "/old"))
+        size = yield from fs.read_file(1, "/new")
+        assert size == 5000
+
+    run_proc(fs.cluster, p())
+
+
+def test_rename_across_directories(fs):
+    def p():
+        yield from fs.mkdir(0, "/a")
+        yield from fs.mkdir(0, "/b")
+        yield from fs.create(0, "/a/f")
+        yield from fs.rename(0, "/a/f", "/b/g")
+        names_a = yield from fs.readdir(0, "/a")
+        names_b = yield from fs.readdir(0, "/b")
+        assert names_a == [] and names_b == ["g"]
+
+    run_proc(fs.cluster, p())
+
+
+def test_rename_onto_existing_rejected(fs):
+    def p():
+        yield from fs.create(0, "/x")
+        yield from fs.create(0, "/y")
+        yield from fs.rename(0, "/x", "/y")
+
+    with pytest.raises(FileExists):
+        run_proc(fs.cluster, p())
+
+
+def test_rename_directory_into_itself_rejected(fs):
+    def p():
+        yield from fs.mkdir(0, "/d")
+        yield from fs.rename(0, "/d", "/d/sub")
+
+    with pytest.raises(FileSystemError):
+        run_proc(fs.cluster, p())
+
+
+def test_rename_missing_source_rejected(fs):
+    def p():
+        yield from fs.rename(0, "/ghost", "/elsewhere")
+
+    with pytest.raises(FileNotFound):
+        run_proc(fs.cluster, p())
+
+
+def test_rename_directory_moves_subtree(fs):
+    def p():
+        yield from fs.mkdir(0, "/proj")
+        yield from fs.create(0, "/proj/f")
+        yield from fs.write_file(0, "/proj/f", 1234)
+        yield from fs.rename(0, "/proj", "/archive")
+        size = yield from fs.read_file(2, "/archive/f")
+        assert size == 1234
+
+    run_proc(fs.cluster, p())
+
+
+def test_op_counters(fs):
+    def p():
+        yield from fs.mkdir(0, "/d")
+        yield from fs.create(0, "/d/f")
+        yield from fs.stat(0, "/d/f")
+
+    run_proc(fs.cluster, p())
+    ops = fs.op_counts()
+    assert ops["mkdir"] == 1 and ops["create"] == 1 and ops["stat"] == 1
+
+
+def test_simulated_time_advances_with_io(fs):
+    env = fs.cluster.env
+
+    def p():
+        yield from fs.create(0, "/f")
+        yield from fs.write_file(0, "/f", 100_000)
+
+    t0 = env.now
+    run_proc(fs.cluster, p())
+    assert env.now > t0

@@ -1,0 +1,80 @@
+"""Inode structure and inode-table addressing."""
+
+import pytest
+
+from repro.errors import FileSystemError, NoSpaceError
+from repro.fs.inode import (
+    FileType,
+    Inode,
+    InodeTable,
+    N_DIRECT,
+)
+
+
+def test_attach_blocks_spills_to_indirect():
+    ino = Inode(ino=0, type=FileType.FILE)
+    ino.attach_blocks(list(range(N_DIRECT + 3)))
+    assert len(ino.direct) == N_DIRECT
+    assert ino.indirect == [N_DIRECT, N_DIRECT + 1, N_DIRECT + 2]
+    assert ino.block_list() == list(range(N_DIRECT + 3))
+
+
+def test_nth_block_bounds():
+    ino = Inode(ino=0, type=FileType.FILE)
+    ino.attach_blocks([7, 8])
+    assert ino.nth_block(1) == 8
+    with pytest.raises(FileSystemError):
+        ino.nth_block(2)
+
+
+def test_truncate_returns_everything():
+    ino = Inode(ino=0, type=FileType.FILE, size=100)
+    ino.attach_blocks([1, 2, 3])
+    ino.indirect_block = 99
+    freed = ino.truncate_blocks()
+    assert sorted(freed) == [1, 2, 3, 99]
+    assert ino.size == 0 and ino.block_list() == []
+    assert ino.indirect_block is None
+
+
+def test_needs_indirect():
+    ino = Inode(ino=0, type=FileType.FILE)
+    assert not ino.needs_indirect(N_DIRECT)
+    assert ino.needs_indirect(N_DIRECT + 1)
+
+
+def test_table_block_addressing():
+    t = InodeTable(first_block=10, n_inodes=100, block_size=4096)
+    assert t.inodes_per_block == 32
+    assert t.block_of(0) == 10
+    assert t.block_of(31) == 10
+    assert t.block_of(32) == 11
+    with pytest.raises(FileSystemError):
+        t.block_of(100)
+
+
+def test_table_allocate_release():
+    t = InodeTable(0, 4, 4096)
+    inos = [t.allocate(FileType.FILE, now=1.0) for _ in range(4)]
+    assert len({i.ino for i in inos}) == 4
+    with pytest.raises(NoSpaceError):
+        t.allocate(FileType.FILE, now=1.0)
+    t.release(inos[0].ino)
+    again = t.allocate(FileType.DIRECTORY, now=2.0)
+    assert again.ino == inos[0].ino
+    assert again.is_dir
+
+
+def test_table_stale_access_rejected():
+    t = InodeTable(0, 4, 4096)
+    ino = t.allocate(FileType.FILE, now=0.0)
+    t.release(ino.ino)
+    with pytest.raises(FileSystemError):
+        t.get(ino.ino)
+    with pytest.raises(FileSystemError):
+        t.release(ino.ino)
+
+
+def test_table_n_blocks_rounds_up():
+    t = InodeTable(0, 33, 4096)  # 32 per block -> 2 blocks
+    assert t.n_blocks == 2

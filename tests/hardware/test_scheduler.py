@@ -1,0 +1,80 @@
+"""Disk queue disciplines: FIFO, SSTF, LOOK, and priority classes."""
+
+import pytest
+
+from repro.hardware.disk import DiskRequest
+from repro.io.scheduler import (
+    FifoScheduler,
+    LookScheduler,
+    SstfScheduler,
+    make_scheduler,
+)
+
+
+def req(offset, priority=0):
+    return DiskRequest(op="read", offset=offset, nbytes=1, priority=priority)
+
+
+def drain(sched, head=0):
+    out = []
+    while not sched.empty():
+        r = sched.pop(head=head)
+        out.append(r.offset)
+        head = r.offset
+    return out
+
+
+def test_fifo_preserves_arrival_order():
+    s = FifoScheduler()
+    for off in (50, 10, 30):
+        s.push(req(off))
+    assert drain(s) == [50, 10, 30]
+
+
+def test_sstf_picks_nearest():
+    s = SstfScheduler()
+    for off in (100, 10, 55):
+        s.push(req(off))
+    assert drain(s, head=50) == [55, 100, 10]
+
+
+def test_look_sweeps_then_reverses():
+    s = LookScheduler()
+    for off in (10, 90, 60, 40):
+        s.push(req(off))
+    # Head at 50 sweeping up: 60, 90; reverse: 40, 10.
+    assert drain(s, head=50) == [60, 90, 40, 10]
+
+
+def test_priority_class_respected_across_policies():
+    for cls in (FifoScheduler, SstfScheduler, LookScheduler):
+        s = cls()
+        s.push(req(10, priority=1))
+        s.push(req(99, priority=0))
+        first = s.pop(head=0)
+        assert first.priority == 0, cls.__name__
+
+
+def test_pop_empty_raises():
+    s = FifoScheduler()
+    with pytest.raises(IndexError):
+        s.pop(head=0)
+
+
+def test_len_tracks_pushes():
+    s = SstfScheduler()
+    assert len(s) == 0 and s.empty()
+    s.push(req(1))
+    s.push(req(2))
+    assert len(s) == 2 and not s.empty()
+    s.pop(head=0)
+    assert len(s) == 1
+
+
+def test_make_scheduler_names():
+    assert isinstance(make_scheduler(None), FifoScheduler)
+    assert isinstance(make_scheduler("fcfs"), FifoScheduler)
+    assert isinstance(make_scheduler("SSTF"), SstfScheduler)
+    assert isinstance(make_scheduler("elevator"), LookScheduler)
+    with pytest.raises(ValueError):
+        make_scheduler("cfq")

@@ -1,0 +1,204 @@
+"""End-to-end assertions of the paper's qualitative results.
+
+These run the real simulator on a reduced Trojans configuration (to stay
+fast) and check the *shapes* the paper reports: who wins, roughly by how
+much, and how curves scale with clients.  The full-scale numbers are
+produced by the ``benchmarks/`` scripts.
+"""
+
+import pytest
+
+from repro.cluster.cluster import build_cluster
+from repro.config import trojans_cluster
+from repro.units import KiB, MB
+from repro.workloads.parallel_io import (
+    ParallelIOWorkload,
+    large_read,
+    large_write,
+    small_write,
+)
+
+
+def bw(arch, maker, clients, n=12):
+    cluster = build_cluster(trojans_cluster(n=n), architecture=arch)
+    return maker(cluster, clients).run().aggregate_bandwidth_mb_s
+
+
+@pytest.fixture(scope="module")
+def fig5_12cl():
+    """One pass of the Fig.-5 measurements at 12 clients, shared."""
+    out = {}
+    for arch in ("nfs", "raid5", "raid10", "raidx"):
+        out[arch] = {
+            "LR": bw(arch, large_read, 12),
+            "LW": bw(arch, large_write, 12),
+            "SW": bw(arch, small_write, 12),
+        }
+    return out
+
+
+def test_reads_scale_nfs_flat(fig5_12cl):
+    lr1 = bw("nfs", large_read, 1)
+    assert fig5_12cl["nfs"]["LR"] < 2.0 * lr1  # server-bound: ~flat
+    rx1 = bw("raidx", large_read, 1)
+    assert fig5_12cl["raidx"]["LR"] > 2.5 * rx1  # distributed: scales
+
+
+def test_raidx_read_beats_nfs_by_factor(fig5_12cl):
+    """Conclusions: parallel reads ~3.7x NFS at 12 clients."""
+    ratio = fig5_12cl["raidx"]["LR"] / fig5_12cl["nfs"]["LR"]
+    assert 2.0 < ratio < 8.0
+
+
+def test_large_write_ordering(fig5_12cl):
+    """Fig. 5c: RAID-x > RAID-10 > RAID-5 >> NFS."""
+    r = fig5_12cl
+    assert r["raidx"]["LW"] > r["raid10"]["LW"] > r["raid5"]["LW"]
+    assert r["raid5"]["LW"] > r["nfs"]["LW"]
+
+
+def test_raidx_large_write_factor_over_raid10(fig5_12cl):
+    """OSM's background mirroring ~doubles foreground write bandwidth."""
+    ratio = fig5_12cl["raidx"]["LW"] / fig5_12cl["raid10"]["LW"]
+    assert 1.3 < ratio < 3.0
+
+
+def test_small_write_raidx_3x_raid5(fig5_12cl):
+    """Conclusions: small writes ~3x RAID-5."""
+    ratio = fig5_12cl["raidx"]["SW"] / fig5_12cl["raid5"]["SW"]
+    assert 2.0 < ratio < 5.0
+
+
+def test_reads_comparable_across_distributed(fig5_12cl):
+    """Fig. 5a: the three distributed layouts read at similar rates."""
+    r = fig5_12cl
+    reads = [r["raidx"]["LR"], r["raid10"]["LR"], r["raid5"]["LR"]]
+    assert max(reads) / min(reads) < 1.3
+
+
+def test_improvement_factor_raidx_highest():
+    """Table 3: RAID-x shows the strongest 12-vs-1 improvement in
+    writes among the distributed arrays; NFS the weakest."""
+    imp = {}
+    for arch in ("nfs", "raid5", "raid10", "raidx"):
+        one = bw(arch, large_write, 1)
+        twelve = bw(arch, large_write, 12)
+        imp[arch] = twelve / one
+    assert imp["raidx"] >= imp["raid10"]
+    assert imp["raidx"] > imp["nfs"]
+
+
+def test_raidx_write_latency_hides_mirroring():
+    """A single small write completes in ~half the RAID-10 time."""
+
+    def latency(arch):
+        cluster = build_cluster(
+            trojans_cluster(n=12), architecture=arch
+        )
+        wl = ParallelIOWorkload(cluster, 1, op="write", size=32 * KiB)
+        return wl.run().elapsed
+
+    assert latency("raidx") < latency("raid10")
+
+
+def test_andrew_ordering():
+    """Fig. 6: RAID-x best, RAID-5 worst among the arrays, NFS poor."""
+    from repro.workloads.andrew import AndrewBenchmark, AndrewConfig
+
+    cfg = AndrewConfig(n_dirs=3, files_per_dir=3)
+    totals = {}
+    for arch in ("nfs", "raid5", "raid10", "raidx"):
+        cluster = build_cluster(trojans_cluster(), architecture=arch)
+        totals[arch] = AndrewBenchmark(cluster, 8, config=cfg).run().total
+    assert totals["raidx"] <= totals["raid10"]
+    assert totals["raidx"] < totals["raid5"]
+    assert totals["raidx"] < totals["nfs"]
+    # RAID-5's small-write problem dominates at higher client counts.
+    assert totals["raid5"] > totals["raid10"]
+
+
+def test_checkpoint_tradeoff():
+    """Fig. 7: staggering trades epoch time for per-process overhead."""
+    from repro.checkpoint import CheckpointConfig, CheckpointRun
+
+    results = {}
+    for scheme, groups in (
+        ("parallel", None),
+        ("striped_staggered", 3),
+        ("staggered", None),
+    ):
+        cluster = build_cluster(trojans_cluster(), architecture="raidx")
+        cfg = CheckpointConfig(
+            processes=12,
+            state_bytes=2 * MB,
+            scheme=scheme,
+            stagger_groups=groups,
+        )
+        results[scheme] = CheckpointRun(cluster, cfg).run()
+    # Epoch wall clock: parallel < striped_staggered < staggered.
+    assert (
+        results["parallel"].total_time
+        < results["striped_staggered"].total_time
+        < results["staggered"].total_time
+    )
+    # Per-process overhead C: the other way around.
+    mean_c = {
+        k: sum(r.per_process_write.values()) / r.processes
+        for k, r in results.items()
+    }
+    assert (
+        mean_c["staggered"]
+        < mean_c["striped_staggered"]
+        < mean_c["parallel"]
+    )
+
+
+def test_transient_recovery_faster_than_permanent():
+    """§6: local-mirror recovery beats striped degraded recovery."""
+    from repro.checkpoint import CheckpointConfig, CheckpointRun, recover
+    from tests.conftest import run_proc
+
+    cluster = build_cluster(trojans_cluster(), architecture="raidx")
+    cfg = CheckpointConfig(processes=12, state_bytes=2 * MB)
+    run = CheckpointRun(cluster, cfg)
+    run.run()
+    run_proc(cluster, cluster.storage.drain())
+    t = recover(run, 2, "transient")
+    p = recover(run, 2, "permanent")
+    assert t.used_local_mirror and not p.used_local_mirror
+    assert t.elapsed < p.elapsed
+
+
+def test_pipelined_disk_groups_raise_bandwidth():
+    """Fig. 3: 'Consecutive stripe groups can be accessed in a
+    pipelined fashion, because they are retrieved from disk groups
+    attached to the same SCSI buses' — adding disks per node (k) lifts
+    per-node throughput even though node count is fixed."""
+    from tests.conftest import small_config
+
+    def read_bw(k):
+        cluster = build_cluster(
+            small_config(n=4, k=k), architecture="raidx"
+        )
+        wl = ParallelIOWorkload(
+            cluster, 4, op="read", size=2 * MB, queue_depth=8
+        )
+        return wl.run().aggregate_bandwidth_mb_s
+
+    one, two, three = read_bw(1), read_bw(2), read_bw(3)
+    assert two > 1.5 * one
+    assert three > two
+
+
+def test_4x3_array_tolerates_three_spread_failures():
+    """§6: the 4×3 RAID-x array survives 3 failures in 3 groups."""
+    from repro.workloads.parallel_io import ParallelIOWorkload
+
+    cluster = build_cluster(
+        trojans_cluster(n=4, k=3), architecture="raidx"
+    )
+    for disk in (0, 5, 10):  # one per disk group
+        cluster.storage.fail_disk(disk)
+    assert cluster.storage.layout.tolerates(cluster.storage.failed_disks)
+    r = ParallelIOWorkload(cluster, 4, op="read", size=512 * KiB).run()
+    assert r.elapsed > 0  # degraded but every block served

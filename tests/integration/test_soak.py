@@ -1,0 +1,116 @@
+"""Soak test: everything at once, for a long simulated stretch.
+
+Locking enabled, file-system churn, raw block traffic, Zipf hot spots,
+a disk failure and repair mid-run, background mirror flushes, and a
+final full-state audit.  The point is cross-feature interference: each
+subsystem works alone (unit tests); this checks they work *together*.
+"""
+
+import pytest
+
+from repro.cluster.cluster import build_cluster
+from repro.fault import FailureEvent, FaultInjector
+from repro.fs import FileSystem, FsConfig
+from repro.units import KiB, MB
+from tests.conftest import run_proc, small_config
+
+
+def test_soak_raidx_full_stack():
+    cluster = build_cluster(
+        small_config(n=4, disk_mb=128),
+        architecture="raidx",
+        locking=True,
+    )
+    env = cluster.env
+    fs = FileSystem(cluster, FsConfig(cache_blocks_per_node=64))
+    rng = cluster.rand.stream("soak")
+
+    injector = FaultInjector(
+        cluster,
+        [
+            FailureEvent(0.4, disk=2, action="fail"),
+            FailureEvent(1.2, disk=2, action="repair"),
+        ],
+    )
+    injector.start()
+
+    file_sizes = {}
+
+    def fs_churn(client):
+        root = f"/u{client}"
+        yield from fs.mkdir(client, root)
+        for i in range(6):
+            path = f"{root}/f{i}"
+            size = int(rng.integers(1_000, 40_000))
+            yield from fs.create(client, path)
+            yield from fs.write_file(client, path, size)
+            file_sizes[path] = size
+            if i % 2:
+                got = yield from fs.read_file(client, path)
+                assert got == size
+        names = yield from fs.readdir(client, root)
+        assert len(names) == 6
+
+    def block_churn(client):
+        base = 40 * MB + client * 12 * MB
+        for i in range(10):
+            op = "write" if i % 3 else "read"
+            off = base + int(rng.integers(0, 64)) * 32 * KiB
+            yield cluster.storage.submit(client, op, off, 32 * KiB)
+
+    def driver():
+        procs = []
+        for c in range(4):
+            procs.append(env.process(fs_churn(c)))
+            procs.append(env.process(block_churn(c)))
+        yield env.all_of(procs)
+        yield from cluster.storage.drain()
+
+    run_proc(cluster, driver())
+
+    # Audit: every file still stats and reads at its recorded size.
+    def audit():
+        for path, size in file_sizes.items():
+            st = yield from fs.stat(0, path)
+            assert st.size == size
+            got = yield from fs.read_file(1, path)
+            assert got == size
+
+    run_proc(cluster, audit())
+
+    # System-level invariants after the storm.
+    assert injector.log.data_loss_at is None
+    assert len(injector.log.applied) == 2
+    assert cluster.storage.pending_background_flushes == 0
+    assert not cluster.storage._dirty_groups
+    assert len(cluster.lock_manager.table) == 0  # all locks released
+    assert cluster.lock_manager.table.grants == (
+        cluster.lock_manager.table.releases
+    )
+    assert env.now > 0.5
+    st = cluster.transport.stats
+    assert st.remote_block_ops > 0 and st.local_block_ops > 0
+
+
+@pytest.mark.parametrize("arch", ["raid5", "raid10", "chained"])
+def test_soak_other_architectures_brief(arch):
+    cluster = build_cluster(
+        small_config(n=4, disk_mb=128), architecture=arch, locking=True
+    )
+    env = cluster.env
+    fs = FileSystem(cluster)
+
+    def driver(client):
+        root = f"/w{client}"
+        yield from fs.mkdir(client, root)
+        for i in range(4):
+            path = f"{root}/f{i}"
+            yield from fs.create(client, path)
+            yield from fs.write_file(client, path, 9_000)
+            got = yield from fs.read_file((client + 1) % 4, path)
+            assert got == 9_000
+            yield from fs.unlink(client, path)
+
+    procs = [env.process(driver(c)) for c in range(4)]
+    env.run(env.all_of(procs))
+    assert len(cluster.lock_manager.table) == 0

@@ -1,0 +1,80 @@
+"""Hypothesis: the block allocator against a reference set model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.errors import NoSpaceError
+from repro.fs.allocator import BlockAllocator
+
+
+@given(
+    n=st.integers(min_value=1, max_value=200),
+    requests=st.lists(st.integers(min_value=1, max_value=20), max_size=20),
+)
+@settings(max_examples=60, deadline=None)
+def test_allocations_unique_and_in_range(n, requests):
+    a = BlockAllocator(first_block=7, n_blocks=n)
+    owned = set()
+    for count in requests:
+        if count > a.free_count:
+            try:
+                a.allocate(count)
+                raise AssertionError("expected NoSpaceError")
+            except NoSpaceError:
+                continue
+        got = a.allocate(count)
+        assert len(got) == count
+        for b in got:
+            assert 7 <= b < 7 + n
+            assert b not in owned
+            owned.add(b)
+    assert a.allocated == len(owned)
+
+
+class AllocatorMachine(RuleBasedStateMachine):
+    """Stateful test: allocate/free sequences preserve the bitmap."""
+
+    def __init__(self):
+        super().__init__()
+        self.alloc = BlockAllocator(first_block=0, n_blocks=64)
+        self.owned = set()
+
+    @rule(count=st.integers(min_value=1, max_value=16))
+    def allocate(self, count):
+        if count > self.alloc.free_count:
+            try:
+                self.alloc.allocate(count)
+                raise AssertionError("expected NoSpaceError")
+            except NoSpaceError:
+                return
+        got = self.alloc.allocate(count)
+        assert not (set(got) & self.owned)
+        self.owned |= set(got)
+
+    @precondition(lambda self: self.owned)
+    @rule(data=st.data())
+    def free_some(self, data):
+        subset = data.draw(
+            st.sets(st.sampled_from(sorted(self.owned)), min_size=1)
+        )
+        self.alloc.free(sorted(subset))
+        self.owned -= subset
+
+    @invariant()
+    def accounting_matches(self):
+        assert self.alloc.allocated == len(self.owned)
+        assert self.alloc.free_count == 64 - len(self.owned)
+        for b in range(64):
+            assert self.alloc.is_free(b) == (b not in self.owned)
+
+
+TestAllocatorMachine = AllocatorMachine.TestCase
+TestAllocatorMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,126 @@
+"""Hypothesis: the file system against an in-memory reference model.
+
+Random sequences of FS operations run both on the simulated FS (with all
+its I/O charging) and on a trivial dict-based model; observable state
+(existence, sizes, directory listings) must match.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.cluster import build_cluster
+from repro.errors import FileSystemError
+from repro.fs import FileSystem
+from tests.conftest import run_proc, small_config
+
+NAMES = st.sampled_from(["a", "b", "c", "d"])
+DIRS = st.sampled_from(["d1", "d2"])
+
+op_st = st.one_of(
+    st.tuples(st.just("mkdir"), DIRS),
+    st.tuples(st.just("create"), DIRS, NAMES),
+    st.tuples(
+        st.just("write"), DIRS, NAMES,
+        st.integers(min_value=0, max_value=40_000),
+    ),
+    st.tuples(st.just("unlink"), DIRS, NAMES),
+    st.tuples(st.just("readdir"), DIRS),
+)
+
+
+@given(ops=st.lists(op_st, max_size=25))
+@settings(max_examples=30, deadline=None)
+def test_fs_matches_reference_model(ops):
+    cluster = build_cluster(small_config(n=4), architecture="raid0")
+    fs = FileSystem(cluster)
+    model_dirs: dict = {}  # dir -> {name: size}
+
+    def apply(op):
+        kind = op[0]
+        if kind == "mkdir":
+            d = op[1]
+            expect_fail = d in model_dirs
+            try:
+                yield from fs.mkdir(0, f"/{d}")
+                assert not expect_fail
+                model_dirs[d] = {}
+            except FileSystemError:
+                assert expect_fail
+        elif kind == "create":
+            d, name = op[1], op[2]
+            expect_fail = d not in model_dirs or name in model_dirs.get(
+                d, {}
+            )
+            try:
+                yield from fs.create(0, f"/{d}/{name}")
+                assert not expect_fail
+                model_dirs[d][name] = 0
+            except FileSystemError:
+                assert expect_fail
+        elif kind == "write":
+            d, name, size = op[1], op[2], op[3]
+            expect_fail = (
+                d not in model_dirs or name not in model_dirs[d]
+            )
+            try:
+                yield from fs.write_file(0, f"/{d}/{name}", size)
+                assert not expect_fail
+                model_dirs[d][name] = size
+            except FileSystemError:
+                assert expect_fail
+        elif kind == "unlink":
+            d, name = op[1], op[2]
+            expect_fail = (
+                d not in model_dirs or name not in model_dirs[d]
+            )
+            try:
+                yield from fs.unlink(0, f"/{d}/{name}")
+                assert not expect_fail
+                del model_dirs[d][name]
+            except FileSystemError:
+                assert expect_fail
+        elif kind == "readdir":
+            d = op[1]
+            if d in model_dirs:
+                names = yield from fs.readdir(0, f"/{d}")
+                assert sorted(names) == sorted(model_dirs[d])
+            else:
+                try:
+                    yield from fs.readdir(0, f"/{d}")
+                    raise AssertionError("expected failure")
+                except FileSystemError:
+                    pass
+
+    def driver():
+        for op in ops:
+            yield from apply(op)
+        # Final audit: every modeled file stats to the right size.
+        for d, files in model_dirs.items():
+            for name, size in files.items():
+                stat = yield from fs.stat(1, f"/{d}/{name}")
+                assert stat.size == size
+
+    run_proc(cluster, driver())
+
+
+@given(
+    sizes=st.lists(
+        st.integers(min_value=0, max_value=100_000), min_size=1, max_size=8
+    )
+)
+@settings(max_examples=25, deadline=None)
+def test_rewrites_track_last_size_and_leak_no_blocks(sizes):
+    cluster = build_cluster(small_config(n=4), architecture="raid0")
+    fs = FileSystem(cluster)
+
+    def driver():
+        yield from fs.create(0, "/f")
+        for size in sizes:
+            yield from fs.write_file(0, "/f", size)
+        got = yield from fs.read_file(0, "/f")
+        assert got == sizes[-1]
+        yield from fs.unlink(0, "/f")
+
+    run_proc(cluster, driver())
+    # Only the root directory may hold blocks now.
+    assert fs.alloc.allocated <= 1

@@ -1,0 +1,45 @@
+"""n×k geometry enumeration and reconfiguration (4×3 ⇄ 6×2)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.raid import make_layout, reconfigure, valid_geometries
+
+
+def test_valid_geometries_of_12():
+    geoms = valid_geometries(12)
+    assert (12, 1) in geoms and (4, 3) in geoms and (6, 2) in geoms
+    assert (3, 4) in geoms
+    assert all(n * k == 12 for n, k in geoms)
+    assert geoms == sorted(geoms, key=lambda nk: -nk[0])
+
+
+def test_min_width_filter():
+    geoms = valid_geometries(12, min_width=4)
+    assert all(n >= 4 for n, _ in geoms)
+
+
+def test_reconfigure_4x3_to_6x2():
+    lay = make_layout(
+        "raidx", n_disks=12, block_size=1, disk_capacity=8, stripe_width=4
+    )
+    new = reconfigure(lay, 6, 2)
+    assert new.n == 6 and new.k == 2
+    assert new.n_disks == 12
+    new.verify_invariants(new.data_blocks)
+
+
+def test_reconfigure_wrong_product_rejected():
+    lay = make_layout(
+        "raidx", n_disks=12, block_size=1, disk_capacity=8, stripe_width=4
+    )
+    with pytest.raises(ConfigurationError):
+        reconfigure(lay, 5, 2)
+
+
+def test_reconfigure_preserves_type():
+    lay = make_layout(
+        "raid0", n_disks=12, block_size=1, disk_capacity=8, stripe_width=4
+    )
+    new = reconfigure(lay, 12, 1)
+    assert type(new) is type(lay)

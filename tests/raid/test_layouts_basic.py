@@ -1,0 +1,135 @@
+"""Capacity, addressing, and bounds behaviour common to all layouts."""
+
+import pytest
+
+from repro.errors import AddressError, ConfigurationError
+from repro.raid import LAYOUTS, make_layout
+from repro.units import KiB, MB
+
+
+def lay(name, n_disks=4, rows=64, stripe_width=None):
+    return make_layout(
+        name,
+        n_disks=n_disks,
+        block_size=32 * KiB,
+        disk_capacity=rows * 32 * KiB,
+        stripe_width=stripe_width,
+    )
+
+
+@pytest.mark.parametrize("name", sorted(LAYOUTS))
+def test_invariants_hold(name):
+    layout = lay(name)
+    layout.verify_invariants(layout.data_blocks)
+
+
+@pytest.mark.parametrize("name", sorted(LAYOUTS))
+def test_block_out_of_range_rejected(name):
+    layout = lay(name)
+    with pytest.raises(AddressError):
+        layout.data_location(layout.data_blocks)
+    with pytest.raises(AddressError):
+        layout.data_location(-1)
+
+
+def test_capacities_per_layout():
+    rows = 64
+    assert lay("raid0", rows=rows).data_blocks == 4 * rows
+    assert lay("raid5", rows=rows).data_blocks == 3 * rows
+    assert lay("raid10", rows=rows).data_blocks == 2 * rows
+    assert lay("chained", rows=rows).data_blocks == 4 * (rows // 2)
+    assert lay("raidx", rows=rows).data_blocks == 4 * (rows // 2)
+
+
+def test_unknown_layout_rejected():
+    with pytest.raises(ValueError):
+        make_layout("raid6", n_disks=4, block_size=1, disk_capacity=8)
+
+
+def test_too_few_disks_rejected():
+    with pytest.raises(ConfigurationError):
+        make_layout("raid0", n_disks=1, block_size=1, disk_capacity=8)
+
+
+def test_raid10_odd_disks_rejected():
+    with pytest.raises(ConfigurationError):
+        make_layout("raid10", n_disks=5, block_size=1, disk_capacity=8)
+
+
+def test_raidx_minimum_width():
+    with pytest.raises(ConfigurationError):
+        make_layout(
+            "raidx", n_disks=2, block_size=1, disk_capacity=8, stripe_width=2
+        )
+
+
+def test_stripe_width_must_divide_disks():
+    with pytest.raises(ConfigurationError):
+        make_layout(
+            "raid0", n_disks=6, block_size=1, disk_capacity=8, stripe_width=4
+        )
+
+
+@pytest.mark.parametrize("name", sorted(LAYOUTS))
+def test_stripe_blocks_partition_address_space(name):
+    layout = lay(name)
+    seen = set()
+    s = 0
+    while len(seen) < layout.data_blocks:
+        blocks = layout.stripe_blocks(s)
+        assert blocks, f"stripe {s} empty before covering all blocks"
+        for b in blocks:
+            assert b not in seen
+            assert layout.stripe_of(b) == s
+            seen.add(b)
+        s += 1
+    assert seen == set(range(layout.data_blocks))
+
+
+@pytest.mark.parametrize("name", ["raid10", "chained", "raidx"])
+def test_mirrored_layouts_have_one_image(name):
+    layout = lay(name)
+    for b in range(layout.data_blocks):
+        images = layout.redundancy_locations(b)
+        assert len(images) == 1
+        assert images[0].disk != layout.data_location(b).disk
+
+
+@pytest.mark.parametrize("name", ["raid0", "raid5"])
+def test_unmirrored_layouts_have_no_images(name):
+    layout = lay(name)
+    assert layout.redundancy_locations(0) == []
+
+
+def test_read_sources_primary_first_by_default():
+    layout = lay("raidx")
+    src = layout.read_sources(0)
+    assert src[0] == layout.data_location(0)
+
+
+def test_raid10_read_alternation_spreads_load():
+    layout = lay("raid10")
+    pair = layout.n_pairs
+    preferred = {layout.read_sources(b)[0].disk for b in range(4 * pair)}
+    assert len(preferred) > pair  # both copies get read traffic
+
+
+def test_node_and_group_helpers():
+    layout = lay("raidx", n_disks=12, stripe_width=4)
+    assert layout.node_of_disk(5) == 1
+    assert layout.disk_group(5) == 1
+    assert layout.disk_group(11) == 2
+
+
+def test_placement_map_renders():
+    layout = lay("raidx")
+    text = layout.placement_map(8)
+    assert "B0" in text and "M0" in text and "D0" in text
+
+
+def test_full_stripe_detection():
+    layout = lay("raid0")
+    width = layout.stripe_width
+    assert layout.full_stripe(list(range(width)))
+    assert not layout.full_stripe(list(range(width - 1)))
+    assert layout.full_stripe(list(range(width * 2)))

@@ -1,0 +1,82 @@
+"""Layout-to-layout migration planning and execution."""
+
+import pytest
+
+from repro.cluster.cluster import build_cluster
+from repro.errors import ConfigurationError
+from repro.raid import make_layout, migration_plan, reconfigure
+from repro.raid.migrate import execute_migration
+from tests.conftest import small_config
+
+
+def lay(name, stripe_width=None, rows=16):
+    return make_layout(
+        name,
+        n_disks=12,
+        block_size=1,
+        disk_capacity=rows,
+        stripe_width=stripe_width,
+    )
+
+
+def test_identity_migration_is_empty():
+    a = lay("raidx", stripe_width=4)
+    plan = migration_plan(a, lay("raidx", stripe_width=4))
+    assert len(plan) == 0
+    assert plan.moved_fraction == 0.0
+
+
+def test_4x3_to_6x2_moves_nothing_for_data():
+    """RAID-x data striping is width-independent (block i -> disk i mod
+    D), so reconfiguration only relocates *images*, not data blocks."""
+    a = lay("raidx", stripe_width=4)
+    b = reconfigure(a, 6, 2)
+    plan = migration_plan(a, b)
+    assert len(plan) == 0
+
+
+def test_raid0_to_raid5_moves_most_blocks():
+    a = lay("raid0")
+    b = lay("raid5")
+    plan = migration_plan(a, b, max_blocks=a.data_blocks)
+    assert plan.blocks_checked == min(a.data_blocks, b.data_blocks)
+    assert plan.moved_fraction > 0.5
+    for mv in plan.moves:
+        assert mv.src != mv.dst
+        assert a.data_location(mv.block) == mv.src
+        assert b.data_location(mv.block) == mv.dst
+
+
+def test_mismatched_layouts_rejected():
+    a = lay("raid0")
+    b = make_layout("raid0", n_disks=6, block_size=1, disk_capacity=16)
+    with pytest.raises(ConfigurationError):
+        migration_plan(a, b)
+
+
+def test_max_blocks_truncates():
+    a = lay("raid0")
+    b = lay("raid10")
+    plan = migration_plan(a, b, max_blocks=10)
+    assert plan.blocks_checked == 10
+
+
+def test_execute_migration_moves_bytes():
+    cluster = build_cluster(small_config(n=4), architecture="raid0")
+    old = cluster.storage.layout
+    new = make_layout(
+        "raid10",
+        n_disks=old.n_disks,
+        block_size=old.block_size,
+        disk_capacity=old.disk_capacity,
+    )
+    plan = migration_plan(old, new, max_blocks=32)
+    result = execute_migration(cluster, plan)
+    assert result.moves == len(plan)
+    assert result.bytes_moved == len(plan) * old.block_size
+    assert result.elapsed > 0
+    assert result.rate_mb_s > 0
+    # Every move did one read and one write at the disk level.
+    reads = sum(d.stats.reads for d in cluster.all_disks())
+    writes = sum(d.stats.writes for d in cluster.all_disks())
+    assert reads == len(plan) and writes == len(plan)

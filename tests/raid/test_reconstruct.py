@@ -1,0 +1,91 @@
+"""Rebuild planning correctness and execution."""
+
+import pytest
+
+from repro.cluster.cluster import build_cluster
+from repro.errors import DataLossError, LayoutError
+from repro.raid import make_layout
+from repro.raid.reconstruct import execute_rebuild, plan_rebuild
+from tests.conftest import small_config
+
+
+def lay(name, n_disks=4, rows=8):
+    return make_layout(
+        name, n_disks=n_disks, block_size=1, disk_capacity=rows
+    )
+
+
+def test_plan_covers_all_lost_blocks_raid10():
+    layout = lay("raid10")
+    steps = plan_rebuild(layout, 0)
+    # Disk 0 is the primary of pair 0: rows blocks lost.
+    lost = [
+        b
+        for b in range(layout.data_blocks)
+        if layout.data_location(b).disk == 0
+    ]
+    targets = {s.target for s in steps}
+    for b in lost:
+        assert layout.data_location(b) in targets
+    assert all(len(s.sources) == 1 and not s.xor for s in steps)
+
+
+def test_plan_mirror_side_rebuild():
+    layout = lay("raid10")
+    steps = plan_rebuild(layout, 1)  # the mirror disk of pair 0
+    assert steps
+    for s in steps:
+        assert s.target.disk == 1
+        assert s.sources[0].disk == 0
+
+
+def test_plan_raid5_uses_xor():
+    layout = lay("raid5")
+    steps = plan_rebuild(layout, 2)
+    assert steps
+    for s in steps:
+        assert s.xor
+        assert len(s.sources) == layout.n_disks - 1
+        assert all(src.disk != 2 for src in s.sources)
+
+
+def test_plan_raid5_includes_parity_blocks():
+    layout = lay("raid5")
+    steps = plan_rebuild(layout, 0)
+    parity_targets = [
+        s for s in steps if s.target.disk == 0 and s.xor
+    ]
+    assert parity_targets
+
+
+def test_plan_raidx_sources_avoid_failed_disk():
+    layout = make_layout(
+        "raidx", n_disks=4, block_size=1, disk_capacity=8, stripe_width=4
+    )
+    steps = plan_rebuild(layout, 3)
+    assert steps
+    for s in steps:
+        assert s.target.disk == 3
+        assert all(src.disk != 3 for src in s.sources)
+
+
+def test_plan_raid0_raises():
+    layout = lay("raid0")
+    with pytest.raises(DataLossError):
+        plan_rebuild(layout, 0)
+
+
+def test_plan_bad_disk_rejected():
+    with pytest.raises(LayoutError):
+        plan_rebuild(lay("raid10"), 99)
+
+
+def test_execute_rebuild_counts_bytes():
+    cluster = build_cluster(small_config(n=4), architecture="raidx")
+    cluster.storage.fail_disk(2)
+    cluster.storage.repair_disk(2)
+    r = execute_rebuild(cluster, 2, max_blocks=64)
+    assert r.blocks_rebuilt > 0
+    assert r.bytes_written == r.blocks_rebuilt * cluster.storage.block_size
+    assert r.elapsed > 0
+    assert r.rate_mb_s > 0

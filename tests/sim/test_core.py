@@ -1,0 +1,213 @@
+"""Environment scheduling and Process semantics."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt
+from repro.sim.core import SimulationError
+
+
+def test_clock_starts_at_initial_time():
+    env = Environment(initial_time=10.0)
+    assert env.now == 10.0
+    done = []
+
+    def p(env):
+        yield env.timeout(1)
+        done.append(env.now)
+
+    env.process(p(env))
+    env.run()
+    assert done == [11.0]
+
+
+def test_run_until_time(env):
+    ticks = []
+
+    def p(env):
+        while True:
+            yield env.timeout(1)
+            ticks.append(env.now)
+
+    env.process(p(env))
+    env.run(until=3.5)
+    assert ticks == [1, 2, 3]
+    assert env.now == 3.5
+
+
+def test_run_until_past_time_rejected(env):
+    env.run(until=5)
+    with pytest.raises(ValueError):
+        env.run(until=1)
+
+
+def test_run_until_event_returns_value(env):
+    def p(env):
+        yield env.timeout(2)
+        return "answer"
+
+    proc = env.process(p(env))
+    assert env.run(until=proc) == "answer"
+    assert env.now == 2
+
+
+def test_run_until_never_triggering_event_raises(env):
+    ev = env.event()  # nothing will trigger it
+
+    def p(env):
+        yield env.timeout(1)
+
+    env.process(p(env))
+    with pytest.raises(SimulationError):
+        env.run(until=ev)
+
+
+def test_run_until_already_processed_event(env):
+    ev = env.event()
+    ev.succeed("v")
+    env.run()
+    assert env.run(until=ev) == "v"
+
+
+def test_process_rejects_non_generator(env):
+    with pytest.raises(TypeError):
+        env.process(lambda: None)
+
+
+def test_process_return_value_via_yield(env):
+    def child(env):
+        yield env.timeout(1)
+        return 99
+
+    got = []
+
+    def parent(env):
+        v = yield env.process(child(env))
+        got.append(v)
+
+    env.process(parent(env))
+    env.run()
+    assert got == [99]
+
+
+def test_yield_non_event_fails_process(env):
+    def bad(env):
+        yield 42
+
+    proc = env.process(bad(env))
+    with pytest.raises(SimulationError):
+        env.run()
+    assert not proc.ok
+    assert isinstance(proc.value, TypeError)
+
+
+def test_exception_propagates_to_waiter(env):
+    def bad(env):
+        yield env.timeout(1)
+        raise KeyError("lost")
+
+    caught = []
+
+    def parent(env):
+        try:
+            yield env.process(bad(env))
+        except KeyError:
+            caught.append(env.now)
+
+    env.process(parent(env))
+    env.run()
+    assert caught == [1]
+
+
+def test_unhandled_process_exception_crashes_run(env):
+    def bad(env):
+        yield env.timeout(1)
+        raise KeyError("lost")
+
+    env.process(bad(env))
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_interrupt_delivers_cause(env):
+    causes = []
+
+    def victim(env):
+        try:
+            yield env.timeout(100)
+        except Interrupt as i:
+            causes.append((env.now, i.cause))
+
+    def attacker(env, v):
+        yield env.timeout(2)
+        v.interrupt("stop it")
+
+    v = env.process(victim(env))
+    env.process(attacker(env, v))
+    env.run()
+    assert causes == [(2, "stop it")]
+
+
+def test_interrupt_terminated_process_rejected(env):
+    def quick(env):
+        yield env.timeout(1)
+
+    v = env.process(quick(env))
+    env.run()
+    with pytest.raises(RuntimeError):
+        v.interrupt()
+
+
+def test_process_cannot_interrupt_itself(env):
+    def selfish(env):
+        me = env.active_process
+        me.interrupt()
+        yield env.timeout(1)
+
+    env.process(selfish(env))
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_active_process_tracking(env):
+    seen = []
+
+    def p(env):
+        seen.append(env.active_process is proc)
+        yield env.timeout(1)
+
+    proc = env.process(p(env))
+    env.run()
+    assert seen == [True]
+    assert env.active_process is None
+
+
+def test_deterministic_tie_breaking(env):
+    order = []
+
+    def p(env, tag):
+        yield env.timeout(1)
+        order.append(tag)
+
+    for tag in "abcd":
+        env.process(p(env, tag))
+    env.run()
+    assert order == list("abcd")
+
+
+def test_peek_and_len(env):
+    assert env.peek() == float("inf")
+    env.timeout(3)
+    env.timeout(1)
+    assert env.peek() == 1
+    assert len(env) == 2
+
+
+def test_is_alive_transitions(env):
+    def p(env):
+        yield env.timeout(1)
+
+    proc = env.process(p(env))
+    assert proc.is_alive
+    env.run()
+    assert not proc.is_alive
+    assert proc.ok

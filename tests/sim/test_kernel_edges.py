@@ -1,0 +1,174 @@
+"""Kernel corner cases: interrupts racing events, condition edge
+semantics, shared-channel churn, and event trigger mirroring."""
+
+import pytest
+
+from repro.sim import (
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    SharedChannel,
+)
+from repro.sim.core import SimulationError
+
+
+def test_interrupt_racing_completion_is_lost(env):
+    """An interrupt scheduled at the same instant the process finishes
+    is silently dropped — the process already terminated."""
+    def quick(env):
+        yield env.timeout(1)
+
+    victim = env.process(quick(env))
+
+    def attacker(env):
+        yield env.timeout(1)
+        if victim.is_alive:
+            victim.interrupt("too late?")
+
+    env.process(attacker(env))
+    env.run()  # must not raise
+    assert victim.ok
+
+
+def test_interrupted_process_can_continue(env):
+    out = []
+
+    def resilient(env):
+        for _ in range(3):
+            try:
+                yield env.timeout(10)
+                out.append("slept")
+            except Interrupt:
+                out.append("poked")
+
+    victim = env.process(resilient(env))
+
+    def attacker(env):
+        yield env.timeout(1)
+        victim.interrupt()
+        yield env.timeout(1)
+        victim.interrupt()
+
+    env.process(attacker(env))
+    env.run()
+    assert out == ["poked", "poked", "slept"]
+
+
+def test_event_trigger_mirrors_success(env):
+    src, dst = env.event(), env.event()
+    src.succeed("payload")
+    dst.trigger(src)
+    assert dst.triggered and dst.ok and dst.value == "payload"
+
+
+def test_event_trigger_mirrors_failure(env):
+    src, dst = env.event(), env.event()
+    src._ok = False
+    src._value = ValueError("x")
+    dst.trigger(src)
+    assert dst.triggered and not dst.ok
+    dst.defused()
+    env.run()
+
+
+def test_anyof_with_immediate_event(env):
+    ev = env.event()
+    ev.succeed("now")
+    got = []
+
+    def p(env):
+        v = yield AnyOf(env, [ev, env.timeout(100)])
+        got.append(env.now)
+
+    env.process(p(env))
+    env.run(until=50)
+    assert got == [0]
+
+
+def test_condition_failure_after_trigger_is_defused(env):
+    """A second failing member of an AnyOf must not crash the run."""
+    def fail_at(env, t):
+        yield env.timeout(t)
+        raise RuntimeError("late failure")
+
+    def p(env):
+        a = env.timeout(1)
+        b = env.process(fail_at(env, 2))
+        yield env.any_of([a, b])
+
+    env.process(p(env))
+    env.run()  # late failure of b is swallowed by the condition
+
+
+def test_shared_channel_many_overlapping_flows(env):
+    ch = SharedChannel(env, rate=100.0)
+    done = []
+
+    def flow(env, start, size):
+        yield env.timeout(start)
+        yield ch.transfer(size)
+        done.append(env.now)
+
+    for i in range(10):
+        env.process(flow(env, i * 0.1, 25.0))
+    env.run()
+    assert len(done) == 10
+    # Total work conservation: last completion >= total bytes / rate.
+    assert max(done) >= 10 * 25.0 / 100.0 - 1e-9
+    assert ch.active_flows == 0
+
+
+def test_environment_len_reflects_queue(env):
+    env.timeout(1)
+    env.timeout(2)
+    assert len(env) == 2
+    env.run()
+    assert len(env) == 0
+
+
+def test_nested_process_chains(env):
+    def leaf(env):
+        yield env.timeout(1)
+        return "leaf"
+
+    def middle(env):
+        v = yield env.process(leaf(env))
+        return v + "+middle"
+
+    def root(env):
+        v = yield env.process(middle(env))
+        return v + "+root"
+
+    assert env.run(env.process(root(env))) == "leaf+middle+root"
+
+
+def test_failure_through_nested_chain(env):
+    def leaf(env):
+        yield env.timeout(1)
+        raise KeyError("deep")
+
+    def middle(env):
+        yield env.process(leaf(env))
+
+    def root(env):
+        yield env.process(middle(env))
+
+    with pytest.raises(KeyError):
+        env.run(env.process(root(env)))
+
+
+def test_two_environments_are_isolated():
+    a, b = Environment(), Environment()
+    hits = []
+
+    def p(env, tag):
+        yield env.timeout(1)
+        hits.append(tag)
+
+    a.process(p(a, "a"))
+    b.process(p(b, "b"))
+    a.run()
+    assert hits == ["a"]
+    b.run()
+    assert hits == ["a", "b"]

@@ -1,0 +1,92 @@
+"""Monitor statistics and time-weighted signals."""
+
+import math
+
+import pytest
+
+from repro.sim import Monitor, TimeWeightedStat
+from repro.sim.monitor import merge_series, throughput_mb_s
+
+
+def test_monitor_basic_stats(env):
+    m = Monitor(env)
+    for v in (1.0, 2.0, 3.0, 4.0):
+        m.record(v)
+    assert m.mean() == pytest.approx(2.5)
+    assert m.total() == 10
+    assert m.min() == 1 and m.max() == 4
+    assert len(m) == 4
+    assert m.stddev() == pytest.approx(math.sqrt(1.25))
+
+
+def test_monitor_empty_is_nan(env):
+    m = Monitor(env)
+    assert math.isnan(m.mean())
+    assert math.isnan(m.min())
+    assert math.isnan(m.percentile(50))
+    assert math.isnan(m.stddev())
+
+
+def test_monitor_percentile_nearest_rank(env):
+    m = Monitor(env)
+    for v in range(1, 11):
+        m.record(v)
+    assert m.percentile(50) == 5
+    assert m.percentile(100) == 10
+    assert m.percentile(0) == 1
+    with pytest.raises(ValueError):
+        m.percentile(101)
+
+
+def test_monitor_records_time(env):
+    m = Monitor(env)
+
+    def p(env):
+        yield env.timeout(3)
+        m.record(7)
+
+    env.process(p(env))
+    env.run()
+    assert m.times == [3]
+    assert m.rate() == pytest.approx(7 / 3)
+
+
+def test_monitor_summary_keys(env):
+    m = Monitor(env)
+    m.record(1)
+    s = m.summary()
+    assert set(s) == {"count", "mean", "min", "max", "stddev", "total"}
+
+
+def test_time_weighted_average(env):
+    tw = TimeWeightedStat(env, initial=0)
+
+    def p(env):
+        yield env.timeout(2)
+        tw.update(10)  # value 0 for 2s
+        yield env.timeout(2)
+        tw.update(0)  # value 10 for 2s
+
+    env.process(p(env))
+    env.run()
+    assert tw.time_average() == pytest.approx(5.0)
+    assert tw.max == 10
+
+
+def test_time_weighted_add(env):
+    tw = TimeWeightedStat(env, initial=1)
+    tw.add(2)
+    assert tw.value == 3
+    tw.add(-3)
+    assert tw.value == 0
+
+
+def test_throughput_helper():
+    assert throughput_mb_s(2_000_000, 2.0) == pytest.approx(1.0)
+    assert math.isnan(throughput_mb_s(100, 0))
+
+
+def test_merge_series_sorts_by_time():
+    ts, vs = merge_series([(3, 30), (1, 10), (2, 20)])
+    assert ts == [1, 2, 3]
+    assert vs == [10, 20, 30]

@@ -1,0 +1,266 @@
+"""Resource, PriorityResource, Container, and Store behaviour."""
+
+import pytest
+
+from repro.sim import Container, Environment, PriorityResource, Resource, Store
+
+
+def test_resource_capacity_enforced(env):
+    res = Resource(env, capacity=2)
+    log = []
+
+    def worker(env, i):
+        with res.request() as req:
+            yield req
+            log.append(("start", i, env.now))
+            yield env.timeout(1)
+
+    for i in range(4):
+        env.process(worker(env, i))
+    env.run()
+    starts = {i: t for _, i, t in log}
+    assert starts[0] == 0 and starts[1] == 0
+    assert starts[2] == 1 and starts[3] == 1
+
+
+def test_resource_fifo_order(env):
+    res = Resource(env, capacity=1)
+    order = []
+
+    def worker(env, i):
+        with res.request() as req:
+            yield req
+            order.append(i)
+            yield env.timeout(1)
+
+    for i in range(5):
+        env.process(worker(env, i))
+    env.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_resource_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_release_without_hold_rejected(env):
+    res = Resource(env)
+    req = res.request()
+    env.run()
+    res.release(req)
+    with pytest.raises(RuntimeError):
+        res.release(req)
+
+
+def test_interrupted_waiter_releases_cleanly(env):
+    """``with res.request()`` must not corrupt the resource when the
+    waiting process is interrupted before its grant."""
+    from repro.sim import Interrupt
+
+    res = Resource(env, capacity=1)
+    order = []
+
+    def holder(env):
+        with res.request() as req:
+            yield req
+            yield env.timeout(5)
+
+    def impatient(env):
+        try:
+            with res.request() as req:
+                yield req
+                order.append("granted")
+        except Interrupt:
+            order.append("interrupted")
+
+    def third(env):
+        with res.request() as req:
+            yield req
+            order.append(("third", env.now))
+
+    env.process(holder(env))
+    victim = env.process(impatient(env))
+
+    def attacker(env):
+        yield env.timeout(1)
+        victim.interrupt()
+        env.process(third(env))
+
+    env.process(attacker(env))
+    env.run()
+    # The interrupted waiter left the queue; the third process got the
+    # slot as soon as the holder released it.
+    assert order == ["interrupted", ("third", 5)]
+    assert res.count == 0
+
+
+def test_release_of_already_released_request_still_errors(env):
+    res = Resource(env)
+    req = res.request()
+    env.run()
+    res.release(req)
+    with pytest.raises(RuntimeError):
+        res.release(req)
+
+
+def test_request_cancel_leaves_queue(env):
+    res = Resource(env, capacity=1)
+    first = res.request()
+    second = res.request()
+    second.cancel()
+    res.release(first)
+    assert not second.triggered
+    assert res.count == 0
+
+
+def test_priority_resource_serves_urgent_first(env):
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def worker(env, name, prio, delay):
+        yield env.timeout(delay)
+        req = res.request(priority=prio)
+        yield req
+        order.append(name)
+        yield env.timeout(10)
+        res.release(req)
+
+    env.process(worker(env, "holder", 0, 0))
+    env.process(worker(env, "low", 5, 1))
+    env.process(worker(env, "high", 1, 2))
+    env.run()
+    assert order == ["holder", "high", "low"]
+
+
+def test_priority_ties_are_fifo(env):
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def worker(env, name):
+        req = res.request(priority=3)
+        yield req
+        order.append(name)
+        yield env.timeout(1)
+        res.release(req)
+
+    for n in ("a", "b", "c"):
+        env.process(worker(env, n))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_container_blocks_until_available(env):
+    c = Container(env, capacity=10, init=0)
+    times = []
+
+    def consumer(env):
+        yield c.get(5)
+        times.append(env.now)
+
+    def producer(env):
+        yield env.timeout(2)
+        yield c.put(5)
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert times == [2]
+    assert c.level == 0
+
+
+def test_container_put_blocks_at_capacity(env):
+    c = Container(env, capacity=10, init=10)
+    done = []
+
+    def producer(env):
+        yield c.put(3)
+        done.append(env.now)
+
+    def consumer(env):
+        yield env.timeout(4)
+        yield c.get(3)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert done == [4]
+
+
+def test_container_validation(env):
+    with pytest.raises(ValueError):
+        Container(env, capacity=0)
+    with pytest.raises(ValueError):
+        Container(env, capacity=5, init=6)
+    c = Container(env, capacity=5)
+    with pytest.raises(ValueError):
+        c.put(0)
+    with pytest.raises(ValueError):
+        c.get(-1)
+
+
+def test_store_fifo(env):
+    s = Store(env)
+    got = []
+
+    def consumer(env):
+        for _ in range(3):
+            item = yield s.get()
+            got.append(item)
+
+    def producer(env):
+        for i in range(3):
+            yield env.timeout(1)
+            yield s.put(i)
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert got == [0, 1, 2]
+
+
+def test_store_filter_get(env):
+    s = Store(env)
+    got = []
+
+    def consumer(env):
+        item = yield s.get(lambda x: x % 2 == 0)
+        got.append(item)
+
+    def producer(env):
+        for i in (1, 3, 4, 5):
+            yield s.put(i)
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert got == [4]
+    assert s.items == [1, 3, 5]
+
+
+def test_store_capacity_blocks_put(env):
+    s = Store(env, capacity=1)
+    done = []
+
+    def producer(env):
+        yield s.put("a")
+        yield s.put("b")
+        done.append(env.now)
+
+    def consumer(env):
+        yield env.timeout(5)
+        yield s.get()
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert done == [5]
+
+
+def test_store_len(env):
+    s = Store(env)
+    s.put(1)
+    s.put(2)
+    env.run()
+    assert len(s) == 2

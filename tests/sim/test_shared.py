@@ -1,0 +1,184 @@
+"""BandwidthLink and SharedChannel timing semantics."""
+
+import pytest
+
+from repro.sim import BandwidthLink, SharedChannel
+
+
+def test_link_serializes_transfers(env):
+    link = BandwidthLink(env, rate=100.0)
+    done = {}
+
+    def t(env, i):
+        yield link.transfer(100)
+        done[i] = env.now
+
+    env.process(t(env, 0))
+    env.process(t(env, 1))
+    env.run()
+    assert done[0] == pytest.approx(1.0)
+    assert done[1] == pytest.approx(2.0)
+
+
+def test_link_latency_added_per_transfer(env):
+    link = BandwidthLink(env, rate=100.0, latency=0.25)
+    done = []
+
+    def t(env):
+        yield link.transfer(100)
+        done.append(env.now)
+
+    env.process(t(env))
+    env.run()
+    assert done == [pytest.approx(1.25)]
+
+
+def test_link_zero_bytes_costs_latency_only(env):
+    link = BandwidthLink(env, rate=100.0, latency=0.5)
+    done = []
+
+    def t(env):
+        yield link.transfer(0)
+        done.append(env.now)
+
+    env.process(t(env))
+    env.run()
+    assert done == [pytest.approx(0.5)]
+
+
+def test_link_validation(env):
+    with pytest.raises(ValueError):
+        BandwidthLink(env, rate=0)
+    with pytest.raises(ValueError):
+        BandwidthLink(env, rate=1, latency=-1)
+    link = BandwidthLink(env, rate=1)
+    with pytest.raises(ValueError):
+        link.transfer(-5)
+
+
+def test_link_utilization_accounting(env):
+    link = BandwidthLink(env, rate=100.0)
+
+    def t(env):
+        yield link.transfer(100)
+        yield env.timeout(1)  # idle second
+
+    env.process(t(env))
+    env.run()
+    assert link.utilization() == pytest.approx(0.5)
+    assert link.bytes_carried == 100
+
+
+def test_link_stretch_extends_duration(env):
+    link = BandwidthLink(env, rate=100.0)
+    done = []
+
+    def t(env):
+        yield link.transfer(100, stretch=0.5)
+        done.append(env.now)
+
+    env.process(t(env))
+    env.run()
+    assert done == [pytest.approx(1.5)]
+    assert link.congestion_delay == pytest.approx(0.5)
+
+
+def test_link_queue_congestion_model(env):
+    # threshold 0: every queued transfer beyond the first stretches.
+    link = BandwidthLink(
+        env, rate=100.0, congestion_threshold=0, congestion_penalty=0.5
+    )
+    done = {}
+
+    def t(env, i):
+        yield link.transfer(100)
+        done[i] = env.now
+
+    env.process(t(env, 0))
+    env.process(t(env, 1))
+    env.run()
+    assert done[0] == pytest.approx(1.0)  # outstanding=0 at enqueue
+    # second transfer sees outstanding=1 > 0 -> 50% stretch
+    assert done[1] == pytest.approx(1.0 + 1.5)
+
+
+def test_link_congestion_stretch_capped(env):
+    link = BandwidthLink(
+        env,
+        rate=100.0,
+        congestion_threshold=0,
+        congestion_penalty=10.0,
+        congestion_max_stretch=1.0,
+    )
+    done = {}
+
+    def t(env, i):
+        yield link.transfer(100)
+        done[i] = env.now
+
+    env.process(t(env, 0))
+    env.process(t(env, 1))
+    env.run()
+    assert done[1] == pytest.approx(1.0 + 2.0)  # at most 2x base
+
+
+def test_shared_channel_even_split(env):
+    ch = SharedChannel(env, rate=100.0)
+    done = {}
+
+    def t(env, i, size, start):
+        yield env.timeout(start)
+        yield ch.transfer(size)
+        done[i] = env.now
+
+    env.process(t(env, 0, 100, 0))
+    env.process(t(env, 1, 100, 0))
+    env.run()
+    assert done[0] == pytest.approx(2.0)
+    assert done[1] == pytest.approx(2.0)
+
+
+def test_shared_channel_late_joiner(env):
+    ch = SharedChannel(env, rate=100.0)
+    done = {}
+
+    def t(env, i, size, start):
+        yield env.timeout(start)
+        yield ch.transfer(size)
+        done[i] = env.now
+
+    env.process(t(env, 0, 100, 0))
+    env.process(t(env, 1, 50, 0.5))
+    env.run()
+    # flow0: 50B alone (0.5s), then shares; both finish together at 1.5.
+    assert done[0] == pytest.approx(1.5)
+    assert done[1] == pytest.approx(1.5)
+
+
+def test_shared_channel_zero_bytes_immediate(env):
+    ch = SharedChannel(env, rate=10.0)
+    done = []
+
+    def t(env):
+        yield ch.transfer(0)
+        done.append(env.now)
+
+    env.process(t(env))
+    env.run()
+    assert done == [0]
+
+
+def test_shared_channel_sequential_flows(env):
+    ch = SharedChannel(env, rate=100.0)
+    done = []
+
+    def t(env):
+        yield ch.transfer(100)
+        done.append(env.now)
+        yield ch.transfer(100)
+        done.append(env.now)
+
+    env.process(t(env))
+    env.run()
+    assert done == [pytest.approx(1.0), pytest.approx(2.0)]
+    assert ch.active_flows == 0

@@ -1,0 +1,134 @@
+"""Barrier, CountdownLatch, and Mutex."""
+
+import pytest
+
+from repro.sim import Barrier, CountdownLatch, Mutex
+
+
+def test_barrier_releases_all_together(env):
+    b = Barrier(env, 3)
+    out = []
+
+    def p(env, i):
+        yield env.timeout(i)
+        yield b.wait()
+        out.append((env.now, i))
+
+    for i in range(3):
+        env.process(p(env, i))
+    env.run()
+    assert [t for t, _ in out] == [2, 2, 2]
+
+
+def test_barrier_is_cyclic(env):
+    b = Barrier(env, 2)
+    gens = []
+
+    def p(env):
+        g1 = yield b.wait()
+        g2 = yield b.wait()
+        gens.append((g1, g2))
+
+    env.process(p(env))
+    env.process(p(env))
+    env.run()
+    assert gens == [(1, 2), (1, 2)]
+    assert b.generation == 2
+
+
+def test_barrier_n_waiting(env):
+    b = Barrier(env, 3)
+
+    def p(env):
+        yield b.wait()
+
+    env.process(p(env))
+    env.process(p(env))
+    env.run()
+    assert b.n_waiting == 2
+
+
+def test_barrier_validation(env):
+    with pytest.raises(ValueError):
+        Barrier(env, 0)
+
+
+def test_latch_fires_at_zero(env):
+    latch = CountdownLatch(env, 2)
+    done = []
+
+    def waiter(env):
+        yield latch.wait()
+        done.append(env.now)
+
+    def worker(env, d):
+        yield env.timeout(d)
+        latch.count_down()
+
+    env.process(waiter(env))
+    env.process(worker(env, 1))
+    env.process(worker(env, 4))
+    env.run()
+    assert done == [4]
+    assert latch.remaining == 0
+
+
+def test_latch_wait_after_fired(env):
+    latch = CountdownLatch(env, 1)
+    latch.count_down()
+    env.run()
+    done = []
+
+    def waiter(env):
+        yield latch.wait()
+        done.append(env.now)
+
+    env.process(waiter(env))
+    env.run()
+    assert done == [0]
+
+
+def test_latch_overflow_rejected(env):
+    latch = CountdownLatch(env, 1)
+    latch.count_down()
+    with pytest.raises(RuntimeError):
+        latch.count_down()
+
+
+def test_mutex_mutual_exclusion(env):
+    m = Mutex(env)
+    inside = []
+
+    def p(env, i):
+        req = m.acquire(owner=i)
+        yield req
+        inside.append(("in", i, env.now))
+        yield env.timeout(1)
+        inside.append(("out", i, env.now))
+        m.release(req)
+
+    env.process(p(env, 0))
+    env.process(p(env, 1))
+    env.run()
+    assert inside == [
+        ("in", 0, 0),
+        ("out", 0, 1),
+        ("in", 1, 1),
+        ("out", 1, 2),
+    ]
+
+
+def test_mutex_holder_tracking(env):
+    m = Mutex(env)
+    snapshots = []
+
+    def p(env):
+        req = m.acquire(owner="me")
+        yield req
+        snapshots.append((m.locked, m.holder))
+        m.release(req)
+        snapshots.append((m.locked, m.holder))
+
+    env.process(p(env))
+    env.run()
+    assert snapshots == [(True, "me"), (False, None)]

@@ -1,0 +1,87 @@
+"""Andrew benchmark structure and sanity of results."""
+
+import pytest
+
+from repro.cluster.cluster import build_cluster
+from repro.workloads.andrew import (
+    AndrewBenchmark,
+    AndrewConfig,
+    AndrewResult,
+)
+from tests.conftest import small_config
+
+TINY = AndrewConfig(n_dirs=2, files_per_dir=2)
+
+
+def run_andrew(arch="raidx", clients=2, config=TINY):
+    cluster = build_cluster(small_config(n=4), architecture=arch)
+    return AndrewBenchmark(cluster, clients, config=config).run()
+
+
+def test_all_phases_reported():
+    r = run_andrew()
+    assert set(r.phase_times) == set(AndrewResult.PHASES)
+    assert all(t >= 0 for t in r.phase_times.values())
+    assert r.total == pytest.approx(sum(r.phase_times.values()))
+
+
+def test_phases_take_time():
+    r = run_andrew()
+    assert r.phase_times["Copy"] > 0
+    assert r.phase_times["Make"] > 0
+
+
+def test_config_tree_math():
+    cfg = AndrewConfig(n_dirs=3, files_per_dir=2)
+    assert cfg.n_files == 6
+    assert cfg.tree_bytes == sum(
+        cfg.file_size(d, f) for d in range(3) for f in range(2)
+    )
+    assert cfg.file_size(0, 0) > 0
+
+
+def test_more_clients_take_longer():
+    t1 = run_andrew(clients=1).total
+    t4 = run_andrew(clients=4).total
+    assert t4 > t1
+
+
+def test_fs_op_mix_recorded():
+    r = run_andrew()
+    # Copy creates files; ScanDir stats them; ReadAll reads them.
+    assert r.fs_ops["create"] > 0
+    assert r.fs_ops["stat"] > 0
+    assert r.fs_ops["read_file"] > 0
+    assert r.fs_ops["mkdir"] > 0
+
+
+def test_work_trees_are_private():
+    cluster = build_cluster(small_config(n=4), architecture="raidx")
+    bench = AndrewBenchmark(cluster, 3, config=TINY)
+    roots = {bench.work_root(c) for c in range(3)}
+    assert len(roots) == 3
+
+
+def test_clients_wrap_nodes():
+    cluster = build_cluster(small_config(n=4), architecture="raidx")
+    bench = AndrewBenchmark(cluster, 6, config=TINY)
+    assert bench.node_of_client(5) == 1
+
+
+def test_cache_helps():
+    r = run_andrew()
+    assert r.cache_hit_rate > 0
+
+
+def test_invalid_clients():
+    cluster = build_cluster(small_config(n=4), architecture="raidx")
+    with pytest.raises(ValueError):
+        AndrewBenchmark(cluster, 0)
+
+
+def test_raid5_copy_slower_than_raidx():
+    """The small-write problem shows up in the Copy phase (Fig. 6)."""
+    cfg = AndrewConfig(n_dirs=2, files_per_dir=3)
+    raid5 = run_andrew("raid5", clients=3, config=cfg)
+    raidx = run_andrew("raidx", clients=3, config=cfg)
+    assert raid5.phase_times["Copy"] > raidx.phase_times["Copy"]

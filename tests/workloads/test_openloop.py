@@ -1,0 +1,79 @@
+"""Open-loop latency workload."""
+
+import pytest
+
+from repro.cluster.cluster import build_cluster
+from repro.workloads.openloop import LatencyResult, OpenLoopWorkload
+from tests.conftest import small_config
+
+
+def make(arch="raidx", **kw):
+    cluster = build_cluster(small_config(n=4), architecture=arch)
+    kw.setdefault("rate_ops_per_s", 200)
+    kw.setdefault("duration_s", 0.2)
+    return OpenLoopWorkload(cluster, **kw)
+
+
+def test_all_requests_complete():
+    wl = make()
+    r = wl.run()
+    assert r.completed == len(r.latencies)
+    assert r.completed > 10  # ~40 expected at 200 ops/s x 0.2 s
+    assert all(lat > 0 for lat in r.latencies)
+
+
+def test_rate_is_respected_roughly():
+    r = make(rate_ops_per_s=500, duration_s=0.4).run()
+    # Poisson with mean 200 arrivals; allow generous slack.
+    assert 100 < r.completed < 320
+
+
+def test_latency_stats():
+    r = make().run()
+    assert r.mean_latency() > 0
+    assert r.p95_latency() >= r.mean_latency()
+    assert r.achieved_ops_per_s > 0
+
+
+def test_saturation_flag():
+    calm = make(rate_ops_per_s=50, duration_s=0.3).run()
+    assert not calm.saturated
+    stormy = make(rate_ops_per_s=5000, duration_s=0.2).run()
+    assert stormy.saturated
+    assert stormy.mean_latency() > calm.mean_latency()
+
+
+def test_mixed_op_stream():
+    wl = make(op="mixed", read_fraction=0.5)
+    r = wl.run()
+    assert r.completed > 0
+
+
+def test_reads_supported():
+    r = make(op="read").run()
+    assert r.completed > 0
+
+
+def test_validation():
+    cluster = build_cluster(small_config(n=4), architecture="raidx")
+    with pytest.raises(ValueError):
+        OpenLoopWorkload(cluster, rate_ops_per_s=0)
+    with pytest.raises(ValueError):
+        OpenLoopWorkload(cluster, rate_ops_per_s=10, duration_s=0)
+    with pytest.raises(ValueError):
+        OpenLoopWorkload(cluster, rate_ops_per_s=10, op="erase")
+
+
+def test_deterministic_with_seed():
+    a = make(seed=7).run()
+    b = make(seed=7).run()
+    assert a.completed == b.completed
+    assert a.latencies == b.latencies
+
+
+def test_empty_result_statistics():
+    r = LatencyResult(offered_ops_per_s=10, completed=0, duration_s=1.0)
+    import math
+
+    assert math.isnan(r.mean_latency())
+    assert math.isnan(r.p95_latency())

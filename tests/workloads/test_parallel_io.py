@@ -1,0 +1,154 @@
+"""Parallel I/O workload mechanics and result math."""
+
+import pytest
+
+from repro.cluster.cluster import build_cluster
+from repro.units import KiB, MB
+from repro.workloads.base import chunked_io, client_node
+from repro.workloads.parallel_io import (
+    ParallelIOWorkload,
+    large_read,
+    small_read,
+    small_write,
+)
+from tests.conftest import run_proc, small_config
+
+
+def make_cluster(arch="raidx", n=4):
+    return build_cluster(small_config(n=n), architecture=arch)
+
+
+def test_result_bandwidth_math():
+    c = make_cluster()
+    r = ParallelIOWorkload(c, 2, op="write", size=1 * MB).run()
+    assert r.total_bytes == 2 * MB
+    assert r.elapsed > 0
+    assert r.aggregate_bandwidth_mb_s == pytest.approx(
+        2.0 / r.elapsed
+    )
+    assert r.per_client_bandwidth_mb_s == pytest.approx(
+        r.aggregate_bandwidth_mb_s / 2
+    )
+
+
+def test_all_clients_finish(config4):
+    c = build_cluster(config4, architecture="raid10")
+    r = ParallelIOWorkload(c, 4, op="read", size=256 * KiB).run()
+    assert sorted(r.per_client_finish) == [0, 1, 2, 3]
+
+
+def test_barrier_start_after_prepare():
+    c = make_cluster()
+    wl = ParallelIOWorkload(c, 2, op="read", size=128 * KiB)
+    r = wl.run()
+    # Preparation (file writes) happened before the timed window.
+    assert r.started_at > 0
+    assert all(t >= r.started_at for t in r.per_client_finish.values())
+
+
+def test_private_files_do_not_overlap():
+    c = make_cluster()
+    wl = ParallelIOWorkload(c, 3, op="write", size=1 * MB)
+    spans = [
+        (wl.file_offset(i), wl.file_offset(i) + wl.size * wl.repeats)
+        for i in range(3)
+    ]
+    for (a0, a1), (b0, b1) in zip(spans, spans[1:]):
+        assert a1 <= b0
+
+
+def test_capacity_guard():
+    c = make_cluster()
+    with pytest.raises(ValueError):
+        ParallelIOWorkload(
+            c, 1000, op="read", size=1 * MB
+        )
+
+
+def test_repeats_guard():
+    c = make_cluster()
+    with pytest.raises(ValueError):
+        ParallelIOWorkload(c, 1, op="read", size=4 * MB, repeats=4)
+    with pytest.raises(ValueError):
+        ParallelIOWorkload(c, 1, op="read", size=1 * MB, repeats=0)
+
+
+def test_bad_op_rejected():
+    with pytest.raises(ValueError):
+        ParallelIOWorkload(make_cluster(), 1, op="append", size=1)
+
+
+def test_small_read_uses_repeats():
+    c = make_cluster()
+    wl = small_read(c, 2)
+    assert wl.repeats == 8
+    r = wl.run()
+    assert r.bytes_per_client == 8 * 32 * KiB
+
+
+def test_small_write_is_one_shot():
+    c = make_cluster()
+    wl = small_write(c, 2)
+    assert wl.repeats == 1
+
+
+def test_chunked_io_depth_one_is_sequential():
+    c = make_cluster()
+    env = c.env
+    done = []
+
+    def p():
+        yield from chunked_io(
+            c.storage, 0, "read", 0, 4 * 32 * KiB,
+            chunk=32 * KiB, queue_depth=1,
+        )
+        done.append(env.now)
+
+    run_proc(c, p())
+    assert done
+
+
+def test_chunked_io_validates():
+    c = make_cluster()
+    with pytest.raises(ValueError):
+        list(chunked_io(c.storage, 0, "read", 0, 100, chunk=0,
+                        queue_depth=1))
+    with pytest.raises(ValueError):
+        list(chunked_io(c.storage, 0, "read", 0, 100, chunk=10,
+                        queue_depth=0))
+
+
+def test_deeper_queue_is_not_slower():
+    def elapsed(depth):
+        c = make_cluster()
+        r = ParallelIOWorkload(
+            c, 1, op="read", size=1 * MB, queue_depth=depth
+        ).run()
+        return r.elapsed
+
+    assert elapsed(8) <= elapsed(1) * 1.05
+
+
+def test_nfs_clients_skip_server_node():
+    c = build_cluster(small_config(n=4), architecture="nfs")
+    nodes = {client_node(c, i) for i in range(6)}
+    assert 0 not in nodes  # node 0 is the server
+    assert nodes <= {1, 2, 3}
+
+
+def test_array_clients_wrap_all_nodes():
+    c = make_cluster(n=4)
+    nodes = [client_node(c, i) for i in range(8)]
+    assert nodes == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+def test_extras_contain_op_counters():
+    c = make_cluster()
+    r = ParallelIOWorkload(c, 2, op="write", size=128 * KiB).run()
+    assert "remote_block_ops" in r.extras
+    assert "disk_utilization" in r.extras
+
+
+def test_workload_requires_clients():
+    with pytest.raises(ValueError):
+        ParallelIOWorkload(make_cluster(), 0, op="read", size=1)

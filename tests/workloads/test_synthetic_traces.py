@@ -1,0 +1,142 @@
+"""Synthetic workload generation and trace record/replay."""
+
+import pytest
+
+from repro.cluster.cluster import build_cluster
+from repro.units import KiB
+from repro.workloads.synthetic import SyntheticWorkload, ZipfAccessPattern
+from repro.workloads.traces import (
+    TraceOp,
+    TraceRecorder,
+    loads,
+    replay_trace,
+)
+from tests.conftest import small_config
+
+
+def make_cluster(arch="raid0"):
+    return build_cluster(small_config(n=4), architecture=arch)
+
+
+def test_zipf_skews_popularity():
+    import numpy as np
+
+    z = ZipfAccessPattern(100, theta=1.2, rng=np.random.default_rng(1))
+    counts = {}
+    for _ in range(500):
+        b = z.next_block()
+        assert 0 <= b < 100
+        counts[b] = counts.get(b, 0) + 1
+    top = max(counts.values())
+    assert top > 500 / 100 * 3  # far above uniform
+
+
+def test_zipf_validation():
+    with pytest.raises(ValueError):
+        ZipfAccessPattern(0)
+    with pytest.raises(ValueError):
+        ZipfAccessPattern(10, theta=-1)
+
+
+def test_synthetic_runs_and_counts():
+    c = make_cluster()
+    wl = SyntheticWorkload(
+        c, clients=2, ops_per_client=10, read_fraction=0.5
+    )
+    r = wl.run()
+    assert wl.reads_issued + wl.writes_issued == 20
+    assert r.extras["reads"] == wl.reads_issued
+    assert r.elapsed > 0
+
+
+def test_synthetic_pure_read_mix():
+    c = make_cluster()
+    wl = SyntheticWorkload(
+        c, clients=1, ops_per_client=8, read_fraction=1.0
+    )
+    wl.run()
+    assert wl.writes_issued == 0
+
+
+def test_synthetic_validation():
+    c = make_cluster()
+    with pytest.raises(ValueError):
+        SyntheticWorkload(c, 1, read_fraction=1.5)
+    with pytest.raises(ValueError):
+        SyntheticWorkload(c, 1, pattern="gaussian")
+
+
+def test_synthetic_zipf_mode_runs():
+    c = make_cluster()
+    wl = SyntheticWorkload(
+        c, clients=1, ops_per_client=5, pattern="zipf"
+    )
+    wl.run()
+
+
+def test_trace_recorder_captures_ops():
+    c = make_cluster()
+    rec = TraceRecorder(c.storage)
+    env = c.env
+
+    def p():
+        yield rec.submit(0, "write", 0, 32 * KiB)
+        yield rec.submit(1, "read", 0, 16 * KiB)
+
+    env.run(env.process(p()))
+    assert len(rec.ops) == 2
+    assert rec.ops[0].op == "write"
+    assert rec.ops[1].client == 1
+
+
+def test_trace_serialization_roundtrip():
+    c = make_cluster()
+    rec = TraceRecorder(c.storage)
+    env = c.env
+
+    def p():
+        yield rec.submit(0, "write", 1024, 2048)
+
+    env.run(env.process(p()))
+    text = rec.dumps()
+    ops = loads(text)
+    assert ops == rec.ops
+
+
+def test_trace_validation():
+    with pytest.raises(ValueError):
+        TraceOp(0.0, 0, "erase", 0, 1).validate()
+    with pytest.raises(ValueError):
+        TraceOp(-1.0, 0, "read", 0, 1).validate()
+
+
+def test_replay_on_other_architecture():
+    src = make_cluster("raid0")
+    rec = TraceRecorder(src.storage)
+    env = src.env
+
+    def p():
+        yield rec.submit(0, "write", 0, 64 * KiB)
+        yield env.timeout(0.05)
+        yield rec.submit(1, "read", 0, 64 * KiB)
+
+    env.run(env.process(p()))
+
+    dst = make_cluster("raid10")
+    elapsed, completed = replay_trace(dst, rec.ops)
+    assert completed == 2
+    assert elapsed > 0
+
+
+def test_replay_closed_loop():
+    src = make_cluster("raid0")
+    rec = TraceRecorder(src.storage)
+    env = src.env
+
+    def p():
+        yield rec.submit(0, "write", 0, 32 * KiB)
+
+    env.run(env.process(p()))
+    dst = make_cluster("raidx")
+    elapsed, completed = replay_trace(dst, rec.ops, preserve_timing=False)
+    assert completed == 1
