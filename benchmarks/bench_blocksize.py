@@ -9,9 +9,10 @@ request onto fewer disks.  The classic RAID-tuning curve.
 
 from dataclasses import replace
 
-from conftest import emit, run_once
+from conftest import emit, env_workers, run_once
 
 from repro.analysis.report import render_table
+from repro.bench.harness import sweep
 from repro.cluster.cluster import build_cluster
 from repro.config import ArrayGeometry, trojans_cluster
 from repro.units import KiB, MB
@@ -35,18 +36,22 @@ def measure(block_size):
     return out
 
 
-def run_sweep():
-    rows = []
-    for bs in BLOCK_SIZES:
-        m = measure(bs)
-        rows.append(
-            {
-                "block_kib": bs // KiB,
-                "write_12cl_mb_s": round(m["lw12"], 2),
-                "write_1cl_mb_s": round(m["lw1"], 2),
-            }
-        )
-    return rows
+def _point(block_kib):
+    m = measure(block_kib * KiB)
+    return {
+        "write_12cl_mb_s": round(m["lw12"], 2),
+        "write_1cl_mb_s": round(m["lw1"], 2),
+    }
+
+
+def run_sweep(workers=None):
+    result = sweep(
+        "blocksize",
+        _point,
+        {"block_kib": [bs // KiB for bs in BLOCK_SIZES]},
+        workers=workers if workers is not None else env_workers(),
+    )
+    return result.rows
 
 
 def test_blocksize_sensitivity(benchmark):

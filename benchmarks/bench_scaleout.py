@@ -6,10 +6,11 @@ disks".  This sweep grows the serverless cluster from 12 to 48 nodes
 bandwidth keeps scaling while NFS stays pinned at one server.
 """
 
-from conftest import emit, run_once
+from conftest import emit, env_workers, run_once
 
 from repro.analysis.report import render_table
 from repro.analysis.scalability import scaling_efficiency
+from repro.bench.harness import sweep
 from repro.cluster.cluster import build_cluster
 from repro.config import trojans_cluster
 from repro.units import MB
@@ -24,18 +25,22 @@ def measure(arch, n, k=1):
     return wl.run().aggregate_bandwidth_mb_s
 
 
-def run_sweep():
-    rows = []
-    for n in SIZES:
-        rows.append(
-            {
-                "nodes": n,
-                "raidx_mb_s": round(measure("raidx", n), 2),
-                "raidx_2disks_mb_s": round(measure("raidx", n, k=2), 2),
-                "nfs_mb_s": round(measure("nfs", n), 2),
-            }
-        )
-    return rows
+def _point(nodes):
+    return {
+        "raidx_mb_s": round(measure("raidx", nodes), 2),
+        "raidx_2disks_mb_s": round(measure("raidx", nodes, k=2), 2),
+        "nfs_mb_s": round(measure("nfs", nodes), 2),
+    }
+
+
+def run_sweep(workers=None):
+    result = sweep(
+        "scaleout",
+        _point,
+        {"nodes": list(SIZES)},
+        workers=workers if workers is not None else env_workers(),
+    )
+    return result.rows
 
 
 def test_scaleout(benchmark):

@@ -9,6 +9,22 @@ to regenerate the artifact; the artifact's own numbers are attached as
 
 from __future__ import annotations
 
+import os
+
+
+def env_workers():
+    """Worker-process count for parallel sweeps ($REPRO_BENCH_WORKERS).
+
+    Returns ``None`` (serial) unless the variable is set to an integer
+    greater than 1.  Parallel and serial sweeps produce identical rows;
+    the variable only changes wall-clock time.
+    """
+    try:
+        n = int(os.environ.get("REPRO_BENCH_WORKERS", "0"))
+    except ValueError:
+        return None
+    return n if n > 1 else None
+
 
 def run_once(benchmark, fn, *args, **kwargs):
     """Run ``fn`` exactly once under pytest-benchmark and return it."""

@@ -19,36 +19,42 @@ import time
 from repro.bench import experiments as ex
 
 
-def _fig5():
-    return ex.render_fig5(ex.fig5_bandwidth())
+def _fig5(workers=None):
+    return ex.render_fig5(ex.fig5_bandwidth(workers=workers))
 
 
-def _table3():
+def _table3(workers=None):
     return ex.table3_improvement().render(
         "Table 3 — bandwidth and improvement factors"
     )
 
 
-def _fig6():
+def _fig6(workers=None):
     return ex.fig6_andrew().render("Figure 6 — Andrew benchmark (seconds)")
 
 
-def _fig7():
+def _fig7(workers=None):
     return ex.fig7_checkpoint().render(
         "Figure 7 — checkpoint schedules on RAID-x"
     )
 
 
-def _headline():
+def _headline(workers=None):
     claims = ex.headline_claims()
     lines = [f"  {k:26s} {v:.3f}" for k, v in claims.items()]
     return "Headline claims (measured):\n" + "\n".join(lines)
 
 
 ARTIFACTS = {
-    "t2": ("Table 2 (analytical peak performance)", ex.table2_peak),
-    "f1": ("Figure 1 (mirroring schemes)", ex.fig1_layout_maps),
-    "f3": ("Figure 3 (4x3 array)", ex.fig3_nk_map),
+    "t2": (
+        "Table 2 (analytical peak performance)",
+        lambda workers=None: ex.table2_peak(),
+    ),
+    "f1": (
+        "Figure 1 (mirroring schemes)",
+        lambda workers=None: ex.fig1_layout_maps(),
+    ),
+    "f3": ("Figure 3 (4x3 array)", lambda workers=None: ex.fig3_nk_map()),
     "f5": ("Figure 5 (bandwidth vs clients)", _fig5),
     "t3": ("Table 3 (improvement factors)", _table3),
     "f6": ("Figure 6 (Andrew benchmark)", _fig6),
@@ -72,6 +78,14 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="list artifact ids and exit"
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan parameter sweeps out over N worker processes "
+        "(results are identical to a serial run; currently used by f5)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -89,7 +103,7 @@ def main(argv=None) -> int:
         bar = "=" * max(24, len(title) + 8)
         print(f"\n{bar}\n    {key.upper()} — {title}\n{bar}")
         t0 = time.perf_counter()
-        print(fn())
+        print(fn(workers=args.workers))
         print(f"[{key}: regenerated in {time.perf_counter() - t0:.1f}s]")
     return 0
 

@@ -57,26 +57,33 @@ def run_parallel_io(
     return maker(cluster, clients, **kw)
 
 
+def _fig5_point(architecture: str, clients: int, workload: str):
+    """One Fig.-5 cell (module-level so parallel sweeps can pickle it)."""
+    wl = run_parallel_io(architecture, clients, workload)
+    r = wl.run()
+    return {"mb_s": round(r.aggregate_bandwidth_mb_s, 2)}
+
+
 def fig5_bandwidth(
     archs: Sequence[str] = FIG_ARCHS,
     client_counts: Sequence[int] = FIG5_CLIENTS,
     workloads: Sequence[str] = tuple(_WORKLOADS),
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
-    """Fig. 5: aggregate bandwidth vs clients for each op × architecture."""
+    """Fig. 5: aggregate bandwidth vs clients for each op × architecture.
 
-    def point(architecture: str, clients: int, workload: str):
-        wl = run_parallel_io(architecture, clients, workload)
-        r = wl.run()
-        return {"mb_s": round(r.aggregate_bandwidth_mb_s, 2)}
-
+    ``workers`` fans the grid points out over a process pool; the rows
+    are identical to a serial run (see :func:`repro.bench.harness.sweep`).
+    """
     return sweep(
         "fig5_bandwidth",
-        point,
+        _fig5_point,
         {
             "workload": list(workloads),
             "architecture": list(archs),
             "clients": list(client_counts),
         },
+        workers=workers,
     )
 
 

@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 import itertools
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.report import render_table
 
@@ -52,24 +53,56 @@ class ExperimentResult:
         return render_table(headers, rows, title=title or self.name)
 
 
+def _call_point(fn: Callable[..., Dict[str, Any]], point: Dict[str, Any]):
+    """Top-level trampoline so worker processes can unpickle the call."""
+    return fn(**point)
+
+
 def sweep(
     name: str,
     fn: Callable[..., Dict[str, Any]],
     grid: Dict[str, Sequence[Any]],
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Run ``fn(**point)`` over the cartesian product of ``grid``.
 
     ``fn`` returns a metrics dict; metric names are taken from the first
-    point's result.
+    point's result, and every later point must return exactly the same
+    keys — a mismatch raises instead of leaving silent ``None`` cells in
+    the rendered table.
+
+    With ``workers`` > 1 the points run concurrently in a process pool
+    (each simulation point is independent; the sim itself is serial).
+    Rows are always appended in grid order, so the result — including
+    every metric value — is identical to a serial run.  ``fn`` must be
+    picklable (a module-level function) in that case.
     """
     names = list(grid)
-    result: ExperimentResult | None = None
-    for values in itertools.product(*(grid[k] for k in names)):
-        point = dict(zip(names, values))
-        metrics = fn(**point)
-        if result is None:
-            result = ExperimentResult(name, names, list(metrics))
-        result.add(point, metrics)
-    if result is None:
+    points = [
+        dict(zip(names, values))
+        for values in itertools.product(*(grid[k] for k in names))
+    ]
+    if not points:
         raise ValueError("empty parameter grid")
+
+    result: ExperimentResult | None = None
+
+    def consume(metrics_iter) -> None:
+        nonlocal result
+        for point, metrics in zip(points, metrics_iter):
+            if result is None:
+                result = ExperimentResult(name, names, list(metrics))
+            elif set(metrics) != set(result.metric_names):
+                raise ValueError(
+                    f"sweep {name!r}: point {point} returned metric keys "
+                    f"{sorted(metrics)}, expected "
+                    f"{sorted(result.metric_names)}"
+                )
+            result.add(point, metrics)
+
+    if workers is not None and workers > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            consume(pool.map(_call_point, itertools.repeat(fn), points))
+    else:
+        consume(fn(**point) for point in points)
     return result

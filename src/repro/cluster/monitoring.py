@@ -94,7 +94,7 @@ class ClusterMonitor:
         n_cpus = max(1, len(self.cluster.nodes))
         while True:
             try:
-                yield env.timeout(self.interval)
+                yield float(self.interval)
             except Interrupt:
                 return
             disk_busy, net_busy, cpu_busy = self._totals()

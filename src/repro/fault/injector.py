@@ -61,7 +61,7 @@ class FaultInjector:
         for ev in self.schedule:
             delay = ev.at - env.now
             if delay > 0:
-                yield env.timeout(delay)
+                yield float(delay)
             if ev.action == "fail":
                 storage.fail_disk(ev.disk)
             else:

@@ -89,7 +89,7 @@ class Network:
                 if first:
                     # Switch forwarding latency, paid once up front;
                     # later fragments ride the full pipeline.
-                    yield self.env.timeout(self.params.switch_latency_s)
+                    yield self.params.switch_latency_s
                     first = False
                 stretch = self._incast_stretch(src, dst)
                 last_rx = self.nics[dst].recv_occupancy(

@@ -51,10 +51,6 @@ class MirrorGroup:
     image_offset: int  # byte offset of the extent start
     blocks: tuple  # logical data blocks, in image order
 
-    @property
-    def nbytes_per_block(self) -> int:  # pragma: no cover - helper
-        return 0
-
 
 class RaidxLayout(Layout):
     """Orthogonal striping and mirroring over an n × k disk array."""
@@ -76,6 +72,17 @@ class RaidxLayout(Layout):
                 "RAID-x needs stripe width >= 3 (n-1 >= 2 blocks per "
                 "mirror group)"
             )
+        # Mirror placement repeats every D(n-1) blocks: the disk/row
+        # pattern is identical while image rows advance by n-1 and group
+        # ids by n per rotation.  Only complete rotations are table-
+        # cacheable — the final (partial) rotation can hold truncated
+        # mirror groups and falls back to the formulas.
+        self._mirror_period = self.n_disks * (self.n - 1)
+        self._mirror_safe_limit = (
+            self.data_blocks // self._mirror_period
+        ) * self._mirror_period
+        self._mirror_table: tuple | None = None
+        self._image_table: tuple | None = None
 
     # -- capacity ----------------------------------------------------------
     @property
@@ -92,8 +99,11 @@ class RaidxLayout(Layout):
         return self.data_rows * self.block_size
 
     # -- data placement ----------------------------------------------------
-    def data_location(self, block: int) -> Placement:
-        self.check_block(block)
+    # data_location is table-cached by the Layout base class.
+    def _placement_rotation(self):
+        return self.n_disks, self.block_size
+
+    def _data_location_uncached(self, block: int) -> Placement:
         disk = block % self.n_disks
         row = block // self.n_disks
         return Placement(disk, row * self.block_size)
@@ -114,8 +124,43 @@ class RaidxLayout(Layout):
         return q * self.n_disks + c * self.n + r
 
     def mirror_group_of(self, block: int) -> MirrorGroup:
-        """The mirror group (clustered image extent) containing ``block``."""
+        """The mirror group (clustered image extent) containing ``block``.
+
+        Table-cached: one :class:`MirrorGroup` per block of the first
+        placement rotation, shifted arithmetically for later rotations
+        (image rows advance by ``n-1``, group ids by ``n``, member
+        blocks by the rotation period).  Blocks of the final partial
+        rotation use the formulas directly, since their groups can be
+        truncated.
+        """
         self.check_block(block)
+        if block >= self._mirror_safe_limit:
+            return self._mirror_group_uncached(block)
+        table = self._mirror_table
+        if table is None:
+            table = self._build_mirror_table()
+        rot, idx = divmod(block, self._mirror_period)
+        base = table[idx]
+        if rot == 0:
+            return base
+        shift = rot * self._mirror_period
+        return MirrorGroup(
+            group_id=base.group_id + rot * self.n,
+            disk_group=base.disk_group,
+            image_disk=base.image_disk,
+            image_offset=base.image_offset
+            + rot * (self.n - 1) * self.block_size,
+            blocks=tuple(b + shift for b in base.blocks),
+        )
+
+    def _build_mirror_table(self) -> tuple:
+        self._mirror_table = tuple(
+            map(self._mirror_group_uncached, range(self._mirror_period))
+        )
+        return self._mirror_table
+
+    def _mirror_group_uncached(self, block: int) -> MirrorGroup:
+        """Pure OSM mirror-placement formula (no caching)."""
         n = self.n
         c, ell = self._group_local_index(block)
         g, _p = divmod(ell, n - 1)
@@ -143,10 +188,42 @@ class RaidxLayout(Layout):
         return (self._local_blocks_in_group() + n - 2) // (n - 1)
 
     def redundancy_locations(self, block: int) -> List[Placement]:
-        mg = self.mirror_group_of(block)
+        """Image placement of ``block``.
+
+        Unlike :meth:`mirror_group_of`, the placement shift is exact
+        for *every* block — truncation near the end of the address
+        space changes a group's membership, never where an individual
+        image lands — so the table covers the full address space.
+        """
+        self.check_block(block)
+        table = self._image_table
+        if table is None:
+            table = self._build_image_table()
+        rot, idx = divmod(block, self._mirror_period)
+        disk, base = table[idx]
+        return [Placement(disk, base + rot * (self.n - 1) * self.block_size)]
+
+    def _build_image_table(self) -> tuple:
+        bs = self.block_size
+        n = self.n
+        entries = []
+        for b in range(self._mirror_period):
+            c, ell = self._group_local_index(b)
+            g, p = divmod(ell, n - 1)
+            disk = c * n + ((g + 1) * (n - 1)) % n
+            row = (g // n) * (n - 1)
+            entries.append((disk, self.mirror_base + (row + p) * bs))
+        self._image_table = tuple(entries)
+        return self._image_table
+
+    def _redundancy_locations_uncached(self, block: int) -> List[Placement]:
+        """Pure image-placement formula (no caching)."""
+        mg = self._mirror_group_uncached(block)
         _c, ell = self._group_local_index(block)
         p = ell % (self.n - 1)
-        return [Placement(mg.image_disk, mg.image_offset + p * self.block_size)]
+        return [
+            Placement(mg.image_disk, mg.image_offset + p * self.block_size)
+        ]
 
     # -- stripes -------------------------------------------------------------
     def stripe_of(self, block: int) -> int:

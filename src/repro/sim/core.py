@@ -4,15 +4,47 @@ The :class:`Environment` owns simulated time and the event heap.  A
 :class:`Process` wraps a generator; every value the generator yields must
 be an :class:`~repro.sim.events.Event`, and the process resumes when that
 event is processed, receiving the event's value at the ``yield``.
+
+Hot path
+--------
+Every simulated disk seek, network hop, and CPU slice is one trip
+through ``run`` → callbacks → ``Process._resume`` → a fresh
+:class:`Timeout`, so this module is written for throughput (see
+``benchmarks/bench_kernel.py``):
+
+* ``run`` inlines the event loop instead of calling :meth:`step` per
+  event, with the heap and ``heappop`` bound to locals;
+* a process may ``yield dt`` (a plain float/int) instead of
+  ``yield env.timeout(dt)``: the sleep reuses one :class:`_Sleep`
+  event per process, and the run loop resumes it *inline* — no
+  callback dispatch, no ``_resume`` frame — re-arming the same event
+  with ``heappushpop`` (one heap sift per sleep instead of two);
+* :meth:`Environment.timeout` recycles processed ``Timeout`` objects
+  from a free list — the run loop returns a ``Timeout`` to the pool
+  only when ``sys.getrefcount`` proves nothing else references it, so
+  pooling is invisible to code that keeps a handle to the event;
+* ``Process`` caches its own bound ``_resume`` (as ``_wake``) so
+  parking at a yield costs no bound-method allocation;
+* the scheduling entries are plain ``(time, key, event)`` tuples,
+  pushed inline where profiling showed the extra frame of
+  :meth:`schedule` dominating (``Timeout``, ``succeed``, ``_finish``);
+  the key fuses priority and FIFO sequence into one int so heap
+  comparisons at equal times touch a single element.
+
+Behaviour (event ordering, error propagation, interrupt semantics) is
+identical to the straightforward implementation; the property tests in
+``tests/sim`` pin it.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappush, heappop, heappushpop
 from itertools import count
+from sys import getrefcount
 from typing import Any, Generator, Optional
 
 from repro.sim.events import (
+    _KEY_OFFSET,
     _NORMAL,
     _PENDING,
     AllOf,
@@ -22,6 +54,10 @@ from repro.sim.events import (
     Interruption,
     Timeout,
 )
+
+#: Upper bound on the Timeout free list (plenty for any workload's
+#: concurrent-process count while keeping idle memory bounded).
+_TIMEOUT_POOL_MAX = 512
 
 
 class SimulationError(Exception):
@@ -40,6 +76,20 @@ class StopProcess(Exception):
         self.value = value
 
 
+class _Sleep(Event):
+    """Internal: a process's reusable numeric-sleep event.
+
+    The run loop recognises this type and resumes ``process`` directly —
+    no callback dispatch, no ``_resume`` frame.  The ``callbacks`` list
+    still holds the process's wakeup so :meth:`Environment.step` (the
+    generic path) processes it identically.  An interrupt abandons an
+    in-flight sleep by clearing ``process``; the orphaned heap entry is
+    then skipped when popped.
+    """
+
+    __slots__ = ("process", "generator")
+
+
 class Environment:
     """A simulation environment: clock plus event queue.
 
@@ -49,11 +99,14 @@ class Environment:
         Starting value of :attr:`now` (seconds by convention).
     """
 
+    __slots__ = ("_now", "_queue", "_seq", "_active_process", "_timeout_pool")
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: list = []  # heap of (time, priority, seq, event)
         self._seq = count()
         self._active_process: Optional[Process] = None
+        self._timeout_pool: list = []
 
     # -- clock & introspection -----------------------------------------
     @property
@@ -76,6 +129,17 @@ class Environment:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event triggering ``delay`` time units from now."""
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise ValueError(f"negative timeout delay {delay!r}")
+            t = pool.pop()
+            t.delay = delay
+            t._value = value
+            t._ok = True
+            t._defused = False
+            heappush(self._queue, (self._now + delay, next(self._seq), t))
+            return t
         return Timeout(self, delay, value)
 
     def process(self, generator: Generator) -> "Process":
@@ -95,9 +159,10 @@ class Environment:
         self, event: Event, priority: int = _NORMAL, delay: float = 0.0
     ) -> None:
         """Queue ``event`` for processing ``delay`` time units from now."""
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, next(self._seq), event)
-        )
+        key = next(self._seq)
+        if priority != _NORMAL:
+            key -= _KEY_OFFSET
+        heappush(self._queue, (self._now + delay, key, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -106,7 +171,7 @@ class Environment:
     def step(self) -> None:
         """Process the next scheduled event (advancing the clock)."""
         try:
-            self._now, _, _, event = heapq.heappop(self._queue)
+            self._now, _, event = heappop(self._queue)
         except IndexError:
             raise EmptySchedule() from None
 
@@ -145,14 +210,103 @@ class Environment:
                 # Trigger just before any event at exactly `at` runs.
                 stop._ok = True
                 stop._value = None
-                heapq.heappush(
-                    self._queue, (at, _NORMAL - 1, next(self._seq), stop)
+                heappush(
+                    self._queue, (at, next(self._seq) - _KEY_OFFSET, stop)
                 )
             stop.callbacks.append(_stop_callback)
 
+        # Inlined event loop (see module docstring): equivalent to
+        # ``while True: self.step()`` minus a method call per event,
+        # plus the Timeout free-list recycling and the _Sleep resume
+        # path, which drives a sleeping process's generator directly —
+        # no callback dispatch, no _resume frame, no event churn.
+        queue = self._queue
+        pool = self._timeout_pool
+        next_seq = self._seq.__next__
+        pop = heappop
+        pushpop = heappushpop
+        sleep_cls = _Sleep
+        timeout_cls = Timeout
+        refcount = getrefcount
+        _float, _int = float, int
         try:
             while True:
-                self.step()
+                try:
+                    now, _, event = pop(queue)
+                except IndexError:
+                    raise EmptySchedule() from None
+                self._now = now
+
+                # Inner loop: process `event`; a sleeping process that
+                # goes straight back to sleep re-arms its event with
+                # heappushpop, fusing the push with the next pop into a
+                # single sift and feeding the popped event back here.
+                while True:
+                    if event.__class__ is sleep_cls:
+                        # NOTE: the sleep's callbacks list is left in
+                        # place across inline resumes — only the
+                        # interrupt path reads it, and it must stay
+                        # intact there.  A _Sleep therefore never
+                        # reports ``processed``.
+                        process = event.process
+                        if process is None:
+                            # Abandoned by an interrupt mid-flight.
+                            self._active_process = None
+                            break
+                        self._active_process = process
+                        try:
+                            nxt = event.generator.send(None)
+                        except (StopIteration, StopProcess) as exc:
+                            process._finish(exc.value)
+                            self._active_process = None
+                            break
+                        except BaseException as exc:
+                            process._fail_out(exc)
+                            self._active_process = None
+                            break
+                        cls = nxt.__class__
+                        if (cls is _float or cls is _int) and nxt >= 0:
+                            # Sleep-to-sleep: re-arm the same event.
+                            self._active_process = None
+                            now, _, event = pushpop(
+                                queue, (now + nxt, next_seq(), event)
+                            )
+                            self._now = now
+                            continue
+                        process._park(nxt)
+                        self._active_process = None
+                        break
+
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    if callbacks is None:  # pragma: no cover - defensive
+                        break
+                    if len(callbacks) == 1:
+                        callbacks[0](event)
+                    else:
+                        for callback in callbacks:
+                            callback(event)
+
+                    if not event._ok and not event._defused:
+                        exc = event._value
+                        raise SimulationError(
+                            f"unhandled failure of {event!r}: {exc!r}"
+                        ) from exc
+
+                    # Recycle the Timeout when provably unreferenced:
+                    # the only two references are the loop variable and
+                    # getrefcount's argument.  Any process/condition/
+                    # user variable still holding the event raises the
+                    # count.
+                    if (
+                        event.__class__ is timeout_cls
+                        and refcount(event) == 2
+                        and len(pool) < _TIMEOUT_POOL_MAX
+                    ):
+                        callbacks.clear()
+                        event.callbacks = callbacks
+                        pool.append(event)
+                    break
         except _StopSimulation as exc:
             return exc.value
         except EmptySchedule:
@@ -189,13 +343,19 @@ class Process(Event):
     other simply by yielding them.
     """
 
-    __slots__ = ("_generator", "_target")
+    __slots__ = ("_generator", "_target", "_wake", "_sleep", "_sleep_cbs")
 
     def __init__(self, env: Environment, generator: Generator):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
         super().__init__(env)
         self._generator = generator
+        # Pre-bind _resume once: parking at a yield otherwise pays a
+        # bound-method allocation every time (Initialize reuses it too).
+        self._wake = self._resume
+        # Reusable sleep event for numeric yields (created on first use).
+        self._sleep: Optional[Event] = None
+        self._sleep_cbs: Optional[list] = None
         self._target: Optional[Event] = Initialize(env, self)
 
     @property
@@ -213,16 +373,18 @@ class Process(Event):
         Interruption(self, cause)
 
     def _resume(self, event: Event) -> None:
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
+        generator = self._generator
         try:
             while True:
                 try:
                     if event._ok:
-                        next_event = self._generator.send(event._value)
+                        next_event = generator.send(event._value)
                     else:
                         # The awaited event failed: deliver its exception.
-                        event.defused()
-                        next_event = self._generator.throw(event._value)
+                        event._defused = True
+                        next_event = generator.throw(event._value)
                 except (StopIteration, StopProcess) as exc:
                     self._finish(exc.value)
                     break
@@ -232,7 +394,48 @@ class Process(Event):
                     self._fail_out(exc)
                     break
 
-                if not isinstance(next_event, Event):
+                cls = next_event.__class__
+                if cls is float or cls is int:
+                    # Numeric yield: ``yield dt`` sleeps ``dt`` exactly
+                    # like ``yield env.timeout(dt)`` but reuses one
+                    # per-process sleep event instead of allocating a
+                    # Timeout + callbacks list + bound method per wait.
+                    if next_event >= 0:
+                        sleep = self._sleep
+                        if sleep is not None:
+                            # Free for reuse: an interrupted-out-of
+                            # (still in-flight) sleep is abandoned by
+                            # Interruption._deliver, so reaching here
+                            # means the event was fully processed.
+                            sleep.callbacks = self._sleep_cbs
+                        else:
+                            sleep = _Sleep(env)
+                            sleep._ok = True
+                            sleep._value = None
+                            sleep.process = self
+                            sleep.generator = generator
+                            self._sleep = sleep
+                            cbs = self._sleep_cbs = sleep.callbacks
+                            cbs.append(self._wake)
+                        heappush(
+                            env._queue,
+                            (env._now + next_event, next(env._seq), sleep),
+                        )
+                        self._target = sleep
+                        break
+                    # Negative delay: surface the same ValueError a
+                    # Timeout would raise, at the yield point.
+                    err = Event(env)
+                    err._ok = False
+                    err._value = ValueError(
+                        f"negative timeout delay {next_event!r}"
+                    )
+                    event = err
+                    continue
+
+                try:
+                    callbacks = next_event.callbacks
+                except AttributeError:
                     self._fail_out(
                         TypeError(
                             f"process yielded a non-event: {next_event!r}"
@@ -240,24 +443,100 @@ class Process(Event):
                     )
                     break
 
-                if next_event.callbacks is not None:
+                if callbacks is not None:
                     # Pending or triggered-but-unprocessed: park here.
-                    next_event.callbacks.append(self._resume)
+                    callbacks.append(self._wake)
                     self._target = next_event
                     break
                 # Already processed: loop and deliver immediately.
                 event = next_event
         finally:
-            self.env._active_process = None
+            env._active_process = None
+
+    def _park(self, next_event: Any) -> None:
+        """Handle a yielded value after an inline sleep resume.
+
+        The run loop drives numeric-to-numeric sleeps itself; anything
+        else the generator yields after a sleep lands here — an event to
+        park on, an already-processed event to deliver immediately, a
+        negative delay to reject, or a non-event to fail on.  Mirrors
+        the corresponding arms of :meth:`_resume`.
+        """
+        env = self.env
+        generator = self._generator
+        wake = self._wake
+        while True:
+            cls = next_event.__class__
+            if cls is float or cls is int:
+                if next_event >= 0:
+                    sleep = self._sleep
+                    if sleep is not None:
+                        sleep.callbacks = self._sleep_cbs
+                    else:
+                        sleep = _Sleep(env)
+                        sleep._ok = True
+                        sleep._value = None
+                        sleep.process = self
+                        sleep.generator = generator
+                        self._sleep = sleep
+                        cbs = self._sleep_cbs = sleep.callbacks
+                        cbs.append(wake)
+                    heappush(
+                        env._queue,
+                        (env._now + next_event, next(env._seq), sleep),
+                    )
+                    self._target = sleep
+                    return
+                try:
+                    next_event = generator.throw(
+                        ValueError(f"negative timeout delay {next_event!r}")
+                    )
+                except (StopIteration, StopProcess) as exc:
+                    self._finish(exc.value)
+                    return
+                except BaseException as exc:
+                    self._fail_out(exc)
+                    return
+                continue
+
+            try:
+                callbacks = next_event.callbacks
+            except AttributeError:
+                self._fail_out(
+                    TypeError(f"process yielded a non-event: {next_event!r}")
+                )
+                return
+
+            if callbacks is not None:
+                callbacks.append(wake)
+                self._target = next_event
+                return
+
+            # Already processed: deliver its outcome immediately.
+            event = next_event
+            try:
+                if event._ok:
+                    next_event = generator.send(event._value)
+                else:
+                    event._defused = True
+                    next_event = generator.throw(event._value)
+            except (StopIteration, StopProcess) as exc:
+                self._finish(exc.value)
+                return
+            except BaseException as exc:
+                self._fail_out(exc)
+                return
 
     def _finish(self, value: Any) -> None:
         self._target = None
         self._ok = True
         self._value = value
-        self.env.schedule(self)
+        env = self.env
+        heappush(env._queue, (env._now, next(env._seq), self))
 
     def _fail_out(self, exc: BaseException) -> None:
         self._target = None
         self._ok = False
         self._value = exc
-        self.env.schedule(self)
+        env = self.env
+        heappush(env._queue, (env._now, next(env._seq), self))

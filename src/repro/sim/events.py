@@ -8,6 +8,7 @@ waiting process at its ``yield`` point.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -80,22 +81,24 @@ class Event:
     # -- triggering ----------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise RuntimeError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self)
+        env = self.env
+        heappush(env._queue, (env._now, next(env._seq), self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event as failed; waiters see ``exception`` raised."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise RuntimeError(f"{self!r} already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
         self._ok = False
         self._value = exception
-        self.env.schedule(self)
+        env = self.env
+        heappush(env._queue, (env._now, next(env._seq), self))
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -136,11 +139,16 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay {delay!r}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Flat initialization + inline push: this constructor runs once
+        # per simulated service interval, so it skips the Event.__init__
+        # and Environment.schedule frames.
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env.schedule(self, delay=delay)
+        self._ok = True
+        self._defused = False
+        self.delay = delay
+        heappush(env._queue, (env._now + delay, next(env._seq), self))
 
 
 class ConditionValue:
@@ -259,11 +267,14 @@ class Initialize(Event):
     __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Process"):
-        super().__init__(env)
-        self.callbacks.append(process._resume)
-        self._ok = True
+        self.env = env
+        self.callbacks = [process._resume]
         self._value = None
-        env.schedule(self, priority=_URGENT)
+        self._ok = True
+        self._defused = False
+        heappush(
+            env._queue, (env._now, next(env._seq) - _KEY_OFFSET, self)
+        )
 
 
 class Interruption(Event):
@@ -295,10 +306,22 @@ class Interruption(Event):
                 target.callbacks.remove(process._resume)
             except ValueError:  # pragma: no cover - defensive
                 pass
+            if target is process._sleep:
+                # The reusable sleep event stays on the heap; abandon
+                # it so the process builds a fresh one next sleep, and
+                # detach the process so the run loop's inline resume
+                # skips the orphaned entry when it pops.
+                target.process = None
+                process._sleep = None
         process._resume(self)
 
 
 #: Scheduling priorities: urgent events (process init/interrupt) run
-#: before normal events scheduled at the same simulated time.
+#: before normal events scheduled at the same simulated time.  In heap
+#: entries ``(time, key, event)`` the priority is fused into the
+#: sequence key: normal events use the bare sequence number, urgent
+#: events subtract ``_KEY_OFFSET`` so they sort first at equal times
+#: while staying FIFO among themselves.
 _URGENT = 0
 _NORMAL = 1
+_KEY_OFFSET = 1 << 62

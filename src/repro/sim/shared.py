@@ -188,7 +188,7 @@ class SharedChannel:
             shortest = min(f.remaining for f in self._flows)
             dt = shortest * len(self._flows) / self.rate
             try:
-                yield self.env.timeout(dt)
+                yield dt
             except Interrupt:
                 # Flow set changed; a fresh coordinator has taken over.
                 return

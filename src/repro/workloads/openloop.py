@@ -115,9 +115,7 @@ class OpenLoopWorkload:
         end = self.env.now + self.duration
         spawned = []
         while self.env.now < end:
-            yield self.env.timeout(
-                float(self._rng.exponential(1.0 / self.rate))
-            )
+            yield float(self._rng.exponential(1.0 / self.rate))
             if self.env.now >= end:
                 break
             if self.op == "mixed":

@@ -107,7 +107,7 @@ def replay_trace(cluster, ops: Iterable[TraceOp], preserve_timing: bool = True):
         for op in ops:
             delay = (op.time - t0) - (env.now - start)
             if preserve_timing and delay > 0:
-                yield env.timeout(delay)
+                yield float(delay)
             ev = storage.submit(op.client, op.op, op.offset, op.nbytes)
 
             def _count(_e):

@@ -1,0 +1,84 @@
+"""Parallel sweeps must be byte-identical to serial ones.
+
+``harness.sweep(workers=N)`` fans grid points out over a process pool;
+because every simulation point is an independent, deterministic run,
+the only observable difference from serial execution is wall-clock
+time.  These tests pin that: once with a toy function, and twice with
+real experiment sweeps (a Fig.-5 bandwidth grid and a scale-out-style
+parallel-write sweep), comparing full row dumps.
+
+Point functions are module-level so the pool can pickle them.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.experiments import fig5_bandwidth
+from repro.bench.harness import sweep
+from repro.cluster.cluster import build_cluster
+from repro.config import trojans_cluster
+from repro.units import MB
+from repro.workloads.parallel_io import ParallelIOWorkload
+
+
+def _toy_point(a, b):
+    return {"sum": a + b, "prod": a * b}
+
+
+def _write_point(nodes, arch):
+    """Aggregate parallel-write bandwidth (bench_scaleout's measurement)."""
+    cluster = build_cluster(trojans_cluster(n=nodes, k=1), architecture=arch)
+    wl = ParallelIOWorkload(cluster, clients=nodes, op="write", size=1 * MB)
+    return {"mb_s": round(wl.run().aggregate_bandwidth_mb_s, 2)}
+
+
+def _dump(result):
+    return json.dumps(result.rows, sort_keys=True)
+
+
+def test_toy_sweep_parallel_matches_serial():
+    grid = {"a": [1, 2, 3], "b": [10, 20]}
+    serial = sweep("toy", _toy_point, grid)
+    parallel = sweep("toy", _toy_point, grid, workers=3)
+    assert _dump(serial) == _dump(parallel)
+    assert serial.param_names == parallel.param_names
+    assert serial.metric_names == parallel.metric_names
+
+
+def test_workers_one_and_none_stay_serial():
+    grid = {"a": [1], "b": [2]}
+    # Closures are fine when no pool is involved.
+    res = sweep("t", lambda a, b: {"s": a + b}, grid, workers=1)
+    assert res.rows == [{"a": 1, "b": 2, "s": 3}]
+
+
+def test_fig5_grid_parallel_matches_serial():
+    kw = dict(
+        archs=("raidx", "nfs"),
+        client_counts=(1, 4),
+        workloads=("large_read", "small_write"),
+    )
+    serial = fig5_bandwidth(**kw)
+    parallel = fig5_bandwidth(**kw, workers=2)
+    assert _dump(serial) == _dump(parallel)
+
+
+def test_scaleout_grid_parallel_matches_serial():
+    grid = {"nodes": [4, 8], "arch": ["raidx", "nfs"]}
+    serial = sweep("scaleout_small", _write_point, grid)
+    parallel = sweep("scaleout_small", _write_point, grid, workers=4)
+    assert _dump(serial) == _dump(parallel)
+
+
+def test_mismatched_metric_keys_rejected():
+    def fn(a):
+        return {"x": a} if a < 2 else {"y": a}
+
+    with pytest.raises(ValueError, match="metric keys"):
+        sweep("bad", fn, {"a": [1, 2]})
+
+
+def test_empty_grid_rejected_with_workers():
+    with pytest.raises(ValueError):
+        sweep("demo", _toy_point, {"a": [], "b": [1]}, workers=2)

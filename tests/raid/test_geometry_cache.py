@@ -1,0 +1,113 @@
+"""Cached placement tables must agree exactly with the pure formulas.
+
+Layouts are immutable, so the per-rotation tables built lazily by
+``Layout._build_data_table`` (and the RAID-x mirror/image tables) are
+exact.  These tests sweep *every* logical block of several n×k arrays
+and compare the cached methods against the ``_*_uncached`` formulas,
+including the final partial rotation where RAID-x mirror groups can be
+truncated.
+"""
+
+import pytest
+
+from repro.raid.raid5 import Raid5Layout
+from repro.raid.raid10 import Raid10Layout
+from repro.raid.raidx import RaidxLayout
+
+KiB = 1024
+
+
+def _raidx(n, k, rows=None):
+    # Odd-ish capacities make the last rotation partial (rows % (n-1)
+    # != 0 for most n), which exercises the truncated-group fallback.
+    rows = rows if rows is not None else 2 * n + 3
+    return RaidxLayout(
+        n_disks=n * k,
+        block_size=4 * KiB,
+        disk_capacity=2 * rows * 4 * KiB,
+        stripe_width=n,
+    )
+
+
+RAIDX_CONFIGS = [(3, 1), (4, 1), (4, 3), (5, 2), (6, 2), (7, 1)]
+
+
+@pytest.mark.parametrize("n,k", RAIDX_CONFIGS)
+def test_raidx_data_location_cached_matches_formula(n, k):
+    layout = _raidx(n, k)
+    for b in range(layout.data_blocks):
+        assert layout.data_location(b) == layout._data_location_uncached(b)
+
+
+@pytest.mark.parametrize("n,k", RAIDX_CONFIGS)
+def test_raidx_mirror_group_cached_matches_formula(n, k):
+    layout = _raidx(n, k)
+    assert layout.data_blocks > layout._mirror_period, "want >1 rotation"
+    for b in range(layout.data_blocks):
+        assert layout.mirror_group_of(b) == layout._mirror_group_uncached(b)
+
+
+@pytest.mark.parametrize("n,k", RAIDX_CONFIGS)
+def test_raidx_redundancy_cached_matches_formula(n, k):
+    layout = _raidx(n, k)
+    for b in range(layout.data_blocks):
+        assert (
+            layout.redundancy_locations(b)
+            == layout._redundancy_locations_uncached(b)
+        )
+
+
+@pytest.mark.parametrize("n,k", RAIDX_CONFIGS)
+def test_raidx_orthogonality_still_holds(n, k):
+    layout = _raidx(n, k)
+    layout.verify_invariants(blocks=layout.data_blocks)
+    for b in range(layout.data_blocks):
+        data = layout.data_location(b)
+        for img in layout.redundancy_locations(b):
+            assert img.disk != data.disk
+
+
+def test_raidx_tiny_array_smaller_than_one_rotation():
+    # data_blocks < mirror period: every block takes the formula path.
+    layout = _raidx(5, 1, rows=2)
+    assert layout.data_blocks < layout._mirror_period
+    for b in range(layout.data_blocks):
+        assert layout.mirror_group_of(b) == layout._mirror_group_uncached(b)
+        assert (
+            layout.redundancy_locations(b)
+            == layout._redundancy_locations_uncached(b)
+        )
+
+
+@pytest.mark.parametrize("disks", [3, 4, 5, 8])
+def test_raid5_data_location_cached_matches_formula(disks):
+    layout = Raid5Layout(
+        n_disks=disks, block_size=4 * KiB, disk_capacity=64 * 4 * KiB
+    )
+    # Several full rotations plus a partial one.
+    assert layout.data_blocks > 2 * disks * (disks - 1)
+    for b in range(layout.data_blocks):
+        assert layout.data_location(b) == layout._data_location_uncached(b)
+
+
+@pytest.mark.parametrize("disks", [4, 6, 12])
+def test_raid10_cached_matches_formula(disks):
+    layout = Raid10Layout(
+        n_disks=disks, block_size=4 * KiB, disk_capacity=33 * 4 * KiB
+    )
+    for b in range(layout.data_blocks):
+        assert layout.data_location(b) == layout._data_location_uncached(b)
+        assert (
+            layout.redundancy_locations(b)
+            == layout._redundancy_locations_uncached(b)
+        )
+
+
+def test_table_is_built_lazily_and_reused():
+    layout = _raidx(4, 1)
+    assert layout._data_table is None
+    layout.data_location(0)
+    table = layout._data_table
+    assert table is not None
+    layout.data_location(layout.data_blocks - 1)
+    assert layout._data_table is table  # built once

@@ -91,13 +91,95 @@ def test_process_return_value_via_yield(env):
 
 def test_yield_non_event_fails_process(env):
     def bad(env):
-        yield 42
+        yield "not an event"
 
     proc = env.process(bad(env))
     with pytest.raises(SimulationError):
         env.run()
     assert not proc.ok
     assert isinstance(proc.value, TypeError)
+
+
+def test_numeric_yield_sleeps(env):
+    """``yield dt`` is the allocation-free form of env.timeout(dt)."""
+    ticks = []
+
+    def p(env):
+        yield 1.5
+        ticks.append(env.now)
+        yield 2  # ints sleep too
+        ticks.append(env.now)
+        yield 0.0  # zero-delay resumes at the same time
+        ticks.append(env.now)
+
+    env.process(p(env))
+    env.run()
+    assert ticks == [1.5, 3.5, 3.5]
+
+
+def test_negative_numeric_yield_raises_in_process(env):
+    caught = []
+
+    def p(env):
+        try:
+            yield -1.0
+        except ValueError as e:
+            caught.append(str(e))
+
+    env.process(p(env))
+    env.run()
+    assert caught and "negative timeout" in caught[0]
+
+
+def test_numeric_yield_interleaves_with_timeouts(env):
+    order = []
+
+    def sleeper(env, label, dt, numeric):
+        for _ in range(3):
+            if numeric:
+                yield dt
+            else:
+                yield env.timeout(dt)
+            order.append((label, env.now))
+
+    env.process(sleeper(env, "n", 1.0, True))
+    env.process(sleeper(env, "t", 1.0, False))
+    env.run()
+    # Both forms advance the clock identically, FIFO order preserved.
+    assert order == [
+        ("n", 1.0), ("t", 1.0),
+        ("n", 2.0), ("t", 2.0),
+        ("n", 3.0), ("t", 3.0),
+    ]
+
+
+def test_interrupt_during_numeric_sleep(env):
+    """Interrupting a numeric sleep must not corrupt the reusable
+    sleep event (regression guard for the pooled fast path)."""
+    log = []
+
+    def sleeper(env):
+        try:
+            yield 10.0
+        except Interrupt as i:
+            log.append(("interrupted", env.now, i.cause))
+        yield 1.0
+        log.append(("slept", env.now))
+        yield 1.0
+        log.append(("slept", env.now))
+
+    def poker(env, victim):
+        yield 2.0
+        victim.interrupt("poke")
+
+    victim = env.process(sleeper(env))
+    env.process(poker(env, victim))
+    env.run()
+    assert log == [
+        ("interrupted", 2.0, "poke"),
+        ("slept", 3.0),
+        ("slept", 4.0),
+    ]
 
 
 def test_exception_propagates_to_waiter(env):

@@ -1,0 +1,47 @@
+"""Generous-floor throughput guards for the simulation kernel.
+
+Runs the ``benchmarks/bench_kernel.py`` scenarios at a tiny scale and
+asserts events/sec stays above a floor set ~20-50x below the numbers
+measured on the development machine (see BENCH_kernel.json).  The point
+is to catch *catastrophic* hot-path regressions (an accidental O(n)
+scan, a debug hook left on) without ever flaking on slow CI hardware.
+
+Deselect with ``pytest -m "not perf_smoke"``.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+_BENCH = pathlib.Path(__file__).parent.parent / "benchmarks" / "bench_kernel.py"
+
+
+def _load_bench_kernel():
+    spec = importlib.util.spec_from_file_location("bench_kernel", _BENCH)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+bench_kernel = _load_bench_kernel()
+
+#: events/sec floors, ~20-50x below measured rates — generous on purpose.
+FLOORS = {
+    "timeout_chain": 30_000,
+    "sleep_chain": 50_000,
+    "event_relay": 15_000,
+    "store_producer_consumer": 15_000,
+}
+
+
+@pytest.mark.perf_smoke
+@pytest.mark.parametrize("scenario", sorted(FLOORS))
+def test_kernel_throughput_floor(scenario):
+    stats = bench_kernel.measure(scenario, scale=0.05, repeats=1)
+    assert "error" not in stats, stats
+    rate = stats["events_per_sec"]
+    assert rate > FLOORS[scenario], (
+        f"{scenario}: {rate:,.0f} events/sec is below the generous "
+        f"{FLOORS[scenario]:,} floor — the kernel hot path regressed badly"
+    )
