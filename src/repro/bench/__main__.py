@@ -60,6 +60,10 @@ ARTIFACTS = {
     "f6": ("Figure 6 (Andrew benchmark)", _fig6),
     "f7": ("Figure 7 (checkpointing)", _fig7),
     "c1": ("Conclusions' headline ratios", _headline),
+    "tr": (
+        "Write-path trace demo (RAID-x vs RAID-5)",
+        lambda workers=None: ex.trace_demo(),
+    ),
 }
 
 
@@ -86,6 +90,26 @@ def main(argv=None) -> int:
         help="fan parameter sweeps out over N worker processes "
         "(results are identical to a serial run; currently used by f5)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="OUT.json",
+        default=None,
+        help="record request spans while the artifacts run and write a "
+        "Chrome trace-event file (open in Perfetto / chrome://tracing); "
+        "with no artifact ids, runs the 'tr' trace demo",
+    )
+    parser.add_argument(
+        "--jsonl",
+        metavar="OUT.jsonl",
+        default=None,
+        help="also dump the raw spans as JSON lines (one span per line)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the cluster-wide metrics registry (per-layer latency "
+        "histograms and counters) after the artifacts complete",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -93,18 +117,41 @@ def main(argv=None) -> int:
             print(f"  {key:4s} {title}")
         return 0
 
-    chosen = args.artifacts or list(ARTIFACTS)
+    observing = bool(args.trace or args.jsonl or args.metrics)
+    default = ["tr"] if observing and not args.artifacts else list(ARTIFACTS)
+    chosen = args.artifacts or default
     unknown = [a for a in chosen if a not in ARTIFACTS]
     if unknown:
         parser.error(f"unknown artifact ids: {unknown}")
 
-    for key in chosen:
-        title, fn = ARTIFACTS[key]
-        bar = "=" * max(24, len(title) + 8)
-        print(f"\n{bar}\n    {key.upper()} — {title}\n{bar}")
-        t0 = time.perf_counter()
-        print(fn(workers=args.workers))
-        print(f"[{key}: regenerated in {time.perf_counter() - t0:.1f}s]")
+    tracer = None
+    if observing:
+        from repro.obs import runtime as obs_runtime
+
+        tracer = obs_runtime.install()
+    try:
+        for key in chosen:
+            title, fn = ARTIFACTS[key]
+            bar = "=" * max(24, len(title) + 8)
+            print(f"\n{bar}\n    {key.upper()} — {title}\n{bar}")
+            t0 = time.perf_counter()
+            print(fn(workers=args.workers))
+            print(f"[{key}: regenerated in {time.perf_counter() - t0:.1f}s]")
+    finally:
+        if tracer is not None:
+            from repro.obs import runtime as obs_runtime
+            from repro.obs.export import write_chrome_trace, write_jsonl
+
+            obs_runtime.reset()
+            if args.trace:
+                write_chrome_trace(tracer.spans, args.trace)
+                print(f"\n[trace: {len(tracer)} spans -> {args.trace}]")
+            if args.jsonl:
+                n = write_jsonl(tracer.spans, args.jsonl)
+                print(f"[spans: {n} -> {args.jsonl}]")
+            if args.metrics:
+                print()
+                print(tracer.metrics.render("Cluster-wide metrics"))
     return 0
 
 

@@ -8,7 +8,7 @@ experiment↔module map lives in DESIGN.md §4.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.peak import ARCH_ORDER, FORMULAS, PeakModel, peak_table
 from repro.analysis.report import render_series, render_table
@@ -16,10 +16,9 @@ from repro.analysis.scalability import improvement_factor
 from repro.bench.harness import ExperimentResult, sweep
 from repro.cluster.cluster import build_cluster
 from repro.config import trojans_cluster
-from repro.units import KiB, MB, MS
+from repro.units import MB, MS
 from repro.workloads.andrew import AndrewBenchmark, AndrewConfig, AndrewResult
 from repro.workloads.parallel_io import (
-    ParallelIOWorkload,
     large_read,
     large_write,
     small_read,
@@ -313,3 +312,53 @@ def headline_claims() -> Dict[str, float]:
         "raidx_read_mb_s": lr["raidx"],
         "raidx_small_write_mb_s": sw["raidx"],
     }
+
+
+def trace_demo(
+    archs: Sequence[str] = ("raidx", "raid5"),
+    clients: int = 4,
+    n: int = 4,
+) -> str:
+    """Write-path trace comparison (artifact ``tr``).
+
+    Runs a barrier-synchronized small-write burst on each architecture
+    under one tracer — the architecture name labels the tracks, so a
+    RAID-x write path sits next to RAID-5's in the same Perfetto view —
+    then drains RAID-x's background image flushes so the deferred
+    mirror-flush spans land too.  Renders the per-layer latency
+    histograms; with ``python -m repro.bench tr --trace out.json`` the
+    recorded spans are also exported as a Chrome/Perfetto trace.
+    """
+    from repro.obs import runtime as _obs
+
+    tracer = _obs.TRACER
+    temporary = not tracer.enabled
+    if temporary:
+        tracer = _obs.install()
+    lines = []
+    try:
+        for arch in archs:
+            tracer.label = arch
+            before = len(tracer)
+            cluster = build_cluster(
+                trojans_cluster(n=n, k=1), architecture=arch, locking=True
+            )
+            result = _WORKLOADS["small_write"](
+                cluster, clients, repeats=4, queue_depth=2
+            ).run()
+            cluster.env.run(cluster.env.process(cluster.storage.drain()))
+            lines.append(
+                f"  {arch:8s} {result.aggregate_bandwidth_mb_s:7.2f} MB/s"
+                f"   spans={len(tracer) - before}"
+            )
+    finally:
+        tracer.label = ""
+        if temporary:
+            _obs.reset()
+    head = (
+        f"Write-path trace: {clients} clients x 4 x 32 KiB writes, "
+        f"{n}x1 array, locking on\n" + "\n".join(lines)
+    )
+    return head + "\n\n" + tracer.metrics.render(
+        "Per-layer latency (histograms) and counters"
+    )

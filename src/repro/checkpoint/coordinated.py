@@ -19,7 +19,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.cluster.message import ACK_BYTES, MessageKind
-from repro.errors import CheckpointError, ConfigurationError
+from repro.errors import ConfigurationError
+from repro.obs import runtime as _obs
+from repro.obs.trace import CKPT_SYNC, CKPT_WRITE
 from repro.raid.raidx import RaidxLayout
 from repro.sim.sync import Barrier
 from repro.units import MB
@@ -123,19 +125,28 @@ class CheckpointRun:
         return list(range(first, first + n_blocks))
 
     # -- protocol phases -----------------------------------------------------
-    def _sync(self, p: int):
+    def _sync(self, p: int, trace=None):
         """Marker to the coordinator + wait for the commit broadcast."""
         node = self.node_of_process(p)
         tr = self.cluster.transport
+        tracer = _obs.TRACER
+        t0 = self.env.now
         if node != self.coordinator:
             yield from tr.message(
-                MessageKind.CKPT_MARKER, node, self.coordinator, ACK_BYTES
+                MessageKind.CKPT_MARKER, node, self.coordinator, ACK_BYTES,
+                trace=trace,
             )
             yield from tr.message(
-                MessageKind.CKPT_MARKER, self.coordinator, node, ACK_BYTES
+                MessageKind.CKPT_MARKER, self.coordinator, node, ACK_BYTES,
+                trace=trace,
+            )
+        if tracer.enabled:
+            tracer.record(
+                CKPT_SYNC, f"node{node}.ckpt", t0, self.env.now,
+                trace=trace, process=p,
             )
 
-    def _write_state(self, p: int):
+    def _write_state(self, p: int, trace=None):
         """Stripe the process state over its region blocks."""
         storage = self.cluster.storage
         node = self.node_of_process(p)
@@ -154,6 +165,13 @@ class CheckpointRun:
         for ev in inflight:
             yield ev
         self._write_end[p] = self.env.now
+        tracer = _obs.TRACER
+        if tracer.enabled:
+            tracer.record(
+                CKPT_WRITE, f"node{node}.ckpt", self._write_start[p],
+                self.env.now, trace=trace, process=p,
+                nbytes=self.config.state_bytes, scheme=self.config.scheme,
+            )
 
     # -- schedules -----------------------------------------------------
     def _stagger_group_of(self, p: int, n_groups: int) -> int:
@@ -161,20 +179,22 @@ class CheckpointRun:
         return p // per
 
     def _process_body(self, p: int, barrier: Barrier, gates: List):
-        yield from self._sync(p)
+        tracer = _obs.TRACER
+        trace = tracer.new_trace() if tracer.enabled else None
+        yield from self._sync(p, trace)
         yield barrier.wait()  # sync phase complete for everyone
         scheme = self.config.scheme
         if scheme == "parallel":
-            yield from self._write_state(p)
+            yield from self._write_state(p, trace)
         elif scheme == "staggered":
             yield gates[p]  # opened when process p-1 finishes
-            yield from self._write_state(p)
+            yield from self._write_state(p, trace)
             if p + 1 < len(gates):
                 gates[p + 1].succeed()
         else:  # striped_staggered
             g = self._stagger_group_of(p, len(gates))
             yield gates[g][0]
-            yield from self._write_state(p)
+            yield from self._write_state(p, trace)
             gates[g][1].count_down()
 
     def run(self) -> CheckpointResult:

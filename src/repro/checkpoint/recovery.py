@@ -12,7 +12,7 @@ Two failure classes, per the paper's §6:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from repro.errors import CheckpointError
 from repro.raid.raidx import RaidxLayout

@@ -28,6 +28,8 @@ from repro.cluster.message import (
 )
 from repro.cluster.transport import Transport
 from repro.hardware.node import Node
+from repro.obs import runtime as _obs
+from repro.obs.trace import CPU_DRIVER
 
 
 class CooperativeDiskDriver:
@@ -64,55 +66,79 @@ class CooperativeDiskDriver:
         return disk % len(self.nodes)
 
     # -- client module -----------------------------------------------------
+    def _driver_entry(self, node: Node, trace):
+        """Charge (and trace) one kernel driver entry on ``node``."""
+        tracer = _obs.TRACER
+        t0 = node.env.now
+        yield node.cpu.driver_entry(kernel_level=True)
+        if tracer.enabled:
+            tracer.record(
+                CPU_DRIVER, f"node{node.node_id}.cpu", t0, node.env.now,
+                trace=trace,
+            )
+
     def block_io(
-        self, op: str, disk: int, offset: int, nbytes: int, priority: int = 0
+        self, op: str, disk: int, offset: int, nbytes: int, priority: int = 0,
+        trace=None,
     ):
         """Process generator: one block operation anywhere in the SIOS.
 
         Completes when the data is on disk (write) or delivered to this
-        node (read).
+        node (read).  ``trace`` propagates a logical request's trace id
+        to every span the hop records (CPU, NIC, SCSI, disk).
         """
         self.issued_ops += 1
         owner = self.owner_of(disk)
         me = self.node_id
         if owner == me:
             self.transport.stats.local_block_ops += 1
-            yield self.node.cpu.driver_entry(kernel_level=True)
-            yield from self.node.disk_io(disk, op, offset, nbytes, priority)
+            yield from self._driver_entry(self.node, trace)
+            yield from self.node.disk_io(
+                disk, op, offset, nbytes, priority, trace=trace
+            )
             return
 
         # Remote path: request message -> manager work -> reply message.
         self.transport.stats.remote_block_ops += 1
-        yield self.node.cpu.driver_entry(kernel_level=True)
+        yield from self._driver_entry(self.node, trace)
         if op == "read":
             yield from self.transport.message(
-                MessageKind.READ_REQ, me, owner, read_request_size()
+                MessageKind.READ_REQ, me, owner, read_request_size(),
+                trace=trace,
             )
-            yield from self._manage(owner, op, disk, offset, nbytes, priority)
+            yield from self._manage(
+                owner, op, disk, offset, nbytes, priority, trace
+            )
             yield from self.transport.message(
-                MessageKind.READ_REPLY, owner, me, read_reply_size(nbytes)
+                MessageKind.READ_REPLY, owner, me, read_reply_size(nbytes),
+                trace=trace,
             )
         else:
             yield from self.transport.message(
-                MessageKind.WRITE_REQ, me, owner, write_request_size(nbytes)
+                MessageKind.WRITE_REQ, me, owner, write_request_size(nbytes),
+                trace=trace,
             )
-            yield from self._manage(owner, op, disk, offset, nbytes, priority)
+            yield from self._manage(
+                owner, op, disk, offset, nbytes, priority, trace
+            )
             yield from self.transport.message(
-                MessageKind.WRITE_ACK, owner, me, write_ack_size()
+                MessageKind.WRITE_ACK, owner, me, write_ack_size(),
+                trace=trace,
             )
 
     def submit(
-        self, op: str, disk: int, offset: int, nbytes: int, priority: int = 0
+        self, op: str, disk: int, offset: int, nbytes: int, priority: int = 0,
+        trace=None,
     ):
         """Run :meth:`block_io` as a process; returns its completion event."""
         return self.node.env.process(
-            self.block_io(op, disk, offset, nbytes, priority)
+            self.block_io(op, disk, offset, nbytes, priority, trace)
         )
 
     # -- storage manager -----------------------------------------------------
     def _manage(
         self, owner: int, op: str, disk: int, offset: int, nbytes: int,
-        priority: int,
+        priority: int, trace=None,
     ):
         """The remote storage manager's share of a request."""
         if self.manager_servers is not None:
@@ -122,23 +148,27 @@ class CooperativeDiskDriver:
             )
             yield server.submit(
                 op, disk, offset, nbytes, priority=priority,
-                client=self.node_id,
+                client=self.node_id, trace=trace,
             )
             return
         manager_node = self.nodes[owner]
-        yield manager_node.cpu.driver_entry(kernel_level=True)
-        yield from manager_node.disk_io(disk, op, offset, nbytes, priority)
+        yield from self._driver_entry(manager_node, trace)
+        yield from manager_node.disk_io(
+            disk, op, offset, nbytes, priority, trace=trace
+        )
 
     # -- consistency module ---------------------------------------------------
-    def acquire_write_locks(self, blocks):
+    def acquire_write_locks(self, blocks, trace=None):
         """Process generator: lock the groups covering ``blocks``."""
         if self.lock_manager is None:
             return None
-        handle = yield from self.lock_manager.acquire(self.node_id, blocks)
+        handle = yield from self.lock_manager.acquire(
+            self.node_id, blocks, trace=trace
+        )
         return handle
 
-    def release_write_locks(self, handle):
+    def release_write_locks(self, handle, trace=None):
         """Process generator: release locks acquired earlier."""
         if self.lock_manager is None or handle is None:
             return
-        yield from self.lock_manager.release(handle)
+        yield from self.lock_manager.release(handle, trace=trace)

@@ -19,6 +19,8 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.cluster.message import ACK_BYTES, MessageKind
 from repro.errors import LockProtocolError
+from repro.obs import runtime as _obs
+from repro.obs.trace import LOCK_WAIT
 from repro.sim.core import Environment
 from repro.sim.sync import Mutex
 
@@ -117,35 +119,45 @@ class DistributedLockManager:
         return m
 
     # -- protocol ----------------------------------------------------------
-    def acquire(self, client: int, blocks) -> "object":
+    def acquire(self, client: int, blocks, trace=None) -> "object":
         """Process generator: acquire write locks on all groups covering
         ``blocks`` in global order; returns an opaque handle for release."""
         groups = self.groups_for_blocks(blocks)
         held: List[Tuple[int, object]] = []
+        tracer = _obs.TRACER
         for g in groups:
             home = self.home_of_group(g)
             if home != client:
                 yield from self.transport.message(
-                    MessageKind.LOCK_REQ, client, home, ACK_BYTES
+                    MessageKind.LOCK_REQ, client, home, ACK_BYTES,
+                    trace=trace,
                 )
             req = self._mutex(g).acquire(owner=client)
+            t0 = self.env.now
             yield req
+            if tracer.enabled:
+                tracer.record(
+                    LOCK_WAIT, f"node{home}.lock", t0, self.env.now,
+                    trace=trace, group=g, client=client,
+                )
             self.table.record_grant(g, client, self.env.now)
             if home != client:
                 yield from self.transport.message(
-                    MessageKind.LOCK_GRANT, home, client, ACK_BYTES
+                    MessageKind.LOCK_GRANT, home, client, ACK_BYTES,
+                    trace=trace,
                 )
             if self.broadcast_grants:
                 # Replicate the record to the other consistency modules.
                 for peer in range(self.n_nodes):
                     if peer not in (home, client):
                         self.transport.send(
-                            MessageKind.LOCK_GRANT, home, peer, ACK_BYTES
+                            MessageKind.LOCK_GRANT, home, peer, ACK_BYTES,
+                            trace=trace,
                         )
             held.append((g, req))
         return LockHandle(client, held)
 
-    def release(self, handle: "LockHandle"):
+    def release(self, handle: "LockHandle", trace=None):
         """Process generator: release all groups of ``handle``."""
         for g, req in reversed(handle.held):
             self.table.record_release(g, handle.client)
@@ -154,7 +166,8 @@ class DistributedLockManager:
             if home != handle.client:
                 # Release notification rides an async control message.
                 self.transport.send(
-                    MessageKind.LOCK_RELEASE, handle.client, home, ACK_BYTES
+                    MessageKind.LOCK_RELEASE, handle.client, home, ACK_BYTES,
+                    trace=trace,
                 )
         handle.held = []
         return

@@ -17,7 +17,7 @@ Enable via ``build_cluster(..., cdd_mode="server")`` (optionally
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Optional
 
 from repro.sim.core import Environment
 from repro.sim.events import Event
@@ -36,6 +36,7 @@ class ManagerRequest:
     client: int
     done: Event = field(repr=False, default=None)  # type: ignore[assignment]
     enqueued_at: float = 0.0
+    trace: Optional[int] = None
 
 
 class StorageManagerServer:
@@ -57,7 +58,7 @@ class StorageManagerServer:
     # -- client-facing ---------------------------------------------------
     def submit(
         self, op: str, disk: int, offset: int, nbytes: int,
-        priority: int = 0, client: int = -1,
+        priority: int = 0, client: int = -1, trace: Optional[int] = None,
     ) -> Event:
         """Queue a request; the returned event triggers when served."""
         req = ManagerRequest(
@@ -69,6 +70,7 @@ class StorageManagerServer:
             client=client,
             done=self.env.event(),
             enqueued_at=self.env.now,
+            trace=trace,
         )
         self.inbox.put(req)
         self.max_queue_seen = max(self.max_queue_seen, len(self.inbox))
@@ -95,7 +97,8 @@ class StorageManagerServer:
             self.total_wait += self.env.now - req.enqueued_at
             yield self.node.cpu.driver_entry(kernel_level=True)
             yield from self.node.disk_io(
-                req.disk, req.op, req.offset, req.nbytes, req.priority
+                req.disk, req.op, req.offset, req.nbytes, req.priority,
+                trace=req.trace,
             )
             self.served += 1
             req.done.succeed()

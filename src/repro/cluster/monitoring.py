@@ -8,7 +8,7 @@ analyses and the terminal charts in the examples.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List
 
 
 @dataclass
@@ -58,18 +58,36 @@ class ClusterMonitor:
         self._last_disk_busy = 0.0
         self._last_net_busy = 0.0
         self._last_cpu_busy = 0.0
+        self._last_time = 0.0
         self._proc = None
 
     # -- lifecycle -------------------------------------------------------
     def start(self) -> None:
         """Arm the sampling process (idempotent)."""
         if self._proc is None:
+            # Re-baseline so a restart doesn't fold the stopped gap into
+            # its first interval.
+            (
+                self._last_disk_busy,
+                self._last_net_busy,
+                self._last_cpu_busy,
+            ) = self._totals()[:3]
+            self._last_time = self.cluster.env.now
             self._proc = self.cluster.env.process(self._run())
 
     def stop(self) -> None:
-        """Stop sampling (safe to call when never started)."""
-        if self._proc is not None and self._proc.is_alive:
-            self._proc.interrupt()
+        """Stop sampling (safe to call when never started).
+
+        Flushes one final sample covering the partial interval since the
+        last cadence tick, normalized by the actual elapsed time — the
+        tail of a run is not silently dropped.
+        """
+        if self._proc is not None:
+            if self._proc.is_alive:
+                self._proc.interrupt()
+            elapsed = self.cluster.env.now - self._last_time
+            if elapsed > 0:
+                self._sample(elapsed)
         self._proc = None
 
     # -- internals -------------------------------------------------------
@@ -83,48 +101,48 @@ class ClusterMonitor:
         cpu_busy = sum(
             node.cpu._work.busy_time for node in self.cluster.nodes
         )
-        return disk_busy, net_busy, cpu_busy
+        max_queue = max((d.queue_depth for d in disks), default=0)
+        return disk_busy, net_busy, cpu_busy, max_queue
+
+    def _sample(self, elapsed: float) -> None:
+        """Append one interval-local sample covering ``elapsed`` seconds."""
+        cluster = self.cluster
+        n_disks = max(1, cluster.n_disks)
+        n_ports = max(1, 2 * len(cluster.network.nics))
+        n_cpus = max(1, len(cluster.nodes))
+        disk_busy, net_busy, cpu_busy, max_queue = self._totals()
+        pending = getattr(cluster.storage, "pending_background_flushes", 0)
+        self.log.samples.append(
+            Sample(
+                time=cluster.env.now,
+                disk_utilization=min(
+                    1.0,
+                    (disk_busy - self._last_disk_busy)
+                    / (elapsed * n_disks),
+                ),
+                network_utilization=min(
+                    1.0,
+                    (net_busy - self._last_net_busy) / (elapsed * n_ports),
+                ),
+                cpu_utilization=min(
+                    1.0,
+                    (cpu_busy - self._last_cpu_busy) / (elapsed * n_cpus),
+                ),
+                max_disk_queue=max_queue,
+                pending_flushes=pending,
+            )
+        )
+        self._last_disk_busy = disk_busy
+        self._last_net_busy = net_busy
+        self._last_cpu_busy = cpu_busy
+        self._last_time = cluster.env.now
 
     def _run(self):
         from repro.sim.events import Interrupt
 
-        env = self.cluster.env
-        n_disks = max(1, self.cluster.n_disks)
-        n_ports = max(1, 2 * len(self.cluster.network.nics))
-        n_cpus = max(1, len(self.cluster.nodes))
         while True:
             try:
                 yield float(self.interval)
             except Interrupt:
                 return
-            disk_busy, net_busy, cpu_busy = self._totals()
-            storage = self.cluster.storage
-            pending = getattr(storage, "pending_background_flushes", 0)
-            self.log.samples.append(
-                Sample(
-                    time=env.now,
-                    disk_utilization=min(
-                        1.0,
-                        (disk_busy - self._last_disk_busy)
-                        / (self.interval * n_disks),
-                    ),
-                    network_utilization=min(
-                        1.0,
-                        (net_busy - self._last_net_busy)
-                        / (self.interval * n_ports),
-                    ),
-                    cpu_utilization=min(
-                        1.0,
-                        (cpu_busy - self._last_cpu_busy)
-                        / (self.interval * n_cpus),
-                    ),
-                    max_disk_queue=max(
-                        (d.queue_depth for d in self.cluster.all_disks()),
-                        default=0,
-                    ),
-                    pending_flushes=pending,
-                )
-            )
-            self._last_disk_busy = disk_busy
-            self._last_net_busy = net_busy
-            self._last_cpu_busy = cpu_busy
+            self._sample(self.interval)

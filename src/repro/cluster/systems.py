@@ -22,7 +22,7 @@ NFS               every rsize/wsize chunk is a user-level RPC to the
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.cluster.cdd import CooperativeDiskDriver
 from repro.cluster.message import (
@@ -31,6 +31,8 @@ from repro.cluster.message import (
 )
 from repro.cluster.sios import Piece, SingleIOSpace
 from repro.errors import ConfigurationError, DataLossError
+from repro.obs import runtime as _obs
+from repro.obs.trace import LOCK_WAIT, MIRROR_FLUSH, REQUEST
 from repro.raid import make_layout
 from repro.raid.layout import Layout, Placement
 from repro.raid.mirror_policy import MirrorPolicy
@@ -171,21 +173,32 @@ class DistributedArraySystem(StorageSystem):
         pieces = self.sios.pieces(offset, nbytes)
         if not pieces:
             return
+        tracer = _obs.TRACER
+        trace = tracer.new_trace() if tracer.enabled else None
+        t0 = self.env.now
         handle = None
         if self.locking and op == "write":
             handle = yield from self.cdd(client).acquire_write_locks(
-                [p.block for p in pieces]
+                [p.block for p in pieces], trace=trace
             )
         try:
             if op == "read":
-                yield from self._read(client, pieces)
+                yield from self._read(client, pieces, trace)
                 self.bytes_read += nbytes
             else:
-                yield from self._write(client, pieces)
+                yield from self._write(client, pieces, trace)
                 self.bytes_written += nbytes
         finally:
             if handle is not None:
-                yield from self.cdd(client).release_write_locks(handle)
+                yield from self.cdd(client).release_write_locks(
+                    handle, trace=trace
+                )
+            if tracer.enabled:
+                tracer.record(
+                    REQUEST, f"node{client}.request", t0, self.env.now,
+                    trace=trace, op=op, offset=offset, nbytes=nbytes,
+                    arch=self.name,
+                )
 
     # -- reads ----------------------------------------------------------------
     def _read_source(self, client: int, piece: Piece) -> Optional[Placement]:
@@ -195,15 +208,15 @@ class DistributedArraySystem(StorageSystem):
         )
         return self._balance(sources)
 
-    def _read(self, client: int, pieces: List[Piece]):
+    def _read(self, client: int, pieces: List[Piece], trace=None):
         events = [
-            self.env.process(self._read_piece(client, piece))
+            self.env.process(self._read_piece(client, piece, trace))
             for piece in pieces
         ]
         if events:
             yield self.env.all_of(events)
 
-    def _read_piece(self, client: int, piece: Piece):
+    def _read_piece(self, client: int, piece: Piece, trace=None):
         """Read one piece, retrying on mid-flight disk failures.
 
         A request queued on a disk that fails before service returns EIO;
@@ -215,17 +228,18 @@ class DistributedArraySystem(StorageSystem):
         while True:
             src = self._read_source(client, piece)
             if src is None:
-                yield from self._reconstruct_read(client, piece)
+                yield from self._reconstruct_read(client, piece, trace)
                 return
             try:
                 yield from self.cdd(client).block_io(
-                    "read", src.disk, src.offset + piece.intra, piece.nbytes
+                    "read", src.disk, src.offset + piece.intra, piece.nbytes,
+                    trace=trace,
                 )
                 return
             except DiskFailedError as e:
                 self.failed_disks.add(e.disk_id)
 
-    def _reconstruct_read(self, client: int, piece: Piece):
+    def _reconstruct_read(self, client: int, piece: Piece, trace=None):
         """Fallback when no copy survives (overridden by RAID-5)."""
         raise DataLossError(
             f"block {piece.block}: all copies on failed disks "
@@ -234,21 +248,21 @@ class DistributedArraySystem(StorageSystem):
         yield  # pragma: no cover
 
     # -- writes ----------------------------------------------------------------
-    def _write(self, client: int, pieces: List[Piece]):
+    def _write(self, client: int, pieces: List[Piece], trace=None):
         raise NotImplementedError
         yield  # pragma: no cover
 
     def _write_piece_to(
-        self, client: int, placement: Placement, piece: Piece
+        self, client: int, placement: Placement, piece: Piece, trace=None
     ) -> Event:
         """Write one piece at a given placement (helper)."""
         return self.cdd(client).submit(
             "write", placement.disk, placement.offset + piece.intra,
-            piece.nbytes,
+            piece.nbytes, trace=trace,
         )
 
     def _write_piece_tolerant(
-        self, client: int, placement: Placement, piece: Piece
+        self, client: int, placement: Placement, piece: Piece, trace=None
     ) -> Event:
         """Like :meth:`_write_piece_to`, but a disk dying under the write
         marks it failed instead of crashing — redundancy (the mirror copy
@@ -262,6 +276,7 @@ class DistributedArraySystem(StorageSystem):
                     placement.disk,
                     placement.offset + piece.intra,
                     piece.nbytes,
+                    trace=trace,
                 )
             except DiskFailedError as e:
                 self.failed_disks.add(e.disk_id)
@@ -275,9 +290,10 @@ class Raid0System(DistributedArraySystem):
     name = "raid0"
     layout_name = "raid0"
 
-    def _write(self, client: int, pieces: List[Piece]):
+    def _write(self, client: int, pieces: List[Piece], trace=None):
         events = [
-            self._write_piece_to(client, p.placement, p) for p in pieces
+            self._write_piece_to(client, p.placement, p, trace)
+            for p in pieces
         ]
         yield self.env.all_of(events)
 
@@ -293,9 +309,9 @@ class _MirroredSystem(DistributedArraySystem):
 
     serial_mirror = False
 
-    def _write(self, client: int, pieces: List[Piece]):
+    def _write(self, client: int, pieces: List[Piece], trace=None):
         if self.serial_mirror:
-            yield from self._write_serial(client, pieces)
+            yield from self._write_serial(client, pieces, trace)
             return
         events = []
         for p in pieces:
@@ -306,7 +322,9 @@ class _MirroredSystem(DistributedArraySystem):
                     f"block {p.block}: every copy on a failed disk"
                 )
             for c in alive:
-                events.append(self._write_piece_tolerant(client, c, p))
+                events.append(
+                    self._write_piece_tolerant(client, c, p, trace)
+                )
         yield self.env.all_of(events)
         self._check_copies_survive(pieces)
 
@@ -318,7 +336,7 @@ class _MirroredSystem(DistributedArraySystem):
                     f"block {p.block}: every copy on a failed disk"
                 )
 
-    def _write_serial(self, client: int, pieces: List[Piece]):
+    def _write_serial(self, client: int, pieces: List[Piece], trace=None):
         for p in pieces:
             copies = [p.placement] + self.layout.redundancy_locations(p.block)
             if all(c.disk in self.failed_disks for c in copies):
@@ -338,7 +356,9 @@ class _MirroredSystem(DistributedArraySystem):
             for p, c in copies:
                 if c.disk in self.failed_disks:
                     continue
-                events.append(self._write_piece_tolerant(client, c, p))
+                events.append(
+                    self._write_piece_tolerant(client, c, p, trace)
+                )
             if events:
                 yield self.env.all_of(events)
         self._check_copies_survive(pieces)
@@ -397,7 +417,7 @@ class Raid5System(DistributedArraySystem):
         return m
 
     # -- reads (degraded path) ---------------------------------------------
-    def _reconstruct_read(self, client: int, piece: Piece):
+    def _reconstruct_read(self, client: int, piece: Piece, trace=None):
         """Rebuild a lost block from the surviving stripe + parity."""
         layout: Raid5Layout = self.layout  # type: ignore[assignment]
         stripe = layout.stripe_of(piece.block)
@@ -412,7 +432,8 @@ class Raid5System(DistributedArraySystem):
                 )
             reads.append(
                 self.cdd(client).submit(
-                    "read", loc.disk, loc.offset, layout.block_size
+                    "read", loc.disk, loc.offset, layout.block_size,
+                    trace=trace,
                 )
             )
         ploc = layout.parity_location(stripe)
@@ -420,7 +441,8 @@ class Raid5System(DistributedArraySystem):
             raise DataLossError(f"stripe {stripe}: parity disk also failed")
         reads.append(
             self.cdd(client).submit(
-                "read", ploc.disk, ploc.offset, layout.block_size
+                "read", ploc.disk, ploc.offset, layout.block_size,
+                trace=trace,
             )
         )
         yield self.env.all_of(reads)
@@ -430,14 +452,14 @@ class Raid5System(DistributedArraySystem):
         )
 
     # -- writes ------------------------------------------------------------
-    def _write(self, client: int, pieces: List[Piece]):
+    def _write(self, client: int, pieces: List[Piece], trace=None):
         layout: Raid5Layout = self.layout  # type: ignore[assignment]
         by_stripe = self.sios.pieces_by_stripe(pieces)
         stripe_events = []
         for stripe, spieces in by_stripe.items():
             stripe_events.append(
                 self.env.process(
-                    self._write_stripe(client, stripe, spieces)
+                    self._write_stripe(client, stripe, spieces, trace)
                 )
             )
         yield self.env.all_of(stripe_events)
@@ -451,12 +473,20 @@ class Raid5System(DistributedArraySystem):
         }
         return want <= have
 
-    def _write_stripe(self, client: int, stripe: int, spieces: List[Piece]):
+    def _write_stripe(self, client: int, stripe: int, spieces: List[Piece],
+                      trace=None):
         layout: Raid5Layout = self.layout  # type: ignore[assignment]
         bs = layout.block_size
         cpu = self.cluster.nodes[client].cpu
+        tracer = _obs.TRACER
+        t0 = self.env.now
         lock = self._stripe_lock(stripe).acquire(owner=client)
         yield lock
+        if tracer.enabled:
+            tracer.record(
+                LOCK_WAIT, f"node{client}.lock", t0, self.env.now,
+                trace=trace, group=stripe, client=client, scope="stripe",
+            )
         try:
             ploc = layout.parity_location(stripe)
             parity_alive = ploc.disk not in self.failed_disks
@@ -466,14 +496,14 @@ class Raid5System(DistributedArraySystem):
                 # Full-stripe write: parity computed in memory, no reads.
                 yield cpu.xor(len(spieces) * bs)
                 events = [
-                    self._write_piece_to(client, p.placement, p)
+                    self._write_piece_to(client, p.placement, p, trace)
                     for p in spieces
                     if p.placement.disk not in self.failed_disks
                 ]
                 if parity_alive:
                     events.append(
                         self.cdd(client).submit(
-                            "write", ploc.disk, ploc.offset, bs
+                            "write", ploc.disk, ploc.offset, bs, trace=trace
                         )
                     )
                 yield self.env.all_of(events)
@@ -501,12 +531,14 @@ class Raid5System(DistributedArraySystem):
                                 p.placement.disk,
                                 p.placement.offset + p.intra,
                                 p.nbytes,
+                                trace=trace,
                             )
                         )
                 if parity_alive:
                     reads.append(
                         self.cdd(client).submit(
-                            "read", ploc.disk, ploc.offset + plo, phi - plo
+                            "read", ploc.disk, ploc.offset + plo, phi - plo,
+                            trace=trace,
                         )
                     )
                 if reads:
@@ -514,14 +546,15 @@ class Raid5System(DistributedArraySystem):
                 # Two XOR passes: strip old data out of parity, add new.
                 yield cpu.xor(modified, passes=2)
                 writes = [
-                    self._write_piece_to(client, p.placement, p)
+                    self._write_piece_to(client, p.placement, p, trace)
                     for p in group
                     if p.placement.disk not in self.failed_disks
                 ]
                 if parity_alive:
                     writes.append(
                         self.cdd(client).submit(
-                            "write", ploc.disk, ploc.offset + plo, phi - plo
+                            "write", ploc.disk, ploc.offset + plo, phi - plo,
+                            trace=trace,
                         )
                     )
                 yield self.env.all_of(writes)
@@ -595,20 +628,22 @@ class RaidxSystem(DistributedArraySystem):
         return mirror
 
     # -- writes ------------------------------------------------------------
-    def _write(self, client: int, pieces: List[Piece]):
+    def _write(self, client: int, pieces: List[Piece], trace=None):
         # Foreground: data blocks stripe across all disks in parallel.
         events = []
         for p in pieces:
             if p.placement.disk in self.failed_disks:
                 # Degraded write: only the image will carry this block.
                 continue
-            events.append(self._write_piece_tolerant(client, p.placement, p))
+            events.append(
+                self._write_piece_tolerant(client, p.placement, p, trace)
+            )
         extents = self._image_extents(pieces)
         for g, disk, _off, _n in extents:
             if disk not in self.failed_disks:
                 self._dirty_groups.add(g)
         if self.mirror_policy is MirrorPolicy.FOREGROUND:
-            events.extend(self._flush_extents(client, extents))
+            events.extend(self._flush_extents(client, extents, trace=trace))
             if events:
                 yield self.env.all_of(events)
             return
@@ -617,7 +652,7 @@ class RaidxSystem(DistributedArraySystem):
         # Background: hand the clustered image extents to the flusher;
         # rewrites of an already-queued extent are absorbed.
         self._pending_flushes.extend(
-            self._flush_extents(client, extents, absorb=True)
+            self._flush_extents(client, extents, absorb=True, trace=trace)
         )
 
     def _image_extents(
@@ -654,9 +689,10 @@ class RaidxSystem(DistributedArraySystem):
         self.coalesced_extents += len(runs)
         return runs
 
-    def _flush_extents(self, client, extents, absorb: bool = False
-                       ) -> List[Event]:
+    def _flush_extents(self, client, extents, absorb: bool = False,
+                       trace=None) -> List[Event]:
         events = []
+        tracer = _obs.TRACER
         for group, disk, off, nbytes in extents:
             if disk in self.failed_disks:
                 continue
@@ -666,25 +702,36 @@ class RaidxSystem(DistributedArraySystem):
                     # Write-behind absorption: the queued flush will
                     # carry the newer contents of this extent.
                     self.absorbed_rewrites += 1
+                    if tracer.enabled:
+                        tracer.count("mirror.absorbed_rewrites")
                     continue
                 self._queued_extents.add(key)
             events.append(
                 self.env.process(
                     self._flush_one(client, group, disk, off, nbytes, key,
-                                    absorb)
+                                    absorb, trace)
                 )
             )
         return events
 
-    def _flush_one(self, client, group, disk, off, nbytes, key, tracked):
+    def _flush_one(self, client, group, disk, off, nbytes, key, tracked,
+                   trace=None):
         from repro.errors import DiskFailedError
 
         exposed_at = self.env.now
         try:
             yield from self.cdd(client).block_io(
-                "write", disk, off, nbytes, priority=1
+                "write", disk, off, nbytes, priority=1, trace=trace
             )
             self.vulnerability_windows.append(self.env.now - exposed_at)
+            tracer = _obs.TRACER
+            if tracer.enabled:
+                owner = self.sios.node_of_disk(disk)
+                tracer.record(
+                    MIRROR_FLUSH, f"node{owner}.mirror", exposed_at,
+                    self.env.now, trace=trace, disk=disk, nbytes=nbytes,
+                    deferred=tracked,
+                )
         except DiskFailedError as e:
             # The image disk died under the flush: the data block still
             # lives on its primary, so mark the disk and move on.
@@ -788,6 +835,9 @@ class NfsSystem(StorageSystem):
     def io(self, client: int, op: str, offset: int, nbytes: int):
         if offset < 0 or nbytes < 0 or offset + nbytes > self.capacity:
             raise ConfigurationError("request outside the NFS export")
+        tracer = _obs.TRACER
+        trace = tracer.new_trace() if tracer.enabled else None
+        t0 = self.env.now
         pos = offset
         end = offset + nbytes
         if op == "write" and self.stable_writes:
@@ -795,14 +845,14 @@ class NfsSystem(StorageSystem):
             # before the next is issued — no client-side write-behind.
             while pos < end:
                 take = min(self.transfer_size, end - pos)
-                yield from self._rpc(client, op, pos, take)
+                yield from self._rpc(client, op, pos, take, trace)
                 pos += take
         else:
             chunks = []
             while pos < end:
                 take = min(self.transfer_size, end - pos)
                 chunks.append(
-                    self.env.process(self._rpc(client, op, pos, take))
+                    self.env.process(self._rpc(client, op, pos, take, trace))
                 )
                 pos += take
             if chunks:
@@ -811,8 +861,15 @@ class NfsSystem(StorageSystem):
             self.bytes_read += nbytes
         else:
             self.bytes_written += nbytes
+        if tracer.enabled:
+            tracer.record(
+                REQUEST, f"node{client}.request", t0, self.env.now,
+                trace=trace, op=op, offset=offset, nbytes=nbytes,
+                arch=self.name,
+            )
 
-    def _rpc(self, client: int, op: str, offset: int, nbytes: int):
+    def _rpc(self, client: int, op: str, offset: int, nbytes: int,
+             trace=None):
         transport = self.cluster.transport
         server_node = self.cluster.nodes[self.server]
         client_node = self.cluster.nodes[client]
@@ -820,7 +877,7 @@ class NfsSystem(StorageSystem):
         yield client_node.cpu.driver_entry(kernel_level=False)
         req_size = HEADER_BYTES + (nbytes if op == "write" else 0)
         yield from transport.message(
-            MessageKind.RPC_REQ, client, self.server, req_size
+            MessageKind.RPC_REQ, client, self.server, req_size, trace=trace
         )
         # Server-side user-level processing + local disk I/O.
         yield server_node.cpu.driver_entry(kernel_level=False)
@@ -835,12 +892,15 @@ class NfsSystem(StorageSystem):
                     yield server_node.cpu.memcpy(take)
                     continue
             disk, disk_off = self._server_location(block)
-            yield from server_node.disk_io(disk, op, disk_off + intra, take)
+            yield from server_node.disk_io(
+                disk, op, disk_off + intra, take, trace=trace
+            )
             if self._cache is not None:
                 self._cache.insert(block)
         reply_size = HEADER_BYTES + (nbytes if op == "read" else 0)
         yield from transport.message(
-            MessageKind.RPC_REPLY, self.server, client, reply_size
+            MessageKind.RPC_REPLY, self.server, client, reply_size,
+            trace=trace,
         )
 
 

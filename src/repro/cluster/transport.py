@@ -18,6 +18,8 @@ from repro.cluster.message import Message, MessageKind, MessageStats
 from repro.config import ClusterConfig
 from repro.hardware.network import Network
 from repro.hardware.node import Node
+from repro.obs import runtime as _obs
+from repro.obs.trace import CPU_PROTO
 from repro.sim.core import Environment
 
 
@@ -37,19 +39,41 @@ class Transport:
         self.config = config
         self.stats = MessageStats()
 
-    def message(self, kind: MessageKind, src: int, dst: int, nbytes: int):
+    def message(self, kind: MessageKind, src: int, dst: int, nbytes: int,
+                trace=None):
         """Process generator: deliver one message end to end."""
         msg = Message(kind=kind, src=src, dst=dst, nbytes=nbytes)
         self.stats.record(msg)
         net = self.config.network
+        tracer = _obs.TRACER
         if src == dst:
             # Kernel-internal hand-off: one memory copy, no protocol stack.
+            t0 = self.env.now
             yield self.nodes[src].cpu.memcpy(nbytes)
+            if tracer.enabled:
+                tracer.record(
+                    CPU_PROTO, f"node{src}.cpu", t0, self.env.now,
+                    trace=trace, msg=kind.name, loopback=True,
+                )
             return
-        yield self.nodes[src].cpu.busy(net.message_cpu_cost(nbytes))
-        yield from self.network.send(src, dst, nbytes)
-        yield self.nodes[dst].cpu.busy(net.message_cpu_cost(nbytes))
+        cost = net.message_cpu_cost(nbytes)
+        t0 = self.env.now
+        yield self.nodes[src].cpu.busy(cost)
+        if tracer.enabled:
+            tracer.record(
+                CPU_PROTO, f"node{src}.cpu", t0, self.env.now,
+                trace=trace, msg=kind.name,
+            )
+        yield from self.network.send(src, dst, nbytes, trace=trace)
+        t1 = self.env.now
+        yield self.nodes[dst].cpu.busy(cost)
+        if tracer.enabled:
+            tracer.record(
+                CPU_PROTO, f"node{dst}.cpu", t1, self.env.now,
+                trace=trace, msg=kind.name,
+            )
 
-    def send(self, kind: MessageKind, src: int, dst: int, nbytes: int):
+    def send(self, kind: MessageKind, src: int, dst: int, nbytes: int,
+             trace=None):
         """Run :meth:`message` as a background process; returns its event."""
-        return self.env.process(self.message(kind, src, dst, nbytes))
+        return self.env.process(self.message(kind, src, dst, nbytes, trace))

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from itertools import combinations
 from math import comb
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 

@@ -16,7 +16,7 @@ On-disk region map::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.errors import (
     FileExists,
@@ -28,7 +28,7 @@ from repro.errors import (
 from repro.fs.allocator import BlockAllocator
 from repro.fs.blockdev import BlockDevice
 from repro.fs.directory import DirectoryData
-from repro.fs.inode import FileType, Inode, InodeTable, N_DIRECT
+from repro.fs.inode import FileType, Inode, InodeTable
 
 
 @dataclass(frozen=True)

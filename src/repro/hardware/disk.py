@@ -21,6 +21,8 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.config import DiskParams
 from repro.errors import AddressError, DiskFailedError
+from repro.obs import runtime as _obs
+from repro.obs.trace import DISK_QUEUE_WAIT, DISK_SERVICE
 from repro.sim.core import Environment
 from repro.sim.events import Event
 from repro.sim.resources import Store
@@ -69,6 +71,8 @@ class DiskRequest:
     #: Scheduling priority: lower values served first when the queue
     #: discipline honours priorities (background mirror flushes use >0).
     priority: int = 0
+    #: Trace id of the logical request this op belongs to (see repro.obs).
+    trace: Optional[int] = None
 
     def validate(self, capacity: int) -> None:
         if self.op not in ("read", "write"):
@@ -123,12 +127,14 @@ class Disk:
         return self._pending
 
     def submit(
-        self, op: str, offset: int, nbytes: int, priority: int = 0
+        self, op: str, offset: int, nbytes: int, priority: int = 0,
+        trace: Optional[int] = None,
     ) -> Event:
         """Queue a request; returns the completion event.
 
         The event fails with :class:`DiskFailedError` if the disk is (or
-        becomes) failed before the request is served.
+        becomes) failed before the request is served.  ``trace`` tags the
+        op's queue-wait/service spans with a logical request's trace id.
         """
         req = DiskRequest(
             op=op,
@@ -137,6 +143,7 @@ class Disk:
             done=self.env.event(),
             submitted_at=self.env.now,
             priority=priority,
+            trace=trace,
         )
         req.validate(self.capacity)
         if self.failed:
@@ -146,13 +153,15 @@ class Disk:
         self._inbox.put(req)
         return req.done
 
-    def read(self, offset: int, nbytes: int, priority: int = 0) -> Event:
+    def read(self, offset: int, nbytes: int, priority: int = 0,
+             trace: Optional[int] = None) -> Event:
         """Shorthand for a read request."""
-        return self.submit("read", offset, nbytes, priority)
+        return self.submit("read", offset, nbytes, priority, trace)
 
-    def write(self, offset: int, nbytes: int, priority: int = 0) -> Event:
+    def write(self, offset: int, nbytes: int, priority: int = 0,
+              trace: Optional[int] = None) -> Event:
         """Shorthand for a write request."""
-        return self.submit("write", offset, nbytes, priority)
+        return self.submit("write", offset, nbytes, priority, trace)
 
     def fail(self) -> None:
         """Mark the disk failed; subsequent and queued requests error."""
@@ -217,7 +226,35 @@ class Disk:
 
             seek, rot, xfer = self.service_time(req)
             service = self.params.controller_overhead_s + seek + rot + xfer
+            tracer = _obs.TRACER
+            if tracer.enabled:
+                t0 = self.env.now
+                if t0 > req.submitted_at:
+                    tracer.record(
+                        DISK_QUEUE_WAIT,
+                        self.name,
+                        req.submitted_at,
+                        t0,
+                        trace=req.trace,
+                        op=req.op,
+                        priority=req.priority,
+                    )
             yield service  # numeric sleep: kernel fast path
+            if tracer.enabled:
+                now = self.env.now
+                tracer.record(
+                    DISK_SERVICE,
+                    self.name,
+                    now - service,
+                    now,
+                    trace=req.trace,
+                    op=req.op,
+                    nbytes=req.nbytes,
+                    seek=seek,
+                    rotation=rot,
+                    transfer=xfer,
+                    priority=req.priority,
+                )
 
             st = self.stats
             st.busy_time += service

@@ -19,6 +19,8 @@ from typing import List, Optional
 from repro.config import NetworkParams
 from repro.errors import ConfigurationError
 from repro.hardware.nic import Nic
+from repro.obs import runtime as _obs
+from repro.obs.trace import NET_RX, NET_TX
 from repro.sim.core import Environment
 from repro.sim.shared import SharedChannel
 
@@ -55,7 +57,7 @@ class Network:
     def n_nodes(self) -> int:
         return len(self.nics)
 
-    def send(self, src: int, dst: int, nbytes: float):
+    def send(self, src: int, dst: int, nbytes: float, trace=None):
         """Process generator: move ``nbytes`` from node src to node dst.
 
         Messages larger than the MTU are fragmented and *pipelined*:
@@ -64,7 +66,7 @@ class Network:
         received — and fragments of other messages can interleave at the
         receive port.  Completes when the last byte lands.  Loopback
         (src == dst) is free at this layer — memory copies are charged
-        by the transport.
+        by the transport.  ``trace`` tags the recorded NIC tx/rx spans.
         """
         if not (0 <= src < self.n_nodes and 0 <= dst < self.n_nodes):
             raise ConfigurationError(
@@ -76,6 +78,11 @@ class Network:
             yield  # pragma: no cover - makes this a generator
         self.bytes_switched += nbytes
         mtu = self.params.mtu_bytes
+        tracer = _obs.TRACER
+        env = self.env
+        tx_start = env.now
+        tx_end = tx_start
+        rx_start = None
         self._flow_enter(src, dst)
         try:
             last_rx = None
@@ -84,6 +91,7 @@ class Network:
             while True:
                 frag = min(mtu, nbytes - pos)
                 yield self.nics[src].send_occupancy(frag)
+                tx_end = env.now
                 if self._backplane is not None:
                     yield self._backplane.transfer(frag)
                 if first:
@@ -92,6 +100,8 @@ class Network:
                     yield self.params.switch_latency_s
                     first = False
                 stretch = self._incast_stretch(src, dst)
+                if rx_start is None:
+                    rx_start = env.now
                 last_rx = self.nics[dst].recv_occupancy(
                     frag, stretch=stretch
                 )
@@ -100,6 +110,25 @@ class Network:
                     break
             if last_rx is not None:
                 yield last_rx
+            if tracer.enabled:
+                tracer.record(
+                    NET_TX,
+                    self.nics[src].track_tx,
+                    tx_start,
+                    tx_end,
+                    trace=trace,
+                    nbytes=nbytes,
+                    dst=dst,
+                )
+                tracer.record(
+                    NET_RX,
+                    self.nics[dst].track_rx,
+                    rx_start if rx_start is not None else env.now,
+                    env.now,
+                    trace=trace,
+                    nbytes=nbytes,
+                    src=src,
+                )
         finally:
             self._flow_exit(src, dst)
 
@@ -133,9 +162,9 @@ class Network:
         self.incast_stretch_total += stretch
         return stretch
 
-    def transfer(self, src: int, dst: int, nbytes: float):
+    def transfer(self, src: int, dst: int, nbytes: float, trace=None):
         """Convenience: run :meth:`send` as a process; returns its event."""
-        return self.env.process(self.send(src, dst, nbytes))
+        return self.env.process(self.send(src, dst, nbytes, trace=trace))
 
     def aggregate_utilization(self) -> float:
         """Mean per-port utilization (TX+RX) across the fabric."""

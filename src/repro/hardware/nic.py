@@ -32,6 +32,10 @@ class Nic:
         self.rx = BandwidthLink(
             env, rate=params.link_rate, latency=0.0, name=f"nic{node_id}.rx"
         )
+        #: Tracing track names: thread ``nic.tx``/``nic.rx`` of the node's
+        #: process group in the exported trace (see repro.obs.export).
+        self.track_tx = f"node{node_id}.nic.tx"
+        self.track_rx = f"node{node_id}.nic.rx"
 
     def send_occupancy(self, nbytes: float) -> Event:
         """Occupy the TX path for ``nbytes``."""

@@ -9,6 +9,8 @@ from repro.hardware.cpu import Cpu
 from repro.hardware.disk import Disk
 from repro.hardware.scsi import ScsiBus
 from repro.io.scheduler import make_scheduler
+from repro.obs import runtime as _obs
+from repro.obs.trace import SCSI_TRANSFER
 from repro.sim.core import Environment
 from repro.sim.events import Event
 
@@ -56,19 +58,32 @@ class Node:
             ) from None
 
     def disk_io(self, disk_id: int, op: str, offset: int, nbytes: int,
-                priority: int = 0):
+                priority: int = 0, trace: Optional[int] = None):
         """Process generator: one local disk op through the SCSI bus.
 
         The SCSI bus and the disk serialize independently; the bus
         transfer is charged for the full payload.
         """
         disk = self.local_disk(disk_id)
-        yield self.scsi.transfer(nbytes)
-        yield disk.submit(op, offset, nbytes, priority=priority)
+        tracer = _obs.TRACER
+        if tracer.enabled:
+            t0 = self.env.now
+            yield self.scsi.transfer(nbytes)
+            tracer.record(
+                SCSI_TRANSFER,
+                f"node{self.node_id}.scsi",
+                t0,
+                self.env.now,
+                trace=trace,
+                nbytes=nbytes,
+            )
+        else:
+            yield self.scsi.transfer(nbytes)
+        yield disk.submit(op, offset, nbytes, priority=priority, trace=trace)
 
     def submit_local(self, disk_id: int, op: str, offset: int, nbytes: int,
-                     priority: int = 0) -> Event:
+                     priority: int = 0, trace: Optional[int] = None) -> Event:
         """Run :meth:`disk_io` as a process; returns its completion event."""
         return self.env.process(
-            self.disk_io(disk_id, op, offset, nbytes, priority)
+            self.disk_io(disk_id, op, offset, nbytes, priority, trace)
         )

@@ -6,8 +6,8 @@ virtual disk; the RAID layout maps it to per-disk block operations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, List, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
 
 @dataclass(frozen=True)

@@ -22,6 +22,7 @@ from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.hardware.disk import DiskRequest
+from repro.obs import runtime as _obs
 
 
 class _OffsetQueue:
@@ -76,6 +77,8 @@ class DiskScheduler:
         self._seq = 0
         self._classes: List[int] = []  # sorted active class ids
         self._by_class: Dict[int, object] = {}
+        #: Deepest simultaneous backlog ever held (queueing pressure).
+        self.max_depth_seen = 0
 
     # -- policy hooks ----------------------------------------------------
     def _new_queue(self):
@@ -99,6 +102,15 @@ class DiskScheduler:
         self._push(queue, req)
         self._seq += 1
         self._count += 1
+        if self._count > self.max_depth_seen:
+            self.max_depth_seen = self._count
+        tracer = _obs.TRACER
+        if tracer.enabled:
+            tracer.count(
+                "sched.enqueued.foreground"
+                if cls == 0
+                else "sched.enqueued.background"
+            )
 
     def empty(self) -> bool:
         return self._count == 0

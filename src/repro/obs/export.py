@@ -1,0 +1,104 @@
+"""Span exporters: JSONL logs and Chrome trace-event JSON (Perfetto).
+
+The Chrome trace-event format (the ``{"traceEvents": [...]}`` JSON
+Array Format) is understood by Perfetto (https://ui.perfetto.dev) and
+``chrome://tracing``.  Tracks map onto the format's process/thread
+hierarchy:
+
+* a track name ``node0.disk3`` becomes thread ``disk3`` of process
+  ``node0`` — so each node renders as one group with its disks, NIC
+  directions, CPU, and lock home as horizontal tracks;
+* a label prefix (``raidx/node0.disk3``) keeps runs of different RAID
+  levels in separate process groups for side-by-side comparison;
+* simulated seconds become microseconds (Perfetto's native unit).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Tuple
+
+from repro.obs.trace import Span
+
+
+def write_jsonl(spans: Iterable[Span], path: str) -> int:
+    """Write one JSON object per span; returns the span count."""
+    n = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for span in spans:
+            fh.write(json.dumps(span.to_dict(), sort_keys=True))
+            fh.write("\n")
+            n += 1
+    return n
+
+
+def _track_ids(spans: List[Span]) -> Dict[str, Tuple[int, int, str, str]]:
+    """{track: (pid, tid, process_name, thread_name)} for all tracks."""
+    out: Dict[str, Tuple[int, int, str, str]] = {}
+    pids: Dict[str, int] = {}
+    tids: Dict[Tuple[int, str], int] = {}
+    for track in sorted({s.track for s in spans}):
+        proc, _, thread = track.partition(".")
+        if not thread:
+            proc, thread = track, track
+        pid = pids.setdefault(proc, len(pids) + 1)
+        tid = tids.setdefault((pid, thread), len(tids) + 1)
+        out[track] = (pid, tid, proc, thread)
+    return out
+
+
+def chrome_trace_events(spans: Iterable[Span]) -> List[dict]:
+    """Spans as a list of Chrome trace events (metadata first)."""
+    spans = list(spans)
+    tracks = _track_ids(spans)
+    events: List[dict] = []
+    seen_procs = set()
+    for pid, tid, proc, thread in sorted(tracks.values()):
+        if pid not in seen_procs:
+            seen_procs.add(pid)
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": pid,
+                    "name": "process_name",
+                    "args": {"name": proc},
+                }
+            )
+        events.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": thread},
+            }
+        )
+    for span in spans:
+        pid, tid, _proc, _thread = tracks[span.track]
+        args = dict(span.args) if span.args else {}
+        if span.trace is not None:
+            args["trace"] = span.trace
+        event = {
+            "ph": "X",
+            "pid": pid,
+            "tid": tid,
+            "name": span.kind,
+            "cat": span.kind.partition(".")[0],
+            "ts": span.start * 1e6,
+            "dur": max(0.0, span.end - span.start) * 1e6,
+        }
+        if args:
+            event["args"] = args
+        events.append(event)
+    return events
+
+
+def write_chrome_trace(spans: Iterable[Span], path: str) -> dict:
+    """Write a Perfetto-loadable trace JSON; returns the document."""
+    doc = {
+        "traceEvents": chrome_trace_events(spans),
+        "displayTimeUnit": "ms",
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    return doc

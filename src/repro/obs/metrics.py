@@ -1,0 +1,203 @@
+"""Cluster-wide metrics: counters and log-bucketed latency histograms.
+
+A :class:`MetricsRegistry` names metrics lazily — the first ``inc`` or
+``observe`` of a name creates it — so instrumentation sites never need
+registration boilerplate.  Histograms are log-bucketed
+(:class:`LogHistogram`): memory stays O(decades of dynamic range) no
+matter how many samples land, and any reported quantile is within the
+bucket growth factor (~±9% relative) of the exact nearest-rank value,
+while min/max/mean/total are exact.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+
+class Counter:
+    """A monotonically adjustable named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.value = 0
+
+    def inc(self, delta: int = 1) -> None:
+        self.value += delta
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, {self.value})"
+
+
+#: Geometric bucket growth: 2**(1/4) per bucket, ~19% wide buckets, so a
+#: quantile read from bucket centers is within ~±9% of the exact value.
+_GROWTH = 2.0 ** 0.25
+_LOG_GROWTH = math.log(_GROWTH)
+
+
+class LogHistogram:
+    """Log-bucketed distribution of non-negative values (latencies).
+
+    ``add`` is O(1); quantiles walk the (small) sorted bucket set.  Exact
+    ``min``/``max``/``mean``/``total`` are kept alongside the buckets,
+    and quantile estimates are clamped into ``[min, max]`` so the tails
+    never over-shoot the observed range.
+    """
+
+    __slots__ = ("name", "counts", "count", "total", "zeros", "_min", "_max")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.counts: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.zeros = 0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def add(self, value: float) -> None:
+        """Record one sample (must be >= 0)."""
+        if value < 0:
+            raise ValueError(f"negative sample {value!r}")
+        self.count += 1
+        self.total += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if value == 0.0:
+            self.zeros += 1
+            return
+        idx = math.floor(math.log(value) / _LOG_GROWTH)
+        self.counts[idx] = self.counts.get(idx, 0) + 1
+
+    def __len__(self) -> int:
+        return self.count
+
+    @property
+    def min(self) -> float:
+        return self._min if self.count else math.nan
+
+    @property
+    def max(self) -> float:
+        return self._max if self.count else math.nan
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank quantile estimate; ``q`` in [0, 100]."""
+        if not 0 <= q <= 100:
+            raise ValueError("q must be within [0, 100]")
+        if not self.count:
+            return math.nan
+        rank = max(1, math.ceil(q / 100.0 * self.count))
+        if rank <= self.zeros:
+            return 0.0
+        seen = self.zeros
+        for idx in sorted(self.counts):
+            seen += self.counts[idx]
+            if seen >= rank:
+                # Bucket [G**idx, G**(idx+1)): report its geometric center,
+                # clamped into the exactly-tracked observed range.
+                center = _GROWTH ** (idx + 0.5)
+                return min(max(center, self._min), self._max)
+        return self._max  # pragma: no cover - rank <= count always lands
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Named counters and histograms, created on first touch."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, LogHistogram] = {}
+
+    # -- access ----------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def histogram(self, name: str) -> LogHistogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = LogHistogram(name)
+        return h
+
+    def inc(self, name: str, delta: int = 1) -> None:
+        self.counter(name).inc(delta)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).add(value)
+
+    def counter_names(self) -> List[str]:
+        return sorted(self._counters)
+
+    def histogram_names(self) -> List[str]:
+        return sorted(self._histograms)
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._histograms.clear()
+
+    # -- reporting -------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict]:
+        """All metrics as plain data (counters + histogram summaries)."""
+        return {
+            "counters": {
+                n: c.value for n, c in sorted(self._counters.items())
+            },
+            "histograms": {
+                n: h.summary() for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def render(self, title: str = "metrics",
+               unit_scale: float = 1e3, unit: str = "ms") -> str:
+        """An aligned text table of every histogram and counter.
+
+        Latency columns are scaled by ``unit_scale`` (default: seconds
+        rendered as milliseconds).
+        """
+        lines = [title, "-" * len(title)]
+        if self._histograms:
+            name_w = max(len(n) for n in self._histograms)
+            header = (
+                f"{'histogram':<{name_w}} {'count':>8} {'mean':>9} "
+                f"{'p50':>9} {'p95':>9} {'p99':>9} {'max':>9}  [{unit}]"
+            )
+            lines.append(header)
+            for name in sorted(self._histograms):
+                s = self._histograms[name].summary()
+                lines.append(
+                    f"{name:<{name_w}} {int(s['count']):>8} "
+                    + " ".join(
+                        f"{s[k] * unit_scale:>9.3f}"
+                        for k in ("mean", "p50", "p95", "p99", "max")
+                    )
+                )
+        if self._counters:
+            if self._histograms:
+                lines.append("")
+            name_w = max(len(n) for n in self._counters)
+            for name in sorted(self._counters):
+                lines.append(
+                    f"{name:<{name_w}} {self._counters[name].value:>12}"
+                )
+        if not self._counters and not self._histograms:
+            lines.append("(empty)")
+        return "\n".join(lines)

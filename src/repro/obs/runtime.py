@@ -1,0 +1,58 @@
+"""The process-wide tracer slot the instrumentation sites read.
+
+Hot paths do::
+
+    from repro.obs import runtime as _obs
+    ...
+    tr = _obs.TRACER
+    if tr.enabled:
+        tr.record(...)
+
+— one module-attribute read plus one branch when tracing is off.  The
+slot is deliberately global (not per-cluster): a simulation process is
+single-threaded, parallel sweep workers each get their own interpreter
+(and hence their own slot), and threading a tracer handle through every
+constructor would touch far more of the request path than the spans do.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Union
+
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+
+#: The active tracer.  ``NULL_TRACER`` (enabled=False) when tracing is off.
+TRACER: Union[Tracer, NullTracer] = NULL_TRACER
+
+
+def install(tracer: Optional[Tracer] = None) -> Tracer:
+    """Install ``tracer`` (or a fresh one) as the active tracer."""
+    global TRACER
+    if tracer is None:
+        tracer = Tracer()
+    TRACER = tracer
+    return tracer
+
+
+def current() -> Union[Tracer, NullTracer]:
+    """The active tracer (the NULL tracer when tracing is off)."""
+    return TRACER
+
+
+def reset() -> None:
+    """Disable tracing (restore the NULL tracer)."""
+    global TRACER
+    TRACER = NULL_TRACER
+
+
+@contextmanager
+def tracing(tracer: Optional[Tracer] = None) -> Iterator[Tracer]:
+    """Context manager: install a tracer, restore the previous on exit."""
+    global TRACER
+    previous = TRACER
+    active = install(tracer)
+    try:
+        yield active
+    finally:
+        TRACER = previous

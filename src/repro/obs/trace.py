@@ -1,0 +1,219 @@
+"""Span-based request tracing over simulated time.
+
+A *span* is one timed piece of work on a named *track* — a disk, a NIC
+direction, a node's CPU, a lock home.  Spans carry a *kind* from the
+taxonomy below, an optional *trace id* linking every span caused by one
+logical request, and free-form args.
+
+Because the simulator is a single-threaded discrete-event kernel, span
+starts are known exactly at completion time (``submitted_at``, the time
+before a ``yield``), so the whole API is the one-shot :meth:`Tracer.record`
+— no open-span stacks, no context-local state, no clock reads beyond the
+simulation's own ``env.now``.
+
+When tracing is off the process-wide slot holds :data:`NULL_TRACER`
+(``enabled = False``); instrumentation sites check that flag and skip
+all span work, keeping the disabled overhead to one attribute read and
+one branch per potential span (guarded by the perf-smoke floors).
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Any, Dict, List, Optional, Set
+
+from repro.obs.metrics import MetricsRegistry
+
+# -- span taxonomy -------------------------------------------------------
+#: Root span of one logical request against the storage system.
+REQUEST = "request"
+#: Time a disk request waited in the per-disk queue before service.
+DISK_QUEUE_WAIT = "disk.queue_wait"
+#: Seek + rotation + media transfer at the disk (args carry the split).
+DISK_SERVICE = "disk.service"
+#: NIC transmit occupancy (first byte handed to TX → last fragment sent).
+NET_TX = "net.tx"
+#: NIC receive occupancy (first fragment reserved → last byte landed).
+NET_RX = "net.rx"
+#: Wait for a write-lock group grant (distributed or stripe-local).
+LOCK_WAIT = "lock.wait"
+#: Background image flush: data commit → image extent on disk
+#: (the RAID-x vulnerability window).
+MIRROR_FLUSH = "mirror.flush"
+#: Kernel driver-entry CPU charge on the request path.
+CPU_DRIVER = "cpu.driver"
+#: Protocol-stack CPU charge at a message endpoint (or loopback memcpy).
+CPU_PROTO = "cpu.proto"
+#: SCSI bus occupancy between host and local disk.
+SCSI_TRANSFER = "scsi.transfer"
+#: Checkpoint marker exchange + barrier (the "S" overhead of Fig. 7).
+CKPT_SYNC = "ckpt.sync"
+#: Checkpoint state write (the "C" overhead of Fig. 7).
+CKPT_WRITE = "ckpt.write"
+
+SPAN_KINDS = (
+    REQUEST,
+    DISK_QUEUE_WAIT,
+    DISK_SERVICE,
+    NET_TX,
+    NET_RX,
+    LOCK_WAIT,
+    MIRROR_FLUSH,
+    CPU_DRIVER,
+    CPU_PROTO,
+    SCSI_TRANSFER,
+    CKPT_SYNC,
+    CKPT_WRITE,
+)
+
+
+class Span:
+    """One recorded span: ``[start, end]`` of ``kind`` on ``track``."""
+
+    __slots__ = ("kind", "track", "start", "end", "trace", "args")
+
+    def __init__(
+        self,
+        kind: str,
+        track: str,
+        start: float,
+        end: float,
+        trace: Optional[int] = None,
+        args: Optional[Dict[str, Any]] = None,
+    ):
+        self.kind = kind
+        self.track = track
+        self.start = start
+        self.end = end
+        self.trace = trace
+        self.args = args
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "kind": self.kind,
+            "track": self.track,
+            "start": self.start,
+            "end": self.end,
+        }
+        if self.trace is not None:
+            out["trace"] = self.trace
+        if self.args:
+            out["args"] = self.args
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.kind!r}, {self.track!r}, "
+            f"{self.start:.6f}..{self.end:.6f}, trace={self.trace})"
+        )
+
+
+class Tracer:
+    """Collects spans and feeds per-kind latency histograms.
+
+    ``label`` (e.g. the RAID level under test) namespaces both the
+    tracks (``raidx/node0.disk1``) and a second set of histogram keys
+    (``raidx:disk.service``), so one tracer can hold several runs —
+    RAID-x vs RAID-5 — side by side for direct comparison.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        label: str = "",
+    ):
+        self.spans: List[Span] = []
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.label = label
+        self._trace_ids = count(1)
+
+    # -- recording -------------------------------------------------------
+    def new_trace(self) -> int:
+        """A fresh trace id linking the spans of one logical request."""
+        return next(self._trace_ids)
+
+    def record(
+        self,
+        kind: str,
+        track: str,
+        start: float,
+        end: float,
+        trace: Optional[int] = None,
+        **args: Any,
+    ) -> Span:
+        """Record one completed span and update the latency metrics."""
+        label = self.label
+        if label:
+            track = f"{label}/{track}"
+        span = Span(kind, track, start, end, trace, args or None)
+        self.spans.append(span)
+        duration = end - start
+        self.metrics.observe(kind, duration)
+        if label:
+            self.metrics.observe(f"{label}:{kind}", duration)
+        return span
+
+    def count(self, name: str, delta: int = 1) -> None:
+        """Bump a registry counter (label-prefixed when a label is set)."""
+        if self.label:
+            name = f"{self.label}:{name}"
+        self.metrics.inc(name, delta)
+
+    # -- introspection ---------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def kinds(self) -> Set[str]:
+        return {s.kind for s in self.spans}
+
+    def by_kind(self, kind: str) -> List[Span]:
+        return [s for s in self.spans if s.kind == kind]
+
+    def tracks(self) -> List[str]:
+        return sorted({s.track for s in self.spans})
+
+    def by_trace(self, trace: int) -> List[Span]:
+        return [s for s in self.spans if s.trace == trace]
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self.metrics.clear()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    Instrumentation sites check :attr:`enabled` before doing any span
+    work, so in practice only that flag is ever read; the no-op methods
+    exist for code that records unconditionally (tests, examples).
+    """
+
+    enabled = False
+    spans: tuple = ()
+    label = ""
+    metrics = None
+
+    def new_trace(self) -> None:
+        return None
+
+    def record(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def count(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def clear(self) -> None:
+        return None
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: The process-wide disabled singleton (see :mod:`repro.obs.runtime`).
+NULL_TRACER = NullTracer()

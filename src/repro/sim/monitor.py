@@ -8,7 +8,7 @@ larger than needed.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from repro.sim.core import Environment
 

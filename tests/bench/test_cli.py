@@ -32,8 +32,44 @@ def test_unknown_artifact_rejected(capsys):
 
 
 def test_artifact_table_complete():
-    # Every paper artifact id from DESIGN.md's index has a runner.
+    # Every paper artifact id from DESIGN.md's index has a runner, plus
+    # the write-path trace demo.
     assert set(ARTIFACTS) == {"t2", "f1", "f3", "f5", "t3", "f6", "f7",
-                              "c1"}
+                              "c1", "tr"}
     for _title, fn in ARTIFACTS.values():
         assert callable(fn)
+
+
+def test_trace_flag_writes_perfetto_trace(tmp_path, capsys):
+    import json
+
+    trace_path = tmp_path / "trace.json"
+    jsonl_path = tmp_path / "spans.jsonl"
+    # --trace with no artifact ids defaults to the 'tr' trace demo.
+    assert main([
+        "--trace", str(trace_path),
+        "--jsonl", str(jsonl_path),
+        "--metrics",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Write-path trace" in out
+    assert "Cluster-wide metrics" in out
+
+    doc = json.loads(trace_path.read_text())
+    assert doc["displayTimeUnit"] == "ms"
+    names = {
+        e["name"] for e in doc["traceEvents"] if e.get("ph") == "X"
+    }
+    for kind in ("disk.queue_wait", "disk.service", "net.tx", "net.rx",
+                 "lock.wait", "mirror.flush"):
+        assert kind in names, f"missing {kind} in exported trace"
+    assert jsonl_path.read_text().count("\n") == len(
+        [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+    )
+
+
+def test_trace_flag_leaves_tracing_disabled(tmp_path):
+    from repro.obs import runtime as obs_runtime
+
+    main(["--trace", str(tmp_path / "t.json")])
+    assert not obs_runtime.TRACER.enabled

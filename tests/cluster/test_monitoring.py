@@ -41,9 +41,54 @@ def test_monitor_stop():
     ParallelIOWorkload(cluster, 2, op="write", size=256 * 1024).run()
     n = len(mon.log)
     mon.stop()
+    # stop() may flush one final partial-interval sample, never more.
+    assert n <= len(mon.log) <= n + 1
+    n_stopped = len(mon.log)
     ParallelIOWorkload(cluster, 2, op="write", size=256 * 1024).run()
-    assert len(mon.log) == n  # no samples after stop
+    assert len(mon.log) == n_stopped  # no samples after stop
     mon.stop()  # idempotent
+    assert len(mon.log) == n_stopped
+
+
+def test_monitor_stop_flushes_partial_interval():
+    """Work shorter than one interval still yields (exactly) one sample."""
+    cluster = build_cluster(small_config(n=4), architecture="raidx")
+    mon = ClusterMonitor(cluster, interval=1e6)  # cadence never fires
+    mon.start()
+    ParallelIOWorkload(cluster, 2, op="write", size=256 * 1024).run()
+    assert len(mon.log) == 0
+    mon.stop()
+    assert len(mon.log) == 1
+    final = mon.log.samples[0]
+    assert final.time == pytest.approx(cluster.env.now)
+    # Normalized by the actual elapsed time, not the giant interval.
+    assert 0.0 < final.disk_utilization <= 1.0
+
+
+def test_monitor_stop_before_start():
+    cluster = build_cluster(small_config(n=4), architecture="raidx")
+    mon = ClusterMonitor(cluster, interval=0.01)
+    mon.stop()  # never started: no-op, no samples
+    assert len(mon.log) == 0
+
+
+def test_monitor_restart_after_stop():
+    """A restarted monitor keeps sampling and skips the stopped gap."""
+    cluster = build_cluster(small_config(n=4), architecture="raidx")
+    mon = ClusterMonitor(cluster, interval=0.01)
+    mon.start()
+    ParallelIOWorkload(cluster, 2, op="write", size=256 * 1024).run()
+    mon.stop()
+    n_stopped = len(mon.log)
+    mon.start()
+    ParallelIOWorkload(cluster, 2, op="write", size=512 * 1024).run()
+    mon.stop()
+    assert len(mon.log) > n_stopped
+    times = mon.log.times()
+    assert all(b >= a for a, b in zip(times, times[1:]))
+    assert all(
+        0 <= s.disk_utilization <= 1 for s in mon.log.samples
+    )
 
 
 def test_monitor_validation():

@@ -1,0 +1,11 @@
+"""Obs-suite fixtures: never leak an installed tracer across tests."""
+
+import pytest
+
+from repro.obs import runtime as obs_runtime
+
+
+@pytest.fixture(autouse=True)
+def _reset_tracer():
+    yield
+    obs_runtime.reset()

@@ -1,0 +1,103 @@
+"""JSONL and Chrome trace-event exporters."""
+
+import json
+
+from repro.obs.export import (
+    chrome_trace_events,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.trace import Tracer
+
+
+def _sample_tracer() -> Tracer:
+    tr = Tracer()
+    t = tr.new_trace()
+    tr.record("disk.service", "node0.disk1", 0.001, 0.004, trace=t,
+              op="write")
+    tr.record("net.tx", "node0.nic.tx", 0.0, 0.001, trace=t, nbytes=32768)
+    tr.record("request", "node1.request", 0.0, 0.005, trace=t, op="write")
+    return tr
+
+
+def test_write_jsonl(tmp_path):
+    tr = _sample_tracer()
+    path = tmp_path / "spans.jsonl"
+    assert write_jsonl(tr.spans, str(path)) == 3
+    lines = path.read_text().splitlines()
+    assert len(lines) == 3
+    first = json.loads(lines[0])
+    assert first["kind"] == "disk.service"
+    assert first["trace"] == 1
+    assert first["args"] == {"op": "write"}
+
+
+def test_chrome_events_metadata_and_tracks():
+    events = chrome_trace_events(_sample_tracer().spans)
+    meta = [e for e in events if e["ph"] == "M"]
+    xs = [e for e in events if e["ph"] == "X"]
+    assert len(xs) == 3
+    # node0 and node1 become processes; disk1/nic.tx/request threads.
+    proc_names = {
+        e["args"]["name"] for e in meta if e["name"] == "process_name"
+    }
+    thread_names = {
+        e["args"]["name"] for e in meta if e["name"] == "thread_name"
+    }
+    assert proc_names == {"node0", "node1"}
+    assert thread_names == {"disk1", "nic.tx", "request"}
+    # Every X event references a declared pid/tid pair.
+    declared = {
+        (e["pid"], e["tid"]) for e in meta if e["name"] == "thread_name"
+    }
+    assert all((e["pid"], e["tid"]) in declared for e in xs)
+
+
+def test_chrome_events_units_and_args():
+    events = chrome_trace_events(_sample_tracer().spans)
+    disk = next(e for e in events if e.get("name") == "disk.service")
+    assert disk["ts"] == 1000.0  # 0.001 s -> µs
+    assert disk["dur"] == 3000.0
+    assert disk["cat"] == "disk"
+    assert disk["args"]["op"] == "write"
+    assert disk["args"]["trace"] == 1
+
+
+def test_chrome_track_without_dot_is_own_process():
+    tr = Tracer()
+    tr.record("request", "backplane", 0.0, 1.0)
+    events = chrome_trace_events(tr.spans)
+    proc = next(e for e in events if e["name"] == "process_name")
+    assert proc["args"]["name"] == "backplane"
+
+
+def test_label_prefix_separates_process_groups():
+    tr = Tracer(label="raidx")
+    tr.record("disk.service", "node0.disk1", 0.0, 1.0)
+    tr.label = "raid5"
+    tr.record("disk.service", "node0.disk1", 0.0, 1.0)
+    events = chrome_trace_events(tr.spans)
+    proc_names = {
+        e["args"]["name"]
+        for e in events
+        if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    assert proc_names == {"raidx/node0", "raid5/node0"}
+
+
+def test_write_chrome_trace_document(tmp_path):
+    path = tmp_path / "trace.json"
+    doc = write_chrome_trace(_sample_tracer().spans, str(path))
+    on_disk = json.loads(path.read_text())
+    assert on_disk == doc
+    assert on_disk["displayTimeUnit"] == "ms"
+    assert isinstance(on_disk["traceEvents"], list)
+
+
+def test_negative_duration_clamped():
+    """Zero-length/reversed spans export with dur >= 0 (Perfetto chokes
+    on negatives)."""
+    tr = Tracer()
+    tr.record("request", "node0.request", 5.0, 5.0)
+    ev = [e for e in chrome_trace_events(tr.spans) if e["ph"] == "X"][0]
+    assert ev["dur"] == 0.0

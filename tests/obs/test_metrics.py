@@ -1,0 +1,131 @@
+"""Counters, log-bucketed histograms, and the metrics registry."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import Counter, LogHistogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("ops")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_delta_allowed(self):
+        c = Counter()
+        c.inc(-2)
+        assert c.value == -2
+
+
+class TestLogHistogram:
+    def test_exact_min_max_mean(self):
+        h = LogHistogram("lat")
+        for v in (0.001, 0.010, 0.100):
+            h.add(v)
+        assert h.min == 0.001
+        assert h.max == 0.100
+        assert h.mean == pytest.approx(0.037, rel=1e-9)
+        assert len(h) == 3
+
+    def test_rejects_negative(self):
+        h = LogHistogram()
+        with pytest.raises(ValueError):
+            h.add(-1e-9)
+
+    def test_zero_samples_counted(self):
+        h = LogHistogram()
+        h.add(0.0)
+        h.add(0.0)
+        h.add(1.0)
+        assert h.zeros == 2
+        assert h.percentile(50) == 0.0
+        assert h.percentile(100) == 1.0
+
+    def test_empty_is_nan(self):
+        h = LogHistogram()
+        assert math.isnan(h.percentile(50))
+        assert math.isnan(h.mean)
+        assert math.isnan(h.min)
+
+    def test_percentile_within_bucket_error(self):
+        """Any quantile lands within the bucket growth (~±9%) of exact."""
+        h = LogHistogram()
+        values = [1.5 ** i * 1e-3 for i in range(200)]
+        for v in values:
+            h.add(v)
+        exact = sorted(values)
+        for q in (10, 50, 90, 95, 99):
+            rank = max(1, math.ceil(q / 100 * len(exact)))
+            assert h.percentile(q) == pytest.approx(
+                exact[rank - 1], rel=0.10
+            )
+
+    def test_percentile_clamped_into_observed_range(self):
+        h = LogHistogram()
+        h.add(0.005)
+        for q in (0, 50, 100):
+            assert h.percentile(q) == 0.005
+
+    def test_percentile_validates_q(self):
+        h = LogHistogram()
+        h.add(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(-1)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_summary_keys(self):
+        h = LogHistogram()
+        h.add(2.0)
+        assert set(h.summary()) == {
+            "count", "mean", "p50", "p95", "p99", "max",
+        }
+
+    def test_memory_stays_bounded(self):
+        """Bucket count grows with dynamic range, not sample count."""
+        h = LogHistogram()
+        for i in range(10_000):
+            h.add(1e-3 * (1 + (i % 100) / 100.0))
+        assert len(h.counts) < 10
+
+
+class TestMetricsRegistry:
+    def test_lazy_creation(self):
+        reg = MetricsRegistry()
+        reg.inc("a.count")
+        reg.observe("a.latency", 0.5)
+        assert reg.counter_names() == ["a.count"]
+        assert reg.histogram_names() == ["a.latency"]
+        assert reg.counter("a.count").value == 1
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 3)
+        reg.observe("h", 1.0)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 3}
+        assert snap["histograms"]["h"]["count"] == 1.0
+
+    def test_render_contains_all_names(self):
+        reg = MetricsRegistry()
+        reg.observe("disk.service", 0.010)
+        reg.inc("sched.enqueued", 7)
+        text = reg.render("test metrics")
+        assert "disk.service" in text
+        assert "sched.enqueued" in text
+        assert "test metrics" in text
+
+    def test_render_empty(self):
+        assert "(empty)" in MetricsRegistry().render()
+
+    def test_clear(self):
+        reg = MetricsRegistry()
+        reg.inc("c")
+        reg.observe("h", 1.0)
+        reg.clear()
+        assert reg.counter_names() == []
+        assert reg.histogram_names() == []

@@ -1,0 +1,116 @@
+"""Tracer, NullTracer, and the process-wide runtime slot."""
+
+from repro.obs import runtime as obs_runtime
+from repro.obs.trace import (
+    DISK_SERVICE,
+    NULL_TRACER,
+    REQUEST,
+    SPAN_KINDS,
+    NullTracer,
+    Tracer,
+)
+
+
+class TestTracer:
+    def test_record_and_introspect(self):
+        tr = Tracer()
+        t = tr.new_trace()
+        tr.record(DISK_SERVICE, "node0.disk1", 1.0, 1.5, trace=t, op="read")
+        tr.record(REQUEST, "node0.request", 0.5, 2.0, trace=t)
+        assert len(tr) == 2
+        assert tr.kinds() == {DISK_SERVICE, REQUEST}
+        assert tr.tracks() == ["node0.disk1", "node0.request"]
+        assert [s.kind for s in tr.by_trace(t)] == [DISK_SERVICE, REQUEST]
+        span = tr.by_kind(DISK_SERVICE)[0]
+        assert span.duration == 0.5
+        assert span.args == {"op": "read"}
+
+    def test_trace_ids_monotonic(self):
+        tr = Tracer()
+        ids = [tr.new_trace() for _ in range(5)]
+        assert ids == sorted(set(ids))
+
+    def test_record_feeds_metrics(self):
+        tr = Tracer()
+        tr.record(DISK_SERVICE, "d", 0.0, 0.25)
+        h = tr.metrics.histogram(DISK_SERVICE)
+        assert len(h) == 1
+        assert h.max == 0.25
+
+    def test_label_prefixes_tracks_and_metric_keys(self):
+        tr = Tracer(label="raidx")
+        tr.record(DISK_SERVICE, "node0.disk1", 0.0, 0.1)
+        tr.count("flushes")
+        assert tr.spans[0].track == "raidx/node0.disk1"
+        assert "raidx:disk.service" in tr.metrics.histogram_names()
+        assert DISK_SERVICE in tr.metrics.histogram_names()
+        assert tr.metrics.counter("raidx:flushes").value == 1
+
+    def test_span_to_dict_roundtrip_fields(self):
+        tr = Tracer()
+        s = tr.record(DISK_SERVICE, "d", 1.0, 2.0, trace=7, nbytes=4096)
+        d = s.to_dict()
+        assert d == {
+            "kind": DISK_SERVICE,
+            "track": "d",
+            "start": 1.0,
+            "end": 2.0,
+            "trace": 7,
+            "args": {"nbytes": 4096},
+        }
+
+    def test_clear(self):
+        tr = Tracer()
+        tr.record(DISK_SERVICE, "d", 0.0, 0.1)
+        tr.clear()
+        assert len(tr) == 0
+        assert tr.metrics.histogram_names() == []
+
+    def test_taxonomy_is_complete(self):
+        assert len(SPAN_KINDS) == len(set(SPAN_KINDS)) == 12
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        nt = NullTracer()
+        assert not nt.enabled
+        assert nt.new_trace() is None
+        assert nt.record(DISK_SERVICE, "d", 0.0, 1.0) is None
+        nt.count("anything")
+        assert len(nt) == 0
+        assert nt.spans == ()
+
+
+class TestRuntimeSlot:
+    def test_default_is_null(self):
+        obs_runtime.reset()
+        assert obs_runtime.TRACER is NULL_TRACER
+        assert not obs_runtime.current().enabled
+
+    def test_install_and_reset(self):
+        tr = obs_runtime.install()
+        try:
+            assert obs_runtime.TRACER is tr
+            assert tr.enabled
+        finally:
+            obs_runtime.reset()
+        assert obs_runtime.TRACER is NULL_TRACER
+
+    def test_tracing_context_restores_previous(self):
+        obs_runtime.reset()
+        with obs_runtime.tracing() as tr:
+            assert obs_runtime.TRACER is tr
+            inner = Tracer()
+            with obs_runtime.tracing(inner):
+                assert obs_runtime.TRACER is inner
+            assert obs_runtime.TRACER is tr
+        assert obs_runtime.TRACER is NULL_TRACER
+
+    def test_tracing_restores_on_exception(self):
+        obs_runtime.reset()
+        try:
+            with obs_runtime.tracing():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert obs_runtime.TRACER is NULL_TRACER

@@ -38,6 +38,34 @@ def test_monitor_percentile_nearest_rank(env):
         m.percentile(101)
 
 
+def test_monitor_percentile_single_sample(env):
+    """Every quantile of a one-sample distribution is that sample."""
+    m = Monitor(env)
+    m.record(42.0)
+    assert m.percentile(0) == 42.0
+    assert m.percentile(50) == 42.0
+    assert m.percentile(100) == 42.0
+
+
+def test_monitor_percentile_bounds(env):
+    m = Monitor(env)
+    m.record(1.0)
+    with pytest.raises(ValueError):
+        m.percentile(-0.001)
+    with pytest.raises(ValueError):
+        m.percentile(100.001)
+
+
+def test_monitor_percentile_unsorted_input(env):
+    """Quantiles sort internally — insertion order is irrelevant."""
+    m = Monitor(env)
+    for v in (9.0, 1.0, 5.0, 3.0, 7.0):
+        m.record(v)
+    assert m.percentile(0) == 1.0
+    assert m.percentile(50) == 5.0
+    assert m.percentile(100) == 9.0
+
+
 def test_monitor_records_time(env):
     m = Monitor(env)
 
