@@ -125,36 +125,50 @@ class DistributedLockManager:
         groups = self.groups_for_blocks(blocks)
         held: List[Tuple[int, object]] = []
         tracer = _obs.TRACER
-        for g in groups:
-            home = self.home_of_group(g)
-            if home != client:
-                yield from self.transport.message(
-                    MessageKind.LOCK_REQ, client, home, ACK_BYTES,
-                    trace=trace,
-                )
-            req = self._mutex(g).acquire(owner=client)
-            t0 = self.env.now
-            yield req
-            if tracer.enabled:
-                tracer.record(
-                    LOCK_WAIT, f"node{home}.lock", t0, self.env.now,
-                    trace=trace, group=g, client=client,
-                )
-            self.table.record_grant(g, client, self.env.now)
-            if home != client:
-                yield from self.transport.message(
-                    MessageKind.LOCK_GRANT, home, client, ACK_BYTES,
-                    trace=trace,
-                )
-            if self.broadcast_grants:
-                # Replicate the record to the other consistency modules.
-                for peer in range(self.n_nodes):
-                    if peer not in (home, client):
-                        self.transport.send(
-                            MessageKind.LOCK_GRANT, home, peer, ACK_BYTES,
-                            trace=trace,
-                        )
-            held.append((g, req))
+        try:
+            for g in groups:
+                home = self.home_of_group(g)
+                if home != client:
+                    yield from self.transport.message(
+                        MessageKind.LOCK_REQ, client, home, ACK_BYTES,
+                        trace=trace,
+                    )
+                # Ownership of the request moves into `held` the moment
+                # it exists: the rollback below is then the single place
+                # that can ever abandon a grant mid-protocol.
+                req = self._mutex(g).acquire(owner=client)
+                held.append((g, req))
+                t0 = self.env.now
+                yield req
+                if tracer.enabled:
+                    tracer.record(
+                        LOCK_WAIT, f"node{home}.lock", t0, self.env.now,
+                        trace=trace, group=g, client=client,
+                    )
+                self.table.record_grant(g, client, self.env.now)
+                if home != client:
+                    yield from self.transport.message(
+                        MessageKind.LOCK_GRANT, home, client, ACK_BYTES,
+                        trace=trace,
+                    )
+                if self.broadcast_grants:
+                    # Replicate the record to the other consistency modules.
+                    for peer in range(self.n_nodes):
+                        if peer not in (home, client):
+                            self.transport.send(
+                                MessageKind.LOCK_GRANT, home, peer, ACK_BYTES,
+                                trace=trace,
+                            )
+        except BaseException:
+            # Atomic grant (§4): a failure or interrupt mid-protocol may
+            # not strand the groups already granted.  Undo the table
+            # records and release (or cancel) every request, newest
+            # first, then let the failure propagate to the caller.
+            for g, req in reversed(held):
+                if self.table.holder(g) == client:
+                    self.table.record_release(g, client)
+                self._mutex(g).release(req)
+            raise
         return LockHandle(client, held)
 
     def release(self, handle: "LockHandle", trace=None):

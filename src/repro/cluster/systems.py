@@ -480,14 +480,17 @@ class Raid5System(DistributedArraySystem):
         cpu = self.cluster.nodes[client].cpu
         tracer = _obs.TRACER
         t0 = self.env.now
+        # The queued request must be released (or cancelled) even if
+        # this process is interrupted while waiting for the grant, so
+        # the try covers the wait itself, not just the held region.
         lock = self._stripe_lock(stripe).acquire(owner=client)
-        yield lock
-        if tracer.enabled:
-            tracer.record(
-                LOCK_WAIT, f"node{client}.lock", t0, self.env.now,
-                trace=trace, group=stripe, client=client, scope="stripe",
-            )
         try:
+            yield lock
+            if tracer.enabled:
+                tracer.record(
+                    LOCK_WAIT, f"node{client}.lock", t0, self.env.now,
+                    trace=trace, group=stripe, client=client, scope="stripe",
+                )
             ploc = layout.parity_location(stripe)
             parity_alive = ploc.disk not in self.failed_disks
             if self.full_stripe_optimization and self._is_full_stripe(

@@ -1,0 +1,83 @@
+"""repro.lint — the simulator-aware static analyzer.
+
+Run it locally with::
+
+    PYTHONPATH=src python -m repro.lint src            # text output
+    python -m repro.lint src --format json             # machine output
+    python -m repro.lint src --select SIM,LOCK001      # one family/rule
+
+Rule families (see each module's docstring for the full rationale):
+
+* **SIM** (:mod:`repro.lint.rules_sim`) — determinism: no wall clock,
+  no real sleeps, no threads, no unseeded randomness, only kernel-legal
+  yields, numeric-yield sleeps on the hot path.
+* **LOCK** (:mod:`repro.lint.rules_lock`) — the paper's atomic
+  grant/release: every lock acquire releases on all paths.
+* **OBS** (:mod:`repro.lint.rules_obs`) — tracing discipline: runtime
+  slot only, open spans always closed.
+* **ARCH** (:mod:`repro.lint.rules_arch`) — import layering, the
+  Disk/ScsiBus boundary, cycle detection.
+
+Baseline: findings whose fingerprints appear in ``lint-baseline.json``
+are grandfathered (reported but not fatal).  The repo's committed
+baseline is **empty** and should stay that way — fix the finding or
+justify a line-scoped ``# lint: ignore[CODE]`` instead.
+"""
+
+from __future__ import annotations
+
+from repro.lint.baseline import load_baseline, split_by_baseline
+from repro.lint.core import (
+    Finding,
+    ModuleInfo,
+    ProjectRule,
+    Rule,
+    load_modules,
+    run_rules,
+)
+from repro.lint.rules_arch import RULES as ARCH_RULES
+from repro.lint.rules_lock import RULES as LOCK_RULES
+from repro.lint.rules_obs import RULES as OBS_RULES
+from repro.lint.rules_sim import RULES as SIM_RULES
+
+#: Every registered rule, in reporting order.
+ALL_RULES = tuple(SIM_RULES) + tuple(LOCK_RULES) + tuple(OBS_RULES) + tuple(
+    ARCH_RULES
+)
+
+
+def lint_paths(
+    paths,
+    select=None,
+) -> list[Finding]:
+    """Parse ``paths`` and run every (selected) rule; returns findings."""
+    mods, parse_errors = load_modules(paths)
+    return parse_errors + run_rules(mods, ALL_RULES, select)
+
+
+def lint_sources(
+    sources: dict,
+    select=None,
+) -> list[Finding]:
+    """Lint in-memory sources (``{module_name: source}``) — the fixture
+    entry point the rule tests use."""
+    mods = [
+        ModuleInfo(name.replace(".", "/") + ".py", name, src)
+        for name, src in sources.items()
+    ]
+    return run_rules(mods, ALL_RULES, select)
+
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "ModuleInfo",
+    "ProjectRule",
+    "Rule",
+    "lint_paths",
+    "lint_sources",
+    "load_baseline",
+    "load_modules",
+    "run_rules",
+    "split_by_baseline",
+]

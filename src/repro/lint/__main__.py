@@ -1,0 +1,118 @@
+"""CLI: ``python -m repro.lint [paths] [--format text|json] ...``.
+
+Exit status: 0 when every finding is baselined (or none), 1 when any
+non-baselined finding exists, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+
+from repro.lint import ALL_RULES, lint_paths
+from repro.lint.baseline import (
+    load_baseline,
+    split_by_baseline,
+    write_baseline,
+)
+
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Simulator-aware static analysis for the RAID-x repro "
+        "(SIM determinism, LOCK release-on-all-paths, OBS tracing "
+        "discipline, ARCH layering).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select", default=None,
+        help="comma-separated rule or family prefixes, e.g. SIM,LOCK001",
+    )
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE,
+        help=f"baseline file of grandfathered fingerprints "
+        f"(default: {DEFAULT_BASELINE}; missing file = empty baseline)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write every current finding to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code:8} {rule.summary}")
+        return 0
+
+    select = (
+        [s.strip() for s in args.select.split(",") if s.strip()]
+        if args.select
+        else None
+    )
+    findings = lint_paths(args.paths, select=select)
+
+    if args.write_baseline:
+        write_baseline(args.baseline, findings)
+        print(
+            f"wrote {len(findings)} fingerprint(s) to {args.baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    new, grandfathered = split_by_baseline(findings, baseline)
+
+    if args.format == "json":
+        payload = {
+            "version": 1,
+            "tool": "repro.lint",
+            "select": select or [],
+            "findings": [f.to_dict() for f in new],
+            "baselined": [f.to_dict() for f in grandfathered],
+            "summary": {
+                "findings": len(new),
+                "baselined": len(grandfathered),
+                "by_rule": dict(Counter(f.rule for f in new)),
+            },
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for f in new:
+            print(f.render())
+        for f in grandfathered:
+            print(f"{f.render()}  [baselined]")
+        if new:
+            print(
+                f"\n{len(new)} finding(s)"
+                + (f", {len(grandfathered)} baselined" if grandfathered else "")
+            )
+        else:
+            print(
+                "clean"
+                + (f" ({len(grandfathered)} baselined)" if grandfathered else "")
+            )
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

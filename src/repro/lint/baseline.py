@@ -1,0 +1,48 @@
+"""Baseline handling: grandfathered findings.
+
+The baseline file is a JSON object ``{"version": 1, "fingerprints":
+[...]}``.  A finding whose fingerprint appears in it is *baselined*:
+still reported, but it does not fail the run.  The committed baseline
+(``lint-baseline.json``) is empty on purpose; ``--write-baseline``
+exists for bootstrapping a branch mid-remediation, not for parking
+violations long-term.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.core import Finding
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: str | Path) -> set:
+    p = Path(path)
+    if not p.exists():
+        return set()
+    data = json.loads(p.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or "fingerprints" not in data:
+        raise ValueError(f"{path}: not a lint baseline file")
+    return set(data["fingerprints"])
+
+
+def write_baseline(path: str | Path, findings: Iterable[Finding]) -> None:
+    payload = {
+        "version": BASELINE_VERSION,
+        "fingerprints": sorted({f.fingerprint for f in findings}),
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def split_by_baseline(
+    findings: Sequence[Finding], baseline: set
+) -> tuple:
+    """``(new, grandfathered)`` according to ``baseline``."""
+    new = [f for f in findings if f.fingerprint not in baseline]
+    old = [f for f in findings if f.fingerprint in baseline]
+    return new, old

@@ -1,0 +1,459 @@
+"""Intraprocedural release-on-all-paths ("lockset") analysis.
+
+Both the LOCK and OBS families need the same question answered: *a
+resource was acquired here — is it provably released on every path out
+of the function, including the exception paths?*  This module answers it
+with a small abstract interpreter over the statement AST:
+
+* the abstract state is the set of *held tokens* (local names bound by a
+  recognized acquire call);
+* every statement that can raise (it contains a call, a ``yield``, or an
+  ``await``) contributes an *exception edge* carrying the state before
+  the statement;
+* ``try`` routes exception edges into handlers and through ``finally``;
+  loops route ``break``/``continue``; ``return`` and falling off the end
+  are normal exits;
+* a token *escapes* (ownership transfer — tracking stops) when its name
+  is returned, stored, or passed to any call other than a recognized
+  release; ``yield token`` alone keeps it held (that is how a simulation
+  process *waits* for the grant, not how it gives the token away);
+* branch conditions of the form ``tok``/``tok is not None`` prune the
+  infeasible arm: a held token is never ``None``.
+
+Any exit reached with a non-empty held set is a leak, reported at the
+acquire site.  The analysis is deliberately conservative in the safe
+direction for this codebase's idioms — ``try/finally``, ``with``, and
+immediate ownership transfer into a handle structure all verify clean.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+State = frozenset  # of held token names
+
+
+@dataclass(frozen=True)
+class ResourceSpec:
+    """What counts as acquire/release for one resource kind."""
+
+    #: method names whose call result is a held token
+    acquire_methods: frozenset
+    #: method names that release a token passed as an argument
+    #: (``obj.release(tok)``) or called on the token (``tok.close()``)
+    release_methods: frozenset
+    #: human noun used in messages ("lock", "span")
+    noun: str
+    #: finding code for a leak
+    leak_code: str
+    #: finding code for a discarded acquire result (no token to release)
+    discard_code: str
+
+
+@dataclass
+class _BlockOut:
+    """Exits of one statement block, grouped by kind."""
+
+    fall: set = field(default_factory=set)
+    ret: list = field(default_factory=list)  # (node, state)
+    brk: list = field(default_factory=list)
+    cont: list = field(default_factory=list)
+    raise_: list = field(default_factory=list)
+
+    def absorb_exits(self, other: "_BlockOut") -> None:
+        self.ret.extend(other.ret)
+        self.brk.extend(other.brk)
+        self.cont.extend(other.cont)
+        self.raise_.extend(other.raise_)
+
+
+class FunctionAnalysis:
+    """Run the leak analysis over one function body."""
+
+    def __init__(self, func: ast.AST, spec: ResourceSpec):
+        self.func = func
+        self.spec = spec
+        #: token name -> acquire call node (for reporting)
+        self.acquire_sites: dict[str, ast.AST] = {}
+        self.leaks: dict[int, ast.AST] = {}
+        self.discards: list[ast.AST] = []
+
+    # -- entry -------------------------------------------------------------
+    def run(self) -> None:
+        out = self._exec_block(self.func.body, {State()})
+        for _node, state in out.ret + out.raise_:
+            self._note_leak(state)
+        for state in out.fall:
+            self._note_leak(state)
+
+    def _note_leak(self, state: State) -> None:
+        for token in state:
+            site = self.acquire_sites.get(token)
+            if site is not None:
+                self.leaks[id(site)] = site
+
+    # -- matchers ----------------------------------------------------------
+    def _acquire_call(self, expr: ast.AST) -> ast.Call | None:
+        """The acquire call inside ``expr`` (unwrapping yield-from/await)."""
+        if isinstance(expr, (ast.YieldFrom, ast.Await)):
+            expr = expr.value
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Attribute)
+            and expr.func.attr in self.spec.acquire_methods
+        ):
+            return expr
+        return None
+
+    def _released_tokens(self, stmt: ast.stmt, state: State) -> set:
+        """Tokens released by ``stmt`` (``obj.release(tok)`` / ``tok.close()``)."""
+        released = set()
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in self.spec.release_methods
+            ):
+                continue
+            # tok.close() style: the receiver is the token itself.
+            if isinstance(func.value, ast.Name) and func.value.id in state:
+                released.add(func.value.id)
+            # obj.release(tok) style: the token rides as an argument.
+            for arg in node.args:
+                if isinstance(arg, ast.Name) and arg.id in state:
+                    released.add(arg.id)
+        return released
+
+    def _escaping_tokens(self, stmt: ast.stmt, state: State) -> set:
+        """Tokens whose name is used in a way that transfers ownership."""
+        if not state:
+            return set()
+        released = self._released_tokens(stmt, state)
+        kept = set()
+        # ``yield tok`` / ``x = yield tok``: waiting on the token, not
+        # giving it away.
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Yield) and isinstance(node.value, ast.Name):
+                kept.add(node.value.id)
+        escapes = set()
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and node.id in state
+                and node.id not in released
+                and node.id not in kept
+            ):
+                escapes.add(node.id)
+        return escapes
+
+    @staticmethod
+    def _risky(stmt: ast.stmt) -> bool:
+        """Can executing ``stmt`` raise (for our purposes)?"""
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.Call, ast.Yield, ast.YieldFrom, ast.Await)):
+                return True
+        return False
+
+    # -- interpreter -------------------------------------------------------
+    def _exec_block(self, stmts: list, in_states: set) -> _BlockOut:
+        out = _BlockOut(fall=set(in_states))
+        for stmt in stmts:
+            if not out.fall:
+                break
+            out = self._exec_stmt(stmt, out)
+        return out
+
+    def _exec_stmt(self, stmt: ast.stmt, incoming: _BlockOut) -> _BlockOut:
+        states = incoming.fall
+        nxt = _BlockOut()
+        nxt.absorb_exits(incoming)
+
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            # A nested definition does not execute; capturing a token in
+            # one is ownership transfer (the closure owns it now).
+            for state in states:
+                caught = {
+                    n.id
+                    for n in ast.walk(stmt)
+                    if isinstance(n, ast.Name) and n.id in state
+                }
+                nxt.fall.add(State(state - caught))
+            return nxt
+
+        if isinstance(stmt, ast.Return):
+            for state in states:
+                dropped = state
+                if isinstance(stmt.value, ast.Name):
+                    dropped = State(state - {stmt.value.id})
+                elif stmt.value is not None:
+                    dropped = State(
+                        state - self._escaping_tokens(stmt, state)
+                    )
+                nxt.ret.append((stmt, dropped))
+            return nxt
+
+        if isinstance(stmt, ast.Raise):
+            for state in states:
+                nxt.raise_.append((stmt, state))
+            return nxt
+
+        if isinstance(stmt, ast.Break):
+            for state in states:
+                nxt.brk.append((stmt, state))
+            return nxt
+
+        if isinstance(stmt, ast.Continue):
+            for state in states:
+                nxt.cont.append((stmt, state))
+            return nxt
+
+        if isinstance(stmt, ast.If):
+            then_in, else_in = self._split_condition(stmt.test, states)
+            if self._risky(ast.Expr(stmt.test)):
+                for state in states:
+                    nxt.raise_.append((stmt, state))
+            then_out = self._exec_block(stmt.body, then_in) if then_in else _BlockOut()
+            else_out = (
+                self._exec_block(stmt.orelse, else_in) if else_in else _BlockOut()
+            )
+            nxt.fall |= then_out.fall | else_out.fall
+            if not stmt.orelse:
+                nxt.fall |= else_in
+            nxt.absorb_exits(then_out)
+            nxt.absorb_exits(else_out)
+            return nxt
+
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._exec_loop(stmt, states, nxt)
+
+        if isinstance(stmt, ast.Try):
+            return self._exec_try(stmt, states, nxt)
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._exec_with(stmt, states, nxt)
+
+        # -- simple statement ---------------------------------------------
+        acquire = None
+        token = None
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 and isinstance(
+            stmt.targets[0], ast.Name
+        ):
+            acquire = self._acquire_call(stmt.value)
+            token = stmt.targets[0].id if acquire is not None else None
+        elif isinstance(stmt, ast.Expr):
+            inner = stmt.value
+            if (
+                isinstance(inner, (ast.Yield, ast.YieldFrom, ast.Await))
+                and inner.value is not None
+            ):
+                inner = inner.value
+            if self._acquire_call(inner) is not None:
+                self.discards.append(stmt)
+
+        if self._risky(stmt):
+            # Exception edge: an acquire that raises has not acquired,
+            # and a statement that releases or hands a token off is
+            # credited with the transfer even if it then raises; any
+            # *other* token still held rides the edge.
+            for state in states:
+                pre = State(
+                    state
+                    - self._released_tokens(stmt, state)
+                    - self._escaping_tokens(stmt, state)
+                )
+                nxt.raise_.append((stmt, pre))
+
+        for state in states:
+            new = set(state)
+            new -= self._released_tokens(stmt, state)
+            new -= self._escaping_tokens(stmt, state)
+            # Rebinding a held token loses the only handle to it.
+            for target in getattr(stmt, "targets", []):
+                if isinstance(target, ast.Name) and target.id in new and (
+                    token != target.id
+                ):
+                    self.leaks[id(self.acquire_sites[target.id])] = (
+                        self.acquire_sites[target.id]
+                    )
+                    new.discard(target.id)
+            if acquire is not None and token is not None:
+                self.acquire_sites[token] = acquire
+                new.add(token)
+            nxt.fall.add(State(new))
+        return nxt
+
+    # -- compound statements ----------------------------------------------
+    def _split_condition(self, test: ast.AST, states: set) -> tuple:
+        """Prune infeasible states: a held token is never falsy/None."""
+
+        def token_of(expr: ast.AST) -> str | None:
+            return expr.id if isinstance(expr, ast.Name) else None
+
+        truthy = falsy = None  # token proven held in then/else arm
+        if isinstance(test, ast.Name):
+            truthy = test.id
+        elif isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            falsy = token_of(test.operand)
+        elif isinstance(test, ast.Compare) and len(test.ops) == 1 and isinstance(
+            test.comparators[0], ast.Constant
+        ) and test.comparators[0].value is None:
+            if isinstance(test.ops[0], ast.IsNot):
+                truthy = token_of(test.left)
+            elif isinstance(test.ops[0], ast.Is):
+                falsy = token_of(test.left)
+
+        then_in, else_in = set(states), set(states)
+        if truthy is not None:
+            # else-arm means the token is None: held states are infeasible.
+            else_in = {s for s in states if truthy not in s}
+        if falsy is not None:
+            then_in = {s for s in states if falsy not in s}
+        return then_in, else_in
+
+    def _exec_loop(self, stmt, states: set, nxt: _BlockOut) -> _BlockOut:
+        if self._risky(ast.Expr(getattr(stmt, "test", None) or getattr(stmt, "iter"))):
+            for state in states:
+                nxt.raise_.append((stmt, state))
+        seen = set(states)
+        body_out = _BlockOut()
+        for _ in range(len(getattr(self.func, "body", [])) + 8):
+            body_out = self._exec_block(stmt.body, seen)
+            grown = seen | body_out.fall | {s for _, s in body_out.cont}
+            if grown == seen:
+                break
+            seen = grown
+        nxt.ret.extend(body_out.ret)
+        nxt.raise_.extend(body_out.raise_)
+        # Normal loop exit: condition false on any iteration boundary,
+        # or an explicit break.  (A ``while True`` only exits via break.)
+        infinite = (
+            isinstance(stmt, ast.While)
+            and isinstance(stmt.test, ast.Constant)
+            and bool(stmt.test.value)
+        )
+        if not infinite:
+            nxt.fall |= seen
+        nxt.fall |= {s for _, s in body_out.brk}
+        if stmt.orelse:
+            else_out = self._exec_block(stmt.orelse, set(nxt.fall))
+            nxt.fall = else_out.fall
+            nxt.absorb_exits(else_out)
+        return nxt
+
+    def _exec_with(self, stmt, states: set, nxt: _BlockOut) -> _BlockOut:
+        entry_states = set()
+        for state in states:
+            new = set(state)
+            for item in stmt.items:
+                # ``with obj.acquire():`` — the context manager owns the
+                # resource; nothing to track.
+                # ``with tok:`` — the token releases itself on exit.
+                ctx = item.context_expr
+                if isinstance(ctx, ast.Name) and ctx.id in new:
+                    new.discard(ctx.id)
+            entry_states.add(State(new))
+        header_risky = any(
+            self._risky(ast.Expr(item.context_expr)) for item in stmt.items
+        )
+        if header_risky:
+            for state in states:
+                nxt.raise_.append((stmt, state))
+        body_out = self._exec_block(stmt.body, entry_states)
+        nxt.fall |= body_out.fall
+        nxt.absorb_exits(body_out)
+        return nxt
+
+    def _exec_try(self, stmt: ast.Try, states: set, nxt: _BlockOut) -> _BlockOut:
+        body_out = self._exec_block(stmt.body, states)
+
+        def _broad_type(t: ast.AST | None) -> bool:
+            if t is None:
+                return True
+            if isinstance(t, ast.Tuple):
+                return any(_broad_type(e) for e in t.elts)
+            name = t.attr if isinstance(t, ast.Attribute) else getattr(t, "id", "")
+            return name in ("Exception", "BaseException")
+
+        broad = any(_broad_type(h.type) for h in stmt.handlers)
+        handler_entry = {s for _, s in body_out.raise_}
+        merged = _BlockOut()
+        merged.ret.extend(body_out.ret)
+        merged.brk.extend(body_out.brk)
+        merged.cont.extend(body_out.cont)
+        if stmt.handlers:
+            for handler in stmt.handlers:
+                h_out = self._exec_block(handler.body, set(handler_entry))
+                merged.fall |= h_out.fall
+                merged.absorb_exits(h_out)
+            if not broad:
+                # A narrow handler may not catch: the raise can still
+                # propagate past this try.
+                merged.raise_.extend(body_out.raise_)
+        else:
+            merged.raise_.extend(body_out.raise_)
+
+        if stmt.orelse:
+            else_out = self._exec_block(stmt.orelse, body_out.fall)
+            merged.fall |= else_out.fall
+            merged.absorb_exits(else_out)
+        else:
+            merged.fall |= body_out.fall
+
+        if not stmt.finalbody:
+            nxt.fall |= merged.fall
+            nxt.absorb_exits(merged)
+            return nxt
+
+        # Route every exit class through the finally block.
+        def through(states_in: set) -> set:
+            if not states_in:
+                return set()
+            f_out = self._exec_block(stmt.finalbody, states_in)
+            nxt.ret.extend(f_out.ret)
+            nxt.brk.extend(f_out.brk)
+            nxt.cont.extend(f_out.cont)
+            nxt.raise_.extend(f_out.raise_)
+            return f_out.fall
+
+        nxt.fall |= through(merged.fall)
+        for node, state in merged.ret:
+            for s in through({state}):
+                nxt.ret.append((node, s))
+        for node, state in merged.brk:
+            for s in through({state}):
+                nxt.brk.append((node, s))
+        for node, state in merged.cont:
+            for s in through({state}):
+                nxt.cont.append((node, s))
+        for node, state in merged.raise_:
+            for s in through({state}):
+                nxt.raise_.append((node, s))
+        return nxt
+
+
+def find_resource_leaks(
+    tree: ast.AST, spec: ResourceSpec
+) -> Iterator[tuple[str, ast.AST]]:
+    """Yield ``(kind, node)`` pairs: ``leak`` at acquire sites that may
+    not be released on all paths, ``discard`` at acquires whose handle is
+    dropped on the floor."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            mentions = any(
+                isinstance(n, ast.Attribute)
+                and n.attr in spec.acquire_methods
+                for n in ast.walk(node)
+            )
+            if not mentions:
+                continue
+            analysis = FunctionAnalysis(node, spec)
+            analysis.run()
+            for site in analysis.leaks.values():
+                yield "leak", site
+            for site in analysis.discards:
+                yield "discard", site

@@ -1,0 +1,64 @@
+"""LOCK rules: the paper's atomic grant/release requirement, statically.
+
+§4 of the paper requires the CDD lock-group table's write locks to be
+granted and released atomically: a client that acquires a group and then
+dies, raises, or forgets the handle strands the group for every other
+CDD.  The rules below run the shared release-on-all-paths analysis
+(:mod:`repro.lint.cfg`) over every function that touches a recognized
+acquire method (``Mutex.acquire``, ``DistributedLockManager.acquire``,
+``CooperativeDiskDriver.acquire_write_locks``):
+
+========  ==============================================================
+LOCK001   a lock acquired here may not be released on some path out of
+          the function — wrap the held region in ``try/finally`` (or
+          transfer ownership into a handle immediately)
+LOCK002   the acquire's return value is discarded: nothing can ever
+          release this lock
+========  ==============================================================
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.cfg import ResourceSpec, find_resource_leaks
+from repro.lint.core import Finding, ModuleInfo, Rule
+
+LOCK_SPEC = ResourceSpec(
+    acquire_methods=frozenset({"acquire", "acquire_write_locks"}),
+    release_methods=frozenset({"release", "release_write_locks"}),
+    noun="lock",
+    leak_code="LOCK001",
+    discard_code="LOCK002",
+)
+
+
+class LockReleaseRule(Rule):
+    """LOCK001/LOCK002 over every function in lock-using modules."""
+
+    code = "LOCK"
+    summary = "lock acquires must be released on all paths"
+
+    def check(self, mod: ModuleInfo) -> Iterator[Finding]:
+        if not mod.module.startswith("repro."):
+            return
+        if mod.package in ("lint", "bench", "analysis"):
+            return
+        for kind, node in find_resource_leaks(mod.tree, LOCK_SPEC):
+            if kind == "leak":
+                yield mod.finding(
+                    node, "LOCK001",
+                    "lock acquired here may not be released on all "
+                    "paths; hold it under try/finally (or a with block) "
+                    "so a failure between grant and release cannot "
+                    "strand the group",
+                )
+            else:
+                yield mod.finding(
+                    node, "LOCK002",
+                    "acquire result discarded: keep the request handle "
+                    "and release it, or nothing ever can",
+                )
+
+
+RULES = (LockReleaseRule(),)

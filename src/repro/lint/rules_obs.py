@@ -1,0 +1,130 @@
+"""OBS rules: tracing discipline.
+
+The tracing subsystem has exactly one sanctioned wiring: instrumentation
+reads the process-wide slot (``repro.obs.runtime.TRACER``), installs go
+through ``runtime.install()``/``runtime.tracing()``, and open spans
+(:meth:`Tracer.open_span`) are closed on every exit — an unclosed span
+is a silent hole in the trace that skews every percentile computed from
+it.
+
+========  ==============================================================
+OBS001    direct ``Tracer()``/``NullTracer()`` construction outside
+          ``repro.obs`` — bypasses the runtime slot, so instrumentation
+          sites will not see it
+OBS002    a span opened with ``open_span`` may not be closed on some
+          path — close it in ``finally`` or use it as a context manager
+OBS003    assignment to the ``TRACER`` slot outside
+          ``repro.obs.runtime`` — use ``install()``/``tracing()``
+========  ==============================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.cfg import ResourceSpec, find_resource_leaks
+from repro.lint.core import Finding, ModuleInfo, Rule
+
+SPAN_SPEC = ResourceSpec(
+    acquire_methods=frozenset({"open_span"}),
+    release_methods=frozenset({"close"}),
+    noun="span",
+    leak_code="OBS002",
+    discard_code="OBS002",
+)
+
+_TRACER_CLASSES = {
+    "repro.obs.trace.Tracer",
+    "repro.obs.trace.NullTracer",
+    "repro.obs.Tracer",
+    "repro.obs.NullTracer",
+}
+
+
+class ObsDirectTracerRule(Rule):
+    """OBS001: tracers are installed through the runtime slot, not built
+    ad hoc."""
+
+    code = "OBS001"
+    summary = "direct tracer construction bypassing the runtime slot"
+
+    def check(self, mod: ModuleInfo) -> Iterator[Finding]:
+        if not mod.module.startswith("repro.") or mod.package in (
+            "obs", "lint",
+        ):
+            return
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = mod.resolve(node.func)
+            if origin in _TRACER_CLASSES:
+                yield mod.finding(
+                    node, self.code,
+                    f"direct {origin.rsplit('.', 1)[-1]}() construction "
+                    "bypasses the process-wide slot; use "
+                    "repro.obs.runtime.install() or tracing()",
+                )
+
+
+class ObsSpanCloseRule(Rule):
+    """OBS002: spans opened with ``open_span`` close on every path."""
+
+    code = "OBS002"
+    summary = "open span not closed on all paths"
+
+    def check(self, mod: ModuleInfo) -> Iterator[Finding]:
+        if not mod.module.startswith("repro.") or mod.package == "lint":
+            return
+        for kind, node in find_resource_leaks(mod.tree, SPAN_SPEC):
+            if kind == "leak":
+                yield mod.finding(
+                    node, self.code,
+                    "span opened here may not be closed on all paths; "
+                    "close it in finally or use `with tracer.open_span(...)`",
+                )
+            else:
+                yield mod.finding(
+                    node, self.code,
+                    "open_span result discarded: the span can never be "
+                    "closed (use record() for one-shot spans)",
+                )
+
+
+class ObsSlotAssignRule(Rule):
+    """OBS003: only the runtime module writes the TRACER slot."""
+
+    code = "OBS003"
+    summary = "TRACER slot assigned outside repro.obs.runtime"
+
+    def check(self, mod: ModuleInfo) -> Iterator[Finding]:
+        if mod.module in ("repro.obs.runtime",) or mod.package == "lint":
+            return
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                continue
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and target.attr == "TRACER"
+                ):
+                    continue
+                origin = mod.resolve(target.value)
+                if origin in (
+                    "repro.obs.runtime",
+                    "repro.obs.runtime.TRACER",
+                ) or (origin or "").endswith(".runtime"):
+                    yield mod.finding(
+                        node, self.code,
+                        "assigning the TRACER slot directly skips "
+                        "install()/tracing() bookkeeping; never poke "
+                        "runtime.TRACER from outside repro.obs.runtime",
+                    )
+
+
+RULES = (ObsDirectTracerRule(), ObsSpanCloseRule(), ObsSlotAssignRule())

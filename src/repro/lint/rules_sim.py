@@ -1,0 +1,247 @@
+"""SIM rules: determinism and simulation hygiene.
+
+Simulation code (everything under the packages in
+:data:`repro.lint.core.SIM_SCOPE`) runs inside a single-threaded
+discrete-event kernel whose only clock is ``env.now`` and whose only
+randomness is :class:`repro.sim.rand.RandomStreams`.  Wall-clock reads,
+real sleeps, threads, or unseeded draws silently break reproducibility
+— the exact bug class a seed-pinned simulator exists to rule out.
+
+========  ==============================================================
+SIM001    wall-clock / real-sleep / threading use in simulation code
+SIM002    ``random`` module or unseeded NumPy randomness in simulation
+          code (use ``repro.sim.rand`` named streams, or at minimum an
+          explicitly seeded ``default_rng``)
+SIM003    a process generator yields a value the kernel cannot wait on
+          (string, tuple/list/dict display, ``None``, bool)
+SIM004    ``yield env.timeout(dt)`` where the documented hot-path form
+          is a plain numeric ``yield dt``
+========  ==============================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import Finding, ModuleInfo, Rule
+
+#: Wall-clock reads and real sleeps (resolved dotted origins).
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+_REAL_SLEEP = {"time.sleep"}
+
+#: numpy.random attributes that are fine to reference (types and the
+#: seedable constructor; the constructor's *call* is checked separately).
+_NP_RANDOM_OK = {
+    "numpy.random.Generator",
+    "numpy.random.BitGenerator",
+    "numpy.random.SeedSequence",
+    "numpy.random.PCG64",
+    "numpy.random.default_rng",
+}
+
+
+class SimWallClockRule(Rule):
+    """SIM001: simulated code must take time only from ``env.now``."""
+
+    code = "SIM001"
+    summary = "wall-clock, real sleep, or threading in simulation code"
+
+    def check(self, mod: ModuleInfo) -> Iterator[Finding]:
+        if not mod.in_sim_scope:
+            return
+        for node in ast.walk(mod.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                names = (
+                    [a.name for a in node.names]
+                    if isinstance(node, ast.Import)
+                    else [node.module or ""]
+                )
+                for name in names:
+                    if name.split(".")[0] == "threading":
+                        yield mod.finding(
+                            node, self.code,
+                            "threading has no place in simulation code: "
+                            "the kernel is single-threaded by design",
+                        )
+            elif isinstance(node, ast.Call):
+                origin = mod.resolve(node.func)
+                if origin in _REAL_SLEEP:
+                    yield mod.finding(
+                        node, self.code,
+                        "time.sleep() stalls the real process, not the "
+                        "simulation — yield a numeric delay instead",
+                    )
+                elif origin in _WALL_CLOCK:
+                    yield mod.finding(
+                        node, self.code,
+                        f"{origin}() reads the wall clock; simulation "
+                        "code must use env.now",
+                    )
+
+
+class SimRandomnessRule(Rule):
+    """SIM002: randomness must be named, seeded streams."""
+
+    code = "SIM002"
+    summary = "random module or unseeded randomness in simulation code"
+
+    def check(self, mod: ModuleInfo) -> Iterator[Finding]:
+        if not mod.in_sim_scope:
+            return
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "random":
+                        yield mod.finding(
+                            node, self.code,
+                            "the stdlib random module is process-global "
+                            "state; draw from repro.sim.rand streams",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if (node.module or "").split(".")[0] == "random":
+                    yield mod.finding(
+                        node, self.code,
+                        "the stdlib random module is process-global "
+                        "state; draw from repro.sim.rand streams",
+                    )
+            elif isinstance(node, ast.Call):
+                origin = mod.resolve(node.func)
+                if origin is None or not origin.startswith("numpy.random."):
+                    continue
+                if origin == "numpy.random.default_rng":
+                    if not node.args and not node.keywords:
+                        yield mod.finding(
+                            node, self.code,
+                            "default_rng() without a seed draws from OS "
+                            "entropy; pass an explicit seed (or use "
+                            "repro.sim.rand.RandomStreams)",
+                        )
+                elif origin not in _NP_RANDOM_OK:
+                    yield mod.finding(
+                        node, self.code,
+                        f"{origin}() uses NumPy's legacy global stream; "
+                        "use a seeded Generator (repro.sim.rand)",
+                    )
+
+
+class SimYieldRule(Rule):
+    """SIM003: process generators may yield only events and numeric delays."""
+
+    code = "SIM003"
+    summary = "process generator yields a value the kernel cannot wait on"
+
+    def check(self, mod: ModuleInfo) -> Iterator[Finding]:
+        if not mod.in_sim_scope:
+            return
+        # Visit every statement list exactly once, tracking the previous
+        # sibling (the return-then-yield generator marker needs it).
+        for block in ast.walk(mod.tree):
+            for slot in ("body", "orelse", "finalbody"):
+                stmts = getattr(block, slot, None)
+                if not isinstance(stmts, list):
+                    continue
+                prev = None
+                for stmt in stmts:
+                    if isinstance(stmt, ast.stmt):
+                        yield from self._check_stmt(mod, stmt, prev)
+                    prev = stmt
+
+    def _check_stmt(
+        self, mod: ModuleInfo, stmt: ast.stmt, prev: ast.stmt | None
+    ) -> Iterator[Finding]:
+        if not isinstance(stmt, (ast.Expr, ast.Assign)):
+            return
+        value = stmt.value
+        if not isinstance(value, ast.Yield):
+            return
+        yielded = value.value
+        if yielded is None or (
+            isinstance(yielded, ast.Constant) and yielded.value is None
+        ):
+            # ``return`` followed by an unreachable bare ``yield`` is the
+            # sanctioned marker that keeps a no-op body a generator.
+            if isinstance(prev, (ast.Return, ast.Raise)):
+                return
+            yield mod.finding(
+                value, self.code,
+                "bare yield hands None to the kernel, which cannot wait "
+                "on it (only the unreachable return-then-yield generator "
+                "marker is exempt)",
+            )
+        elif isinstance(yielded, ast.Constant) and (
+            isinstance(yielded.value, (str, bytes, bool))
+        ):
+            yield mod.finding(
+                value, self.code,
+                f"yield of {type(yielded.value).__name__} constant: a "
+                "process may only yield Events or numeric delays",
+            )
+        elif isinstance(
+            yielded,
+            (ast.List, ast.Tuple, ast.Dict, ast.Set, ast.ListComp,
+             ast.SetComp, ast.DictComp, ast.GeneratorExp, ast.JoinedStr),
+        ):
+            yield mod.finding(
+                value, self.code,
+                "yield of a container/string display: wrap multiple "
+                "events in env.all_of()/env.any_of()",
+            )
+
+
+class SimTimeoutFormRule(Rule):
+    """SIM004: plain numeric yields are the documented hot-path sleep."""
+
+    code = "SIM004"
+    summary = "yield env.timeout(dt) where a numeric yield is the hot-path form"
+
+    def check(self, mod: ModuleInfo) -> Iterator[Finding]:
+        if not mod.in_sim_scope:
+            return
+        for stmt in ast.walk(mod.tree):
+            if not isinstance(stmt, ast.Expr):
+                continue
+            value = stmt.value
+            if not isinstance(value, ast.Yield) or value.value is None:
+                continue
+            call = value.value
+            if not (
+                isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and call.func.attr == "timeout"
+                and len(call.args) == 1
+                and not call.keywords
+            ):
+                continue
+            recv = call.func.value
+            is_env = (isinstance(recv, ast.Name) and recv.id == "env") or (
+                isinstance(recv, ast.Attribute) and recv.attr in ("env", "_env")
+            )
+            if is_env:
+                yield mod.finding(
+                    call, self.code,
+                    "yield env.timeout(dt): the kernel's hot-path sleep "
+                    "is a plain numeric `yield dt` (no Timeout object, "
+                    "no callback dispatch)",
+                )
+
+
+RULES = (
+    SimWallClockRule(),
+    SimRandomnessRule(),
+    SimYieldRule(),
+    SimTimeoutFormRule(),
+)

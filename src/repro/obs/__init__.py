@@ -37,6 +37,7 @@ from repro.obs.trace import (
     SCSI_TRANSFER,
     SPAN_KINDS,
     NullTracer,
+    OpenSpan,
     Span,
     Tracer,
 )
@@ -52,6 +53,7 @@ __all__ = [
     "LogHistogram",
     "MetricsRegistry",
     "Span",
+    "OpenSpan",
     "Tracer",
     "NullTracer",
     "NULL_TRACER",

@@ -11,7 +11,7 @@ I/O).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Generator, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.raid.layout import Layout, Placement
@@ -83,7 +83,7 @@ class MigrationResult:
 
 
 def execute_migration(
-    cluster,
+    cluster: Any,
     plan: MigrationPlan,
     mover_node: int = 0,
     queue_depth: int = 8,
@@ -100,12 +100,12 @@ def execute_migration(
     start = env.now
     moved = [0.0]
 
-    def one(move: Move):
+    def one(move: Move) -> Generator:
         yield cdd.submit("read", move.src.disk, move.src.offset, bs)
         yield cdd.submit("write", move.dst.disk, move.dst.offset, bs)
         moved[0] += bs
 
-    def driver():
+    def driver() -> Generator:
         inflight: List = []
         for move in plan.moves:
             inflight.append(env.process(one(move)))

@@ -22,7 +22,7 @@ class MirrorPolicy(str, Enum):
     FOREGROUND = "foreground"
 
     @classmethod
-    def parse(cls, value) -> "MirrorPolicy":
+    def parse(cls, value: object) -> "MirrorPolicy":
         """Accept enum instances or their string values."""
         if isinstance(value, cls):
             return value

@@ -21,7 +21,13 @@ class Raid10Layout(Layout):
 
     name = "raid10"
 
-    def __init__(self, n_disks, block_size, disk_capacity, stripe_width=None):
+    def __init__(
+        self,
+        n_disks: int,
+        block_size: int,
+        disk_capacity: int,
+        stripe_width: int | None = None,
+    ):
         super().__init__(n_disks, block_size, disk_capacity, stripe_width)
         if n_disks % 2:
             raise ConfigurationError("RAID-10 needs an even disk count")
@@ -36,7 +42,7 @@ class Raid10Layout(Layout):
         return self.rows * self.n_pairs
 
     # data_location is table-cached by the Layout base class.
-    def _placement_rotation(self):
+    def _placement_rotation(self) -> tuple[int, int]:
         return self.n_pairs, self.block_size
 
     def _data_location_uncached(self, block: int) -> Placement:

@@ -39,7 +39,7 @@ class Raid5Layout(Layout):
     # data_location is table-cached by the Layout base class: the
     # left-symmetric disk pattern repeats every D stripes = D(D-1)
     # blocks, with offsets advancing D rows per rotation.
-    def _placement_rotation(self):
+    def _placement_rotation(self) -> tuple[int, int]:
         D = self.n_disks
         return D * (D - 1), D * self.block_size
 

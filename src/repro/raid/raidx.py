@@ -100,7 +100,7 @@ class RaidxLayout(Layout):
 
     # -- data placement ----------------------------------------------------
     # data_location is table-cached by the Layout base class.
-    def _placement_rotation(self):
+    def _placement_rotation(self) -> tuple[int, int]:
         return self.n_disks, self.block_size
 
     def _data_location_uncached(self, block: int) -> Placement:

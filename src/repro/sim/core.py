@@ -41,7 +41,7 @@ from __future__ import annotations
 from heapq import heappush, heappop, heappushpop
 from itertools import count
 from sys import getrefcount
-from typing import Any, Generator, Optional
+from typing import Any, Generator, Iterable, Optional
 
 from repro.sim.events import (
     _KEY_OFFSET,
@@ -146,11 +146,11 @@ class Environment:
         """Start ``generator`` as a new simulation process."""
         return Process(self, generator)
 
-    def all_of(self, events) -> AllOf:
+    def all_of(self, events: Iterable[Event]) -> AllOf:
         """Event triggering when all ``events`` have triggered."""
         return AllOf(self, events)
 
-    def any_of(self, events) -> AnyOf:
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
         """Event triggering when any of ``events`` has triggered."""
         return AnyOf(self, events)
 

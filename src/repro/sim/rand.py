@@ -8,7 +8,7 @@ variance-reduction / reproducibility technique.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict
+from typing import Any, Dict, Sequence
 
 import numpy as np
 
@@ -48,7 +48,7 @@ class RandomStreams:
         """One integer draw in [low, high)."""
         return int(self.stream(name).integers(low, high))
 
-    def choice(self, name: str, seq):
+    def choice(self, name: str, seq: Sequence[Any]) -> Any:
         """Uniformly choose one element of ``seq``."""
         idx = int(self.stream(name).integers(0, len(seq)))
         return seq[idx]

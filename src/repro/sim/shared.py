@@ -13,7 +13,7 @@ Two link models are provided:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Generator, List, Optional
 
 from repro.sim.core import Environment, Process
 from repro.sim.events import Event
@@ -181,7 +181,7 @@ class SharedChannel:
         if self._flows:
             self._wakeup = self.env.process(self._coordinator())
 
-    def _coordinator(self):
+    def _coordinator(self) -> Generator:
         from repro.sim.events import Interrupt
 
         while self._flows:

@@ -7,11 +7,11 @@ support the CDD locking protocol and coordinated checkpointing.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.sim.core import Environment
 from repro.sim.events import Event
-from repro.sim.resources import Resource
+from repro.sim.resources import Request, Resource
 
 
 class Barrier:
@@ -93,21 +93,21 @@ class Mutex:
         return self._res.count > 0
 
     @property
-    def holder(self):
+    def holder(self) -> Optional[object]:
         """Opaque token identifying the current holder (or ``None``)."""
         return self._holder
 
-    def acquire(self, owner=None):
+    def acquire(self, owner: Optional[object] = None) -> Request:
         """Request the lock; yields when granted.  Remember the request."""
         req = self._res.request()
 
-        def _note(_ev, owner=owner):
+        def _note(_ev: Event, owner: Optional[object] = owner) -> None:
             self._holder = owner
 
         req.callbacks.append(_note)
         return req
 
-    def release(self, request) -> None:
+    def release(self, request: Request) -> None:
         """Release the lock previously granted to ``request``."""
         self._holder = None
         self._res.release(request)

@@ -1,0 +1,87 @@
+"""Fixtures for the ARCH layering / boundary / cycle rules."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import lint_sources
+from tests.lint.util import codes
+
+
+def lint(sources: dict[str, str], select: str = "ARCH") -> set[str]:
+    deds = {name: textwrap.dedent(src) for name, src in sources.items()}
+    return codes(lint_sources(deds, select=[select]))
+
+
+# -- ARCH001: the layer table --------------------------------------------
+
+def test_arch001_fires_when_sim_imports_upward():
+    found = lint({
+        "repro.sim.fixture": """
+            from repro.cluster.cdd import CooperativeDiskDriver
+
+            def f():
+                return CooperativeDiskDriver
+            """,
+    })
+    assert "ARCH001" in found
+
+
+def test_arch001_fires_when_hardware_imports_cluster():
+    assert "ARCH001" in lint({
+        "repro.hardware.fixture": """
+            from repro.cluster.manager import ClusterManager
+            """,
+    })
+
+
+def test_arch001_silent_on_lazy_import_and_allowed_edges():
+    assert "ARCH001" not in lint({
+        # cluster may see hardware; a lazy upward import is sanctioned.
+        "repro.cluster.fixture": """
+            from repro.hardware.node import Node
+
+            def late():
+                from repro.fs.files import FileSet
+                return FileSet, Node
+            """,
+    })
+
+
+# -- ARCH002: the CDD/SIOS boundary --------------------------------------
+
+def test_arch002_fires_on_disk_import_outside_boundary():
+    assert "ARCH002" in lint({
+        "repro.fs.fixture": """
+            from repro.hardware.disk import Disk
+            """,
+    })
+
+
+def test_arch002_silent_inside_boundary_packages():
+    assert "ARCH002" not in lint({
+        "repro.cluster.fixture": """
+            from repro.hardware.disk import Disk
+            """,
+    })
+
+
+# -- ARCH003: cycle detection --------------------------------------------
+
+def test_arch003_fires_on_module_cycle():
+    found = lint({
+        "repro.fs.alpha": "import repro.fs.beta\n",
+        "repro.fs.beta": "import repro.fs.alpha\n",
+    }, select="ARCH003")
+    assert "ARCH003" in found
+
+
+def test_arch003_silent_on_lazy_back_edge():
+    assert "ARCH003" not in lint({
+        "repro.fs.alpha": "import repro.fs.beta\n",
+        "repro.fs.beta": """
+            def late():
+                import repro.fs.alpha
+                return repro.fs.alpha
+            """,
+    }, select="ARCH003")

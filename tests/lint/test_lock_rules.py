@@ -1,0 +1,90 @@
+"""Fixtures for the LOCK release-on-all-paths analysis."""
+
+from __future__ import annotations
+
+import textwrap
+
+from tests.lint.util import codes, lint_one
+
+
+def lint(src: str, module: str = "repro.cluster.fixture") -> set[str]:
+    return codes(lint_one(module, textwrap.dedent(src), select="LOCK"))
+
+
+def test_lock001_fires_when_risky_work_precedes_release():
+    assert "LOCK001" in lint(
+        """
+        def write(mutex, transport):
+            req = mutex.acquire()
+            yield req
+            yield from transport.message()
+            mutex.release(req)
+        """
+    )
+
+
+def test_lock001_fires_on_early_return_with_lock_held():
+    assert "LOCK001" in lint(
+        """
+        def write(mutex, ok):
+            req = mutex.acquire()
+            if not ok:
+                return None
+            mutex.release(req)
+            return req
+        """
+    )
+
+
+def test_lock001_silent_under_try_finally():
+    assert "LOCK001" not in lint(
+        """
+        def write(mutex, transport):
+            req = mutex.acquire()
+            try:
+                yield req
+                yield from transport.message()
+            finally:
+                mutex.release(req)
+        """
+    )
+
+
+def test_lock001_silent_on_conditional_release_of_maybe_none():
+    # The None-pruning split: a held token is never None, so releasing
+    # under `if req is not None` covers every path that acquired.
+    assert "LOCK001" not in lint(
+        """
+        def write(mutex, transport):
+            req = None
+            try:
+                req = mutex.acquire()
+                yield req
+                yield from transport.message()
+            finally:
+                if req is not None:
+                    mutex.release(req)
+        """
+    )
+
+
+def test_lock001_silent_on_immediate_ownership_handoff():
+    # Appending the request to a handle list transfers ownership — the
+    # caller-side release path is responsible from then on.
+    assert "LOCK001" not in lint(
+        """
+        def acquire_all(mutex, held):
+            req = mutex.acquire()
+            held.append(req)
+            return held
+        """
+    )
+
+
+def test_lock002_fires_on_discarded_acquire():
+    assert "LOCK002" in lint(
+        """
+        def grab(mutex):
+            mutex.acquire()
+        """
+    )

@@ -1,0 +1,100 @@
+"""Fixtures for the OBS tracing-discipline rules."""
+
+from __future__ import annotations
+
+import textwrap
+
+from tests.lint.util import codes, lint_one
+
+
+def lint(src: str, module: str = "repro.cluster.fixture") -> set[str]:
+    return codes(lint_one(module, textwrap.dedent(src), select="OBS"))
+
+
+# -- OBS001: no ad-hoc tracer construction -------------------------------
+
+def test_obs001_fires_on_direct_tracer_construction():
+    assert "OBS001" in lint(
+        """
+        from repro.obs import Tracer
+
+        def make():
+            return Tracer()
+        """
+    )
+
+
+def test_obs001_silent_inside_repro_obs():
+    assert "OBS001" not in lint(
+        """
+        from repro.obs.trace import Tracer
+
+        def make():
+            return Tracer()
+        """,
+        module="repro.obs.fixture",
+    )
+
+
+# -- OBS002: spans close on every path -----------------------------------
+
+def test_obs002_fires_on_span_leak():
+    assert "OBS002" in lint(
+        """
+        def serve(tracer, env, work):
+            span = tracer.open_span("request", "node0", env)
+            work()
+            span.close()
+        """
+    )
+
+
+def test_obs002_fires_on_discarded_open_span():
+    assert "OBS002" in lint(
+        """
+        def serve(tracer, env):
+            tracer.open_span("request", "node0", env)
+        """
+    )
+
+
+def test_obs002_silent_on_context_manager_and_finally():
+    assert "OBS002" not in lint(
+        """
+        def serve(tracer, env, work):
+            with tracer.open_span("request", "node0", env):
+                work()
+
+        def serve_explicit(tracer, env, work):
+            span = tracer.open_span("request", "node0", env)
+            try:
+                work()
+            finally:
+                span.close(outcome="ok")
+        """
+    )
+
+
+# -- OBS003: only runtime writes the slot --------------------------------
+
+def test_obs003_fires_on_direct_slot_assignment():
+    assert "OBS003" in lint(
+        """
+        from repro.obs import runtime
+
+        def hijack(tracer):
+            runtime.TRACER = tracer
+        """
+    )
+
+
+def test_obs003_silent_inside_runtime_module():
+    assert "OBS003" not in lint(
+        """
+        import repro.obs.runtime as runtime
+
+        def install(tracer):
+            runtime.TRACER = tracer
+        """,
+        module="repro.obs.runtime",
+    )

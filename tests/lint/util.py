@@ -1,0 +1,15 @@
+"""Shared helpers for the repro.lint rule fixtures."""
+
+from __future__ import annotations
+
+from repro.lint import Finding, lint_sources
+
+
+def codes(findings: list[Finding]) -> set[str]:
+    return {f.rule for f in findings}
+
+
+def lint_one(module: str, source: str, select: str | None = None) -> list[Finding]:
+    """Lint a single in-memory module under the given dotted name."""
+    sel = select.split(",") if select else None
+    return lint_sources({module: source}, select=sel)

@@ -1,0 +1,69 @@
+"""OpenSpan: the explicit open/close span API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import NULL_TRACER, REQUEST, OpenSpan, Tracer
+from repro.sim.core import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def tracer():
+    return Tracer()
+
+
+def test_close_records_open_to_now(env, tracer):
+    env._now = 2.0
+    span = tracer.open_span(REQUEST, "node0", env, trace=7, client=3)
+    assert isinstance(span, OpenSpan)
+    assert not span.closed
+    env._now = 5.5
+    recorded = span.close(outcome="ok")
+    assert span.closed
+    assert recorded.start == 2.0
+    assert recorded.end == 5.5
+    assert recorded.trace == 7
+    assert recorded.args == {"client": 3, "outcome": "ok"}
+    assert tracer.spans == [recorded]
+
+
+def test_close_is_idempotent(env, tracer):
+    span = tracer.open_span(REQUEST, "node0", env)
+    first = span.close()
+    env._now = 9.0
+    assert span.close(extra=1) is first
+    assert len(tracer) == 1
+    assert first.end == 0.0
+
+
+def test_context_manager_closes_and_tags_errors(env, tracer):
+    with tracer.open_span(REQUEST, "node0", env):
+        env._now = 1.0
+    assert tracer.spans[-1].end == 1.0
+
+    with pytest.raises(RuntimeError):
+        with tracer.open_span(REQUEST, "node0", env):
+            raise RuntimeError("boom")
+    assert tracer.spans[-1].args["error"] == "RuntimeError"
+
+
+def test_open_span_feeds_kind_metrics(env, tracer):
+    span = tracer.open_span(REQUEST, "node0", env)
+    env._now = 4.0
+    span.close()
+    hist = tracer.metrics.histogram(REQUEST)
+    assert hist.count == 1
+
+
+def test_null_tracer_open_span_is_free(env):
+    span = NULL_TRACER.open_span(REQUEST, "node0", env)
+    with span:
+        pass
+    assert span.close() is None
+    assert len(NULL_TRACER) == 0
