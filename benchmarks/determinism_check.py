@@ -1,0 +1,90 @@
+"""Reduced-scale determinism check for the seeded benchmarks.
+
+Runs the Fig. 5 bandwidth sweep and the A7 degraded-mode sweep at a
+fraction of their benchmark scale and prints one canonical JSON line
+per measurement row, with every float rendered as ``float.hex()`` so
+no drift can hide behind decimal rounding.  CI runs this twice and
+diffs the outputs: the simulator is seeded and single-threaded, so a
+single changed byte means a nondeterministic code path (iteration over
+an unordered set, an id()-keyed dict, a wall-clock read) crept into
+the I/O stack.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/determinism_check.py > rows.txt
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.bench.experiments import fig5_bandwidth
+from repro.cluster.cluster import build_cluster
+from repro.config import trojans_cluster
+from repro.units import KiB
+from repro.workloads.parallel_io import ParallelIOWorkload
+
+# Reduced scale: 2 client counts x 2 workloads x 4 archs (vs. the full
+# 5 x 4 x 4 grid) keeps the two CI runs under a couple of minutes.
+FIG5_CLIENTS = (1, 4)
+FIG5_WORKLOADS = ("large_read", "small_write")
+
+DEGRADED_ARCHS = ("raid5", "raid10", "chained", "raidx")
+FAILED_DISK = 3
+
+
+def _hexfloat(value):
+    if isinstance(value, float):
+        return value.hex()
+    return value
+
+
+def _canon(kind: str, row: dict) -> str:
+    return json.dumps(
+        {"kind": kind, **{k: _hexfloat(v) for k, v in sorted(row.items())}},
+        sort_keys=True,
+    )
+
+
+def fig5_rows():
+    result = fig5_bandwidth(
+        client_counts=FIG5_CLIENTS, workloads=FIG5_WORKLOADS
+    )
+    for row in result.rows:
+        yield _canon("fig5", dict(row))
+
+
+def degraded_rows():
+    """A7 at reduced scale: 4 clients, 256 KiB reads, full float precision."""
+    for arch in DEGRADED_ARCHS:
+        cluster = build_cluster(trojans_cluster(), architecture=arch)
+
+        def bandwidth():
+            wl = ParallelIOWorkload(cluster, 4, op="read", size=256 * KiB)
+            return wl.run().aggregate_bandwidth_mb_s
+
+        healthy = bandwidth()
+        cluster.storage.fail_disk(FAILED_DISK)
+        degraded = bandwidth()
+        yield _canon(
+            "degraded",
+            {
+                "architecture": arch,
+                "healthy_mb_s": healthy,
+                "degraded_mb_s": degraded,
+                "final_time": cluster.env.now,
+            },
+        )
+
+
+def main() -> int:
+    for line in fig5_rows():
+        print(line)
+    for line in degraded_rows():
+        print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

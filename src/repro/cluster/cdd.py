@@ -28,6 +28,7 @@ from repro.cluster.message import (
 )
 from repro.cluster.transport import Transport
 from repro.hardware.node import Node
+from repro.io.context import PieceContext
 from repro.obs import runtime as _obs
 from repro.obs.trace import CPU_DRIVER
 
@@ -79,14 +80,20 @@ class CooperativeDiskDriver:
 
     def block_io(
         self, op: str, disk: int, offset: int, nbytes: int, priority: int = 0,
-        trace=None,
+        trace=None, ctx: PieceContext | None = None,
     ):
         """Process generator: one block operation anywhere in the SIOS.
 
         Completes when the data is on disk (write) or delivered to this
-        node (read).  ``trace`` propagates a logical request's trace id
-        to every span the hop records (CPU, NIC, SCSI, disk).
+        node (read).  ``ctx`` is the per-piece execution context the
+        plan executor threads through the stack (trace id, plan step,
+        retry budget); ``trace`` remains for callers outside the plan
+        path and wins when both are given.  Either way the trace id
+        propagates to every span the hop records (CPU, NIC, SCSI,
+        disk).
         """
+        if trace is None and ctx is not None:
+            trace = ctx.trace
         self.issued_ops += 1
         owner = self.owner_of(disk)
         me = self.node_id
@@ -104,35 +111,35 @@ class CooperativeDiskDriver:
         if op == "read":
             yield from self.transport.message(
                 MessageKind.READ_REQ, me, owner, read_request_size(),
-                trace=trace,
+                trace=trace, ctx=ctx,
             )
             yield from self._manage(
                 owner, op, disk, offset, nbytes, priority, trace
             )
             yield from self.transport.message(
                 MessageKind.READ_REPLY, owner, me, read_reply_size(nbytes),
-                trace=trace,
+                trace=trace, ctx=ctx,
             )
         else:
             yield from self.transport.message(
                 MessageKind.WRITE_REQ, me, owner, write_request_size(nbytes),
-                trace=trace,
+                trace=trace, ctx=ctx,
             )
             yield from self._manage(
                 owner, op, disk, offset, nbytes, priority, trace
             )
             yield from self.transport.message(
                 MessageKind.WRITE_ACK, owner, me, write_ack_size(),
-                trace=trace,
+                trace=trace, ctx=ctx,
             )
 
     def submit(
         self, op: str, disk: int, offset: int, nbytes: int, priority: int = 0,
-        trace=None,
+        trace=None, ctx: PieceContext | None = None,
     ):
         """Run :meth:`block_io` as a process; returns its completion event."""
         return self.node.env.process(
-            self.block_io(op, disk, offset, nbytes, priority, trace)
+            self.block_io(op, disk, offset, nbytes, priority, trace, ctx)
         )
 
     # -- storage manager -----------------------------------------------------

@@ -1,0 +1,476 @@
+"""The shared execution engine: one executor for every IOPlan.
+
+The per-architecture planners (:mod:`repro.raid.planners`) decide the
+*structure* of a request; this engine owns everything that runs —
+simulator processes, tracing spans, tolerant-write semantics, lock
+acquisition with guaranteed release, degraded fallback, and the RAID-x
+write-behind mirror state.  Every storage architecture executes through
+the same code paths, so cross-cutting features (batching, caching,
+tracing) are implemented once.
+
+Timing fidelity contract: the engine schedules *exactly* the simulator
+events, in exactly the order, that the per-system protocol bodies it
+replaced did.  The event heap breaks ties by creation sequence, so the
+number and order of ``env.process`` spawns is behaviour — which is why
+plan ops are filtered against the live failed-disk set here, at each
+spawn point, rather than at plan time (a disk can fail while a request
+waits on a lock or an earlier wave).  The golden equivalence suite
+(``tests/cluster/test_engine_equivalence.py``) pins this contract.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import DataLossError, DiskFailedError
+from repro.io.context import PieceContext
+from repro.obs import runtime as _obs
+from repro.obs.trace import LOCK_WAIT, MIRROR_FLUSH, REQUEST
+from repro.raid.layout import Placement
+from repro.raid.plan import (
+    ImageExtent,
+    IOPlan,
+    OrthogonalWrite,
+    ParallelWrite,
+    ParityWrite,
+    Piece,
+    PieceOp,
+    ReadContext,
+    ReconstructRead,
+    SerialWrite,
+    StripeWrite,
+)
+from repro.sim.events import Event
+from repro.sim.sync import Mutex
+
+
+class MirrorState:
+    """Runtime state of RAID-x write-behind mirroring.
+
+    Owned by the engine (it is execution state, not geometry): the
+    outstanding background flushes, the stale-image guard, the
+    absorption buffer, and the deferral-cost accounting.
+    """
+
+    def __init__(self) -> None:
+        #: Outstanding background image-flush events.
+        self.pending_flushes: List[Event] = []
+        #: Mirror groups with an un-flushed image (stale-image guard).
+        self.dirty_groups: Set[int] = set()
+        #: Extents queued but not yet issued to disk — rewrites of the
+        #: same extent are absorbed in the write-behind buffer.
+        self.queued_extents: Set[Tuple[int, int, int]] = set()
+        self.background_bytes = 0.0
+        self.coalesced_extents = 0
+        self.absorbed_rewrites = 0
+        #: Vulnerability windows: seconds each image extent spent
+        #: un-flushed after its data committed — the price of deferral
+        #: (a data-disk failure inside the window costs redundancy,
+        #: though never the data itself).
+        self.vulnerability_windows: List[float] = []
+
+
+class ExecutionEngine:
+    """Executes any :class:`~repro.raid.plan.IOPlan` through the CDDs."""
+
+    def __init__(self, system) -> None:
+        self.system = system
+        self.cluster = system.cluster
+        self.env = system.env
+        self.planner = system.planner
+        #: Per-stripe mutexes serializing parity read-modify-write.
+        self._stripe_locks: Dict[int, Mutex] = {}
+        self.mirror = MirrorState()
+
+    # -- plumbing ----------------------------------------------------------
+    @property
+    def failed_disks(self) -> Set[int]:
+        return self.system.failed_disks
+
+    def cdd(self, node: int):
+        return self.cluster.cdds[node]
+
+    def _issue(self, client: int, pop: PieceOp, trace) -> Event:
+        """Spawn one plan op as a process; returns its completion event.
+
+        Tolerant ops absorb a mid-flight disk failure by marking the
+        disk failed (redundancy keeps the block recoverable); plain ops
+        propagate :class:`~repro.errors.DiskFailedError`.
+        """
+        ctx = PieceContext(trace=trace, step=pop.kind)
+        if pop.tolerant:
+
+            def body():
+                try:
+                    yield from self.cdd(client).block_io(
+                        pop.op, pop.disk, pop.offset, pop.nbytes,
+                        priority=pop.priority, ctx=ctx,
+                    )
+                except DiskFailedError as e:
+                    self.failed_disks.add(e.disk_id)
+
+            return self.env.process(body())
+        return self.cdd(client).submit(
+            pop.op, pop.disk, pop.offset, pop.nbytes,
+            priority=pop.priority, ctx=ctx,
+        )
+
+    # -- top-level request path --------------------------------------------
+    def run(self, client: int, op: str, offset: int, nbytes: int):
+        """Process generator: plan and execute one logical request."""
+        plan = self.planner.plan(op, offset, nbytes, self.failed_disks)
+        if not plan.pieces:
+            return
+        tracer = _obs.TRACER
+        trace = tracer.new_trace() if tracer.enabled else None
+        t0 = self.env.now
+        handle = None
+        if self.system.locking and op == "write":
+            handle = yield from self.cdd(client).acquire_write_locks(
+                list(plan.lock_blocks), trace=trace
+            )
+        try:
+            if op == "read":
+                yield from self._run_read(client, plan, trace)
+                self.system.bytes_read += nbytes
+            else:
+                yield from self._run_write(client, plan, trace)
+                self.system.bytes_written += nbytes
+        finally:
+            if handle is not None:
+                yield from self.cdd(client).release_write_locks(
+                    handle, trace=trace
+                )
+            if tracer.enabled:
+                tracer.record(
+                    REQUEST, f"node{client}.request", t0, self.env.now,
+                    trace=trace, op=op, offset=offset, nbytes=nbytes,
+                    arch=self.system.name,
+                )
+
+    # -- reads -------------------------------------------------------------
+    def _balance(self, sources: List[Placement]) -> Optional[Placement]:
+        """Apply the read policy to an ordered list of surviving copies."""
+        if not sources:
+            return None
+        if self.system.read_policy == "static" or len(sources) == 1:
+            return sources[0]
+        preferred = sources[0]
+        depth0 = self.cluster.disk(preferred.disk).queue_depth
+        best, best_depth = preferred, depth0
+        for alt in sources[1:]:
+            d = self.cluster.disk(alt.disk).queue_depth
+            if d < best_depth:
+                best, best_depth = alt, d
+        if best is preferred:
+            return preferred
+        margin = self.system.read_balance_margin
+        return best if depth0 - best_depth >= margin else preferred
+
+    def read_source(self, client: int, piece: Piece) -> Optional[Placement]:
+        """Pick the placement to serve a read piece (None = reconstruct).
+
+        The planner ranks the surviving copies (pure, given the live
+        failed set and mirror-staleness state); the engine applies the
+        queue-depth read policy when the ranking allows it.
+        """
+        ctx = ReadContext(client=client, dirty_groups=self.mirror.dirty_groups)
+        candidates, may_balance = self.planner.read_candidates(
+            piece, self.failed_disks, ctx
+        )
+        if may_balance:
+            return self._balance(list(candidates))
+        return candidates[0] if candidates else None
+
+    def _run_read(self, client: int, plan: IOPlan, trace):
+        events = [
+            self.env.process(self._read_piece(client, rp.piece, trace))
+            for rp in plan.action.reads
+        ]
+        if events:
+            yield self.env.all_of(events)
+
+    def _read_piece(self, client: int, piece: Piece, trace=None):
+        """Read one piece, retrying on mid-flight disk failures.
+
+        A request queued on a disk that fails before service returns EIO;
+        real drivers then mark the disk bad and re-issue against a
+        surviving copy — which is what the retry loop does (the failed
+        set grows on every iteration, so it terminates)."""
+        ctx = PieceContext(
+            trace=trace, step="data",
+            retry_budget=self.planner.layout.n_disks,
+        )
+        while True:
+            src = self.read_source(client, piece)
+            if src is None:
+                rplan = self.planner.plan_reconstruct(
+                    piece, self.failed_disks
+                )
+                yield from self._exec_reconstruct(client, rplan, trace)
+                return
+            try:
+                yield from self.cdd(client).block_io(
+                    "read", src.disk, src.offset + piece.intra,
+                    piece.nbytes, ctx=ctx,
+                )
+                return
+            except DiskFailedError as e:
+                self.failed_disks.add(e.disk_id)
+                ctx.attempt += 1
+                if ctx.exhausted:
+                    raise
+
+    def _exec_reconstruct(
+        self, client: int, rplan: ReconstructRead, trace
+    ):
+        """Rebuild a lost block from its surviving peers + parity."""
+        reads = [self._issue(client, r, trace) for r in rplan.reads]
+        yield self.env.all_of(reads)
+        yield self.cluster.nodes[client].cpu.xor(rplan.xor_bytes)
+
+    # -- writes ------------------------------------------------------------
+    def _run_write(self, client: int, plan: IOPlan, trace):
+        action = plan.action
+        if isinstance(action, ParallelWrite):
+            yield from self._exec_parallel(client, action, trace)
+        elif isinstance(action, SerialWrite):
+            yield from self._exec_serial(client, action, trace)
+        elif isinstance(action, ParityWrite):
+            yield from self._exec_parity(client, action, trace)
+        elif isinstance(action, OrthogonalWrite):
+            yield from self._exec_orthogonal(client, action, trace)
+        else:  # pragma: no cover - planner/engine contract violation
+            raise NotImplementedError(
+                f"no executor for plan node {type(action).__name__}"
+            )
+
+    def _check_copies(self, copies) -> None:
+        """Raise when every copy of any block sits on a failed disk."""
+        for cs in copies:
+            if all(d in self.failed_disks for d in cs.disks):
+                raise DataLossError(
+                    f"block {cs.block}: every copy on a failed disk"
+                )
+
+    def _exec_parallel(self, client: int, action: ParallelWrite, trace):
+        events = []
+        for mw in action.pieces:
+            ops = mw.ops
+            if mw.skip_failed:
+                ops = tuple(
+                    o for o in ops if o.disk not in self.failed_disks
+                )
+                if not ops and mw.require_alive:
+                    raise DataLossError(
+                        f"block {mw.block}: every copy on a failed disk"
+                    )
+            for o in ops:
+                events.append(self._issue(client, o, trace))
+        yield self.env.all_of(events)
+        if action.check_survivors:
+            self._check_copies(action.copies)
+
+    def _exec_serial(self, client: int, action: SerialWrite, trace):
+        self._check_copies(action.copies)
+        # Primary wave first, mirror wave after it commits.
+        for wave in action.waves:
+            events = [
+                self._issue(client, o, trace)
+                for o in wave
+                if o.disk not in self.failed_disks
+            ]
+            if events:
+                yield self.env.all_of(events)
+        self._check_copies(action.copies)
+
+    # -- parity stripes (RAID-5) -------------------------------------------
+    def _stripe_lock(self, stripe: int) -> Mutex:
+        m = self._stripe_locks.get(stripe)
+        if m is None:
+            m = Mutex(self.env)
+            self._stripe_locks[stripe] = m
+        return m
+
+    def _exec_parity(self, client: int, action: ParityWrite, trace):
+        stripe_events = [
+            self.env.process(self._exec_stripe(client, sw, trace))
+            for sw in action.stripes
+        ]
+        yield self.env.all_of(stripe_events)
+
+    def _exec_stripe(self, client: int, sw: StripeWrite, trace):
+        cpu = self.cluster.nodes[client].cpu
+        tracer = _obs.TRACER
+        t0 = self.env.now
+        # The queued request must be released (or cancelled) even if
+        # this process is interrupted while waiting for the grant, so
+        # the try covers the wait itself, not just the held region.
+        lock = self._stripe_lock(sw.stripe).acquire(owner=client)
+        try:
+            yield lock
+            if tracer.enabled:
+                tracer.record(
+                    LOCK_WAIT, f"node{client}.lock", t0, self.env.now,
+                    trace=trace, group=sw.stripe, client=client,
+                    scope="stripe",
+                )
+            parity_alive = sw.parity_disk not in self.failed_disks
+            if sw.full_stripe is not None:
+                # Full-stripe write: parity computed in memory, no reads.
+                fsp = sw.full_stripe
+                yield cpu.xor(fsp.xor_bytes)
+                events = [
+                    self._issue(client, o, trace)
+                    for o in fsp.writes
+                    if o.disk not in self.failed_disks
+                ]
+                if parity_alive:
+                    events.append(
+                        self._issue(client, fsp.parity_write, trace)
+                    )
+                yield self.env.all_of(events)
+                return
+
+            for g in sw.rmw_passes:
+                reads = [
+                    self._issue(client, o, trace)
+                    for o in g.reads
+                    if o.disk not in self.failed_disks
+                ]
+                if parity_alive:
+                    reads.append(self._issue(client, g.parity_read, trace))
+                if reads:
+                    yield self.env.all_of(reads)
+                # Two XOR passes: strip old data out of parity, add new.
+                yield cpu.xor(g.xor_bytes, passes=2)
+                writes = [
+                    self._issue(client, o, trace)
+                    for o in g.writes
+                    if o.disk not in self.failed_disks
+                ]
+                if parity_alive:
+                    writes.append(
+                        self._issue(client, g.parity_write, trace)
+                    )
+                yield self.env.all_of(writes)
+        finally:
+            self._stripe_lock(sw.stripe).release(lock)
+
+    # -- orthogonal striping and mirroring (RAID-x) ------------------------
+    def _exec_orthogonal(self, client: int, action: OrthogonalWrite, trace):
+        m = self.mirror
+        m.coalesced_extents += len(action.extents)
+        # Foreground: data blocks stripe across all disks in parallel.
+        events = []
+        for o in action.foreground:
+            if o.disk in self.failed_disks:
+                # Degraded write: only the image will carry this block.
+                continue
+            events.append(self._issue(client, o, trace))
+        for e in action.extents:
+            if e.disk not in self.failed_disks:
+                m.dirty_groups.add(e.group)
+        if not action.background:
+            events.extend(
+                self._flush_extents(client, action.extents, trace=trace)
+            )
+            if events:
+                yield self.env.all_of(events)
+            return
+        if events:
+            yield self.env.all_of(events)
+        # Background: hand the clustered image extents to the flusher;
+        # rewrites of an already-queued extent are absorbed.
+        m.pending_flushes.extend(
+            self._flush_extents(
+                client, action.extents, absorb=True, trace=trace
+            )
+        )
+
+    def _flush_extents(
+        self, client: int, extents: Tuple[ImageExtent, ...],
+        absorb: bool = False, trace=None,
+    ) -> List[Event]:
+        events = []
+        tracer = _obs.TRACER
+        m = self.mirror
+        for e in extents:
+            if e.disk in self.failed_disks:
+                continue
+            key = (e.disk, e.offset, e.nbytes)
+            if absorb:
+                if key in m.queued_extents:
+                    # Write-behind absorption: the queued flush will
+                    # carry the newer contents of this extent.
+                    m.absorbed_rewrites += 1
+                    if tracer.enabled:
+                        tracer.count("mirror.absorbed_rewrites")
+                    continue
+                m.queued_extents.add(key)
+            events.append(
+                self.env.process(
+                    self._flush_one(
+                        client, e.group, e.disk, e.offset, e.nbytes, key,
+                        absorb, trace,
+                    )
+                )
+            )
+        return events
+
+    def _flush_one(
+        self, client, group, disk, off, nbytes, key, tracked, trace=None
+    ):
+        m = self.mirror
+        exposed_at = self.env.now
+        ctx = PieceContext(trace=trace, step="mirror")
+        try:
+            yield from self.cdd(client).block_io(
+                "write", disk, off, nbytes, priority=1, ctx=ctx
+            )
+            m.vulnerability_windows.append(self.env.now - exposed_at)
+            tracer = _obs.TRACER
+            if tracer.enabled:
+                owner = self.planner.layout.node_of_disk(disk)
+                tracer.record(
+                    MIRROR_FLUSH, f"node{owner}.mirror", exposed_at,
+                    self.env.now, trace=trace, disk=disk, nbytes=nbytes,
+                    deferred=tracked,
+                )
+        except DiskFailedError as e:
+            # The image disk died under the flush: the data block still
+            # lives on its primary, so mark the disk and move on.
+            self.failed_disks.add(e.disk_id)
+            if tracked:
+                m.queued_extents.discard(key)
+            return
+        if tracked:
+            m.queued_extents.discard(key)
+        m.background_bytes += nbytes
+        m.dirty_groups.discard(group)
+
+    def drain(self):
+        """Wait until every background image flush has completed."""
+        m = self.mirror
+        while m.pending_flushes:
+            pending, m.pending_flushes = m.pending_flushes, []
+            yield self.env.all_of(pending)
+
+    @property
+    def pending_background_flushes(self) -> int:
+        return sum(
+            1 for e in self.mirror.pending_flushes if not e.processed
+        )
+
+    def vulnerability_stats(self) -> dict:
+        """Mean/max/p95 of the image-flush exposure windows (seconds)."""
+        w = self.mirror.vulnerability_windows
+        if not w:
+            return {"count": 0, "mean": 0.0, "max": 0.0, "p95": 0.0}
+        ordered = sorted(w)
+        return {
+            "count": len(w),
+            "mean": sum(w) / len(w),
+            "max": ordered[-1],
+            "p95": ordered[max(0, int(0.95 * len(ordered)) - 1)],
+        }

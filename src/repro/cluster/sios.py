@@ -8,30 +8,14 @@ sees all nk disks as local).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.errors import AddressError
 from repro.io.request import split_into_blocks
-from repro.raid.layout import Layout, Placement
+from repro.raid.layout import Layout
+from repro.raid.plan import Piece
 
-
-@dataclass(frozen=True)
-class Piece:
-    """One block-aligned fragment of a logical request."""
-
-    block: int  # logical data block index
-    intra: int  # offset within the block
-    nbytes: int  # fragment length (<= block_size)
-    placement: Placement  # primary data placement
-
-    @property
-    def disk(self) -> int:
-        return self.placement.disk
-
-    @property
-    def disk_offset(self) -> int:
-        return self.placement.offset + self.intra
+__all__ = ["Piece", "SingleIOSpace"]
 
 
 class SingleIOSpace:

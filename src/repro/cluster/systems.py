@@ -1,45 +1,39 @@
-"""Storage-system protocols: how each architecture executes reads/writes.
+"""Storage systems: thin planner-binding shims over the shared engine.
 
-Each system turns a logical request on the single I/O space into block
-operations through the CDDs (or, for NFS, through RPCs to the central
-server), reproducing the per-architecture costs of the paper's Table 2:
-
-================  =========================================================
-Architecture      Write protocol
-================  =========================================================
-RAID-0            n parallel foreground block writes (no redundancy)
-RAID-10           data + pair-mirror both foreground (2 ops per block)
-Chained decl.     data + chained mirror both foreground (2 ops per block)
-RAID-5            full stripe: XOR parity in memory, n parallel writes;
-                  partial: read-modify-write (old data + old parity reads,
-                  2 XOR passes, data + parity writes) per stripe
-RAID-x (OSM)      n parallel foreground data writes; images *clustered*
-                  into long extents and flushed in the background
-NFS               every rsize/wsize chunk is a user-level RPC to the
-                  central server node
-================  =========================================================
+Each architecture binds a pure planner (:mod:`repro.raid.planners`) —
+which turns logical requests into declarative
+:class:`~repro.raid.plan.IOPlan` values — to the one shared
+:class:`~repro.cluster.engine.ExecutionEngine` that runs plans through
+the CDDs.  The per-architecture write protocols of the paper's Table 2
+(RAID-0 parallel stripes, RAID-10 write-through mirror waves, chained
+declustering, RAID-5 read-modify-write vs. full-stripe parity, RAID-x
+orthogonal data + background clustered mirror images) are therefore
+plan-construction decisions — see the planner classes for the details.
+NFS, the central-server baseline, keeps its own RPC loop here.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Set, Tuple
 
-from repro.cluster.cdd import CooperativeDiskDriver
-from repro.cluster.message import (
-    HEADER_BYTES,
-    MessageKind,
-)
-from repro.cluster.sios import Piece, SingleIOSpace
-from repro.errors import ConfigurationError, DataLossError
+from repro.cluster.engine import ExecutionEngine
+from repro.cluster.message import HEADER_BYTES, MessageKind
+from repro.cluster.sios import SingleIOSpace
+from repro.errors import ConfigurationError, DegradedModeError
 from repro.obs import runtime as _obs
-from repro.obs.trace import LOCK_WAIT, MIRROR_FLUSH, REQUEST
+from repro.obs.trace import REQUEST
 from repro.raid import make_layout
-from repro.raid.layout import Layout, Placement
+from repro.raid.layout import Layout
 from repro.raid.mirror_policy import MirrorPolicy
-from repro.raid.raid5 import Raid5Layout
-from repro.raid.raidx import RaidxLayout
+from repro.raid.planners import (
+    ChainedPlanner,
+    Planner,
+    Raid0Planner,
+    Raid10Planner,
+    Raid5Planner,
+    RaidxPlanner,
+)
 from repro.sim.events import Event
-from repro.sim.sync import Mutex
 from repro.units import KiB
 
 
@@ -47,16 +41,17 @@ class StorageSystem:
     """Common interface of all storage back-ends."""
 
     name = "abstract"
+    #: Whether the back-end stores redundancy (see :meth:`fail_disk`).
+    redundant = True
 
     def __init__(self, cluster):
         self.cluster = cluster
         self.env = cluster.env
         self.failed_disks: Set[int] = set()
-        #: Logical bytes moved, split by op (for bandwidth accounting).
+        # Logical bytes moved, split by op, for bandwidth accounting.
         self.bytes_read = 0.0
         self.bytes_written = 0.0
 
-    # -- capacity / addressing ------------------------------------------
     @property
     def capacity(self) -> int:
         raise NotImplementedError
@@ -65,7 +60,6 @@ class StorageSystem:
     def block_size(self) -> int:
         raise NotImplementedError
 
-    # -- I/O ---------------------------------------------------------------
     def io(self, client: int, op: str, offset: int, nbytes: int):
         """Process generator: execute one logical request end to end."""
         raise NotImplementedError
@@ -85,11 +79,15 @@ class StorageSystem:
         return
         yield  # pragma: no cover
 
-    # -- fault handling ----------------------------------------------------
     def fail_disk(self, disk: int) -> None:
-        """Fail a disk at the hardware level and remember it."""
+        """Fail a disk and remember it.  Non-redundant back-ends still
+        mark the disk (subsequent I/O behaves consistently) but raise a
+        typed :class:`DegradedModeError` — the failure is immediately
+        unrecoverable."""
         self.failed_disks.add(disk)
         self.cluster.disk(disk).fail()
+        if not self.redundant:
+            raise DegradedModeError(self.name, disk)
 
     def repair_disk(self, disk: int) -> None:
         self.failed_disks.discard(disk)
@@ -97,16 +95,22 @@ class StorageSystem:
 
 
 class DistributedArraySystem(StorageSystem):
-    """Shared machinery for the serverless (CDD-based) architectures.
+    """Shared shim for the serverless (CDD-based) architectures: owns
+    the layout/planner binding and configuration validation; all request
+    execution lives in the :class:`ExecutionEngine`.
 
     ``read_policy`` selects among a block's surviving copies:
     ``"static"`` follows the layout's preference order (the paper's
-    behaviour); ``"shortest_queue"`` picks the copy whose disk currently
-    has the shallowest queue — the I/O load balancing the paper lists as
-    next-phase work (§7).  Benchmark A5 quantifies it.
+    behaviour); ``"shortest_queue"`` picks the shallowest disk queue —
+    the §7 load balancing, quantified by benchmark A5.
     """
 
     layout_name = "raid0"
+
+    #: shortest_queue hysteresis: divert from the preferred copy only
+    #: when the alternative's queue is this much shallower (a diverted
+    #: read usually breaks the other disk's sequential run).
+    read_balance_margin = 2
 
     def __init__(
         self,
@@ -127,35 +131,17 @@ class DistributedArraySystem(StorageSystem):
         self.sios = SingleIOSpace(self.layout)
         self.locking = locking
         if read_policy not in ("static", "shortest_queue"):
-            raise ConfigurationError(
-                f"unknown read policy {read_policy!r}"
-            )
+            raise ConfigurationError(f"unknown read policy {read_policy!r}")
         self.read_policy = read_policy
+        self.planner: Planner = self._make_planner()
+        self.engine = ExecutionEngine(self)
 
-    #: shortest_queue hysteresis: divert from the preferred copy only
-    #: when the alternative's disk queue is this much shallower — a
-    #: diverted read usually breaks the alternative disk's sequential
-    #: run (RAID-x images live in the far mirror half), so small queue
-    #: differences are not worth the seek.
-    read_balance_margin = 2
+    def _make_planner(self) -> Planner:
+        raise NotImplementedError
 
-    def _balance(self, sources: List[Placement]) -> Optional[Placement]:
-        """Apply the read policy to an ordered list of surviving copies."""
-        if not sources:
-            return None
-        if self.read_policy == "static" or len(sources) == 1:
-            return sources[0]
-        preferred = sources[0]
-        depth0 = self.cluster.disk(preferred.disk).queue_depth
-        best, best_depth = preferred, depth0
-        for alt in sources[1:]:
-            d = self.cluster.disk(alt.disk).queue_depth
-            if d < best_depth:
-                best, best_depth = alt, d
-        if best is preferred:
-            return preferred
-        return best if depth0 - best_depth >= self.read_balance_margin \
-            else preferred
+    @property
+    def redundant(self) -> bool:  # type: ignore[override]
+        return self.layout.redundant
 
     @property
     def capacity(self) -> int:
@@ -165,123 +151,18 @@ class DistributedArraySystem(StorageSystem):
     def block_size(self) -> int:
         return self.sios.block_size
 
-    def cdd(self, node: int) -> CooperativeDiskDriver:
-        return self.cluster.cdds[node]
-
-    # -- top-level request path ---------------------------------------------
     def io(self, client: int, op: str, offset: int, nbytes: int):
-        pieces = self.sios.pieces(offset, nbytes)
-        if not pieces:
-            return
-        tracer = _obs.TRACER
-        trace = tracer.new_trace() if tracer.enabled else None
-        t0 = self.env.now
-        handle = None
-        if self.locking and op == "write":
-            handle = yield from self.cdd(client).acquire_write_locks(
-                [p.block for p in pieces], trace=trace
-            )
-        try:
-            if op == "read":
-                yield from self._read(client, pieces, trace)
-                self.bytes_read += nbytes
-            else:
-                yield from self._write(client, pieces, trace)
-                self.bytes_written += nbytes
-        finally:
-            if handle is not None:
-                yield from self.cdd(client).release_write_locks(
-                    handle, trace=trace
-                )
-            if tracer.enabled:
-                tracer.record(
-                    REQUEST, f"node{client}.request", t0, self.env.now,
-                    trace=trace, op=op, offset=offset, nbytes=nbytes,
-                    arch=self.name,
-                )
+        return self.engine.run(client, op, offset, nbytes)
 
-    # -- reads ----------------------------------------------------------------
-    def _read_source(self, client: int, piece: Piece) -> Optional[Placement]:
-        """Pick the placement to serve a read piece (None = reconstruct)."""
-        sources = self.layout.surviving_read_sources(
-            piece.block, self.failed_disks
-        )
-        return self._balance(sources)
+    def drain(self):
+        return self.engine.drain()
 
-    def _read(self, client: int, pieces: List[Piece], trace=None):
-        events = [
-            self.env.process(self._read_piece(client, piece, trace))
-            for piece in pieces
-        ]
-        if events:
-            yield self.env.all_of(events)
+    @property
+    def pending_background_flushes(self) -> int:
+        return self.engine.pending_background_flushes
 
-    def _read_piece(self, client: int, piece: Piece, trace=None):
-        """Read one piece, retrying on mid-flight disk failures.
-
-        A request queued on a disk that fails before service returns EIO;
-        real drivers then mark the disk bad and re-issue against a
-        surviving copy — which is what the retry loop does (the failed
-        set grows on every iteration, so it terminates)."""
-        from repro.errors import DiskFailedError
-
-        while True:
-            src = self._read_source(client, piece)
-            if src is None:
-                yield from self._reconstruct_read(client, piece, trace)
-                return
-            try:
-                yield from self.cdd(client).block_io(
-                    "read", src.disk, src.offset + piece.intra, piece.nbytes,
-                    trace=trace,
-                )
-                return
-            except DiskFailedError as e:
-                self.failed_disks.add(e.disk_id)
-
-    def _reconstruct_read(self, client: int, piece: Piece, trace=None):
-        """Fallback when no copy survives (overridden by RAID-5)."""
-        raise DataLossError(
-            f"block {piece.block}: all copies on failed disks "
-            f"{sorted(self.failed_disks)}"
-        )
-        yield  # pragma: no cover
-
-    # -- writes ----------------------------------------------------------------
-    def _write(self, client: int, pieces: List[Piece], trace=None):
-        raise NotImplementedError
-        yield  # pragma: no cover
-
-    def _write_piece_to(
-        self, client: int, placement: Placement, piece: Piece, trace=None
-    ) -> Event:
-        """Write one piece at a given placement (helper)."""
-        return self.cdd(client).submit(
-            "write", placement.disk, placement.offset + piece.intra,
-            piece.nbytes, trace=trace,
-        )
-
-    def _write_piece_tolerant(
-        self, client: int, placement: Placement, piece: Piece, trace=None
-    ) -> Event:
-        """Like :meth:`_write_piece_to`, but a disk dying under the write
-        marks it failed instead of crashing — redundancy (the mirror copy
-        or image) keeps the block recoverable."""
-        from repro.errors import DiskFailedError
-
-        def body():
-            try:
-                yield from self.cdd(client).block_io(
-                    "write",
-                    placement.disk,
-                    placement.offset + piece.intra,
-                    piece.nbytes,
-                    trace=trace,
-                )
-            except DiskFailedError as e:
-                self.failed_disks.add(e.disk_id)
-
-        return self.env.process(body())
+    def _read_source(self, client, piece):  # None = reconstruct
+        return self.engine.read_source(client, piece)
 
 
 class Raid0System(DistributedArraySystem):
@@ -290,95 +171,28 @@ class Raid0System(DistributedArraySystem):
     name = "raid0"
     layout_name = "raid0"
 
-    def _write(self, client: int, pieces: List[Piece], trace=None):
-        events = [
-            self._write_piece_to(client, p.placement, p, trace)
-            for p in pieces
-        ]
-        yield self.env.all_of(events)
+    def _make_planner(self) -> Planner:
+        return Raid0Planner(self.layout)
 
 
-class _MirroredSystem(DistributedArraySystem):
-    """Foreground mirroring shared by RAID-10 and chained declustering.
-
-    ``serial_mirror`` commits the mirror copy after the primary completes
-    (write-through, as the era's simple mirroring drivers did) instead of
-    issuing both concurrently.  RAID-x's advantage over these systems is
-    precisely that its image update is deferred entirely.
-    """
-
-    serial_mirror = False
-
-    def _write(self, client: int, pieces: List[Piece], trace=None):
-        if self.serial_mirror:
-            yield from self._write_serial(client, pieces, trace)
-            return
-        events = []
-        for p in pieces:
-            copies = [p.placement] + self.layout.redundancy_locations(p.block)
-            alive = [c for c in copies if c.disk not in self.failed_disks]
-            if not alive:
-                raise DataLossError(
-                    f"block {p.block}: every copy on a failed disk"
-                )
-            for c in alive:
-                events.append(
-                    self._write_piece_tolerant(client, c, p, trace)
-                )
-        yield self.env.all_of(events)
-        self._check_copies_survive(pieces)
-
-    def _check_copies_survive(self, pieces: List[Piece]) -> None:
-        for p in pieces:
-            copies = [p.placement] + self.layout.redundancy_locations(p.block)
-            if all(c.disk in self.failed_disks for c in copies):
-                raise DataLossError(
-                    f"block {p.block}: every copy on a failed disk"
-                )
-
-    def _write_serial(self, client: int, pieces: List[Piece], trace=None):
-        for p in pieces:
-            copies = [p.placement] + self.layout.redundancy_locations(p.block)
-            if all(c.disk in self.failed_disks for c in copies):
-                raise DataLossError(
-                    f"block {p.block}: every copy on a failed disk"
-                )
-        # Primary wave first, mirror wave after it commits.
-        for copies in (
-            [(p, p.placement) for p in pieces],
-            [
-                (p, m)
-                for p in pieces
-                for m in self.layout.redundancy_locations(p.block)
-            ],
-        ):
-            events = []
-            for p, c in copies:
-                if c.disk in self.failed_disks:
-                    continue
-                events.append(
-                    self._write_piece_tolerant(client, c, p, trace)
-                )
-            if events:
-                yield self.env.all_of(events)
-        self._check_copies_survive(pieces)
-
-
-class Raid10System(_MirroredSystem):
-    """Striped mirroring over disk pairs; write-through mirror commit
-    (matching the measured write latencies the paper reports, which
-    trail RAID-x by ~2× on small writes)."""
+class Raid10System(DistributedArraySystem):
+    """Striped mirroring over disk pairs, write-through mirror commit."""
 
     name = "raid10"
     layout_name = "raid10"
-    serial_mirror = True
+
+    def _make_planner(self) -> Planner:
+        return Raid10Planner(self.layout)
 
 
-class ChainedSystem(_MirroredSystem):
+class ChainedSystem(DistributedArraySystem):
     """Chained declustering: mirror of disk d lives on disk d+1."""
 
     name = "chained"
     layout_name = "chained"
+
+    def _make_planner(self) -> Planner:
+        return ChainedPlanner(self.layout)
 
 
 class Raid5System(DistributedArraySystem):
@@ -394,175 +208,22 @@ class Raid5System(DistributedArraySystem):
         full_stripe_optimization: bool = False,
         batch_rmw: bool = False,
     ):
-        """RAID-5 write-path fidelity knobs.
-
-        ``full_stripe_optimization`` gathers aligned full-stripe writes
-        and computes parity without pre-reads (TickerTAIP-style).
-        ``batch_rmw`` amortizes one parity read/write over all the blocks
-        a request modifies in a stripe.  Both are **off by default**
-        because the paper's measured software RAID-5 (Linux 2.2 era) was
-        per-block read-modify-write bound even for large writes — its
-        large-write bandwidth trailed RAID-x by 5-10× (Table 3).
-        Benchmark A4 quantifies what each optimization recovers."""
-        super().__init__(cluster, locking)
+        """``full_stripe_optimization`` computes parity for aligned
+        full-stripe writes without pre-reads; ``batch_rmw`` amortizes
+        one parity read/write over a request's blocks in a stripe.
+        Both default off: the paper's measured software RAID-5 was
+        per-block read-modify-write bound (Table 3); benchmark A4
+        quantifies what each knob recovers."""
         self.full_stripe_optimization = full_stripe_optimization
         self.batch_rmw = batch_rmw
-        self._stripe_locks: Dict[int, Mutex] = {}
+        super().__init__(cluster, locking)
 
-    def _stripe_lock(self, stripe: int) -> Mutex:
-        m = self._stripe_locks.get(stripe)
-        if m is None:
-            m = Mutex(self.env)
-            self._stripe_locks[stripe] = m
-        return m
-
-    # -- reads (degraded path) ---------------------------------------------
-    def _reconstruct_read(self, client: int, piece: Piece, trace=None):
-        """Rebuild a lost block from the surviving stripe + parity."""
-        layout: Raid5Layout = self.layout  # type: ignore[assignment]
-        stripe = layout.stripe_of(piece.block)
-        reads = []
-        for b in layout.stripe_blocks(stripe):
-            if b == piece.block:
-                continue
-            loc = layout.data_location(b)
-            if loc.disk in self.failed_disks:
-                raise DataLossError(
-                    f"stripe {stripe}: second failure at disk {loc.disk}"
-                )
-            reads.append(
-                self.cdd(client).submit(
-                    "read", loc.disk, loc.offset, layout.block_size,
-                    trace=trace,
-                )
-            )
-        ploc = layout.parity_location(stripe)
-        if ploc.disk in self.failed_disks:
-            raise DataLossError(f"stripe {stripe}: parity disk also failed")
-        reads.append(
-            self.cdd(client).submit(
-                "read", ploc.disk, ploc.offset, layout.block_size,
-                trace=trace,
-            )
+    def _make_planner(self) -> Planner:
+        return Raid5Planner(
+            self.layout,
+            full_stripe_optimization=self.full_stripe_optimization,
+            batch_rmw=self.batch_rmw,
         )
-        yield self.env.all_of(reads)
-        # XOR all surviving blocks to regenerate the lost one.
-        yield self.cluster.nodes[client].cpu.xor(
-            (len(reads)) * layout.block_size
-        )
-
-    # -- writes ------------------------------------------------------------
-    def _write(self, client: int, pieces: List[Piece], trace=None):
-        layout: Raid5Layout = self.layout  # type: ignore[assignment]
-        by_stripe = self.sios.pieces_by_stripe(pieces)
-        stripe_events = []
-        for stripe, spieces in by_stripe.items():
-            stripe_events.append(
-                self.env.process(
-                    self._write_stripe(client, stripe, spieces, trace)
-                )
-            )
-        yield self.env.all_of(stripe_events)
-
-    def _is_full_stripe(self, stripe: int, spieces: List[Piece]) -> bool:
-        want = set(self.layout.stripe_blocks(stripe))
-        have = {
-            p.block
-            for p in spieces
-            if p.intra == 0 and p.nbytes == self.layout.block_size
-        }
-        return want <= have
-
-    def _write_stripe(self, client: int, stripe: int, spieces: List[Piece],
-                      trace=None):
-        layout: Raid5Layout = self.layout  # type: ignore[assignment]
-        bs = layout.block_size
-        cpu = self.cluster.nodes[client].cpu
-        tracer = _obs.TRACER
-        t0 = self.env.now
-        # The queued request must be released (or cancelled) even if
-        # this process is interrupted while waiting for the grant, so
-        # the try covers the wait itself, not just the held region.
-        lock = self._stripe_lock(stripe).acquire(owner=client)
-        try:
-            yield lock
-            if tracer.enabled:
-                tracer.record(
-                    LOCK_WAIT, f"node{client}.lock", t0, self.env.now,
-                    trace=trace, group=stripe, client=client, scope="stripe",
-                )
-            ploc = layout.parity_location(stripe)
-            parity_alive = ploc.disk not in self.failed_disks
-            if self.full_stripe_optimization and self._is_full_stripe(
-                stripe, spieces
-            ):
-                # Full-stripe write: parity computed in memory, no reads.
-                yield cpu.xor(len(spieces) * bs)
-                events = [
-                    self._write_piece_to(client, p.placement, p, trace)
-                    for p in spieces
-                    if p.placement.disk not in self.failed_disks
-                ]
-                if parity_alive:
-                    events.append(
-                        self.cdd(client).submit(
-                            "write", ploc.disk, ploc.offset, bs, trace=trace
-                        )
-                    )
-                yield self.env.all_of(events)
-                return
-
-            # Read-modify-write.  The faithful (default) mode updates
-            # parity once per modified block, as the era's block-level
-            # software RAID-5 drivers did; batch mode amortizes one
-            # parity read/write over the whole request's stripe share.
-            groups = (
-                [spieces] if self.batch_rmw else [[p] for p in spieces]
-            )
-            for group in groups:
-                modified = sum(p.nbytes for p in group)
-                # Parity I/O covers the union of the modified intra-block
-                # ranges (parity bytes pair with data bytes positionally).
-                plo = min(p.intra for p in group)
-                phi = max(p.intra + p.nbytes for p in group)
-                reads = []
-                for p in group:
-                    if p.placement.disk not in self.failed_disks:
-                        reads.append(
-                            self.cdd(client).submit(
-                                "read",
-                                p.placement.disk,
-                                p.placement.offset + p.intra,
-                                p.nbytes,
-                                trace=trace,
-                            )
-                        )
-                if parity_alive:
-                    reads.append(
-                        self.cdd(client).submit(
-                            "read", ploc.disk, ploc.offset + plo, phi - plo,
-                            trace=trace,
-                        )
-                    )
-                if reads:
-                    yield self.env.all_of(reads)
-                # Two XOR passes: strip old data out of parity, add new.
-                yield cpu.xor(modified, passes=2)
-                writes = [
-                    self._write_piece_to(client, p.placement, p, trace)
-                    for p in group
-                    if p.placement.disk not in self.failed_disks
-                ]
-                if parity_alive:
-                    writes.append(
-                        self.cdd(client).submit(
-                            "write", ploc.disk, ploc.offset + plo, phi - plo,
-                            trace=trace,
-                        )
-                    )
-                yield self.env.all_of(writes)
-        finally:
-            self._stripe_lock(stripe).release(lock)
 
 
 class RaidxSystem(DistributedArraySystem):
@@ -571,231 +232,57 @@ class RaidxSystem(DistributedArraySystem):
     name = "raidx"
     layout_name = "raidx"
 
-    def __init__(
-        self,
-        cluster,
-        locking: bool = False,
-        mirror_policy: MirrorPolicy | str = MirrorPolicy.BACKGROUND,
-        read_local_mirror: bool = False,
-        read_policy: str = "static",
-    ):
-        super().__init__(cluster, locking, read_policy=read_policy)
+    def __init__(self, cluster, locking: bool = False,
+                 mirror_policy: MirrorPolicy | str = MirrorPolicy.BACKGROUND,
+                 read_local_mirror: bool = False,
+                 read_policy: str = "static"):
         self.mirror_policy = MirrorPolicy.parse(mirror_policy)
         self.read_local_mirror = read_local_mirror
-        #: Outstanding background image-flush events.
-        self._pending_flushes: List[Event] = []
-        #: Mirror groups with an un-flushed image (stale-image guard).
-        self._dirty_groups: Set[int] = set()
-        #: Extents queued but not yet issued to disk — rewrites of the
-        #: same extent are absorbed in the write-behind buffer.
-        self._queued_extents: Set[Tuple[int, int, int]] = set()
-        self.background_bytes = 0.0
-        self.coalesced_extents = 0
-        self.absorbed_rewrites = 0
-        #: Vulnerability windows: seconds each image extent spent
-        #: un-flushed after its data committed — the price of deferral
-        #: (a data-disk failure inside the window costs redundancy,
-        #: though never the data itself).
-        self.vulnerability_windows: List[float] = []
+        super().__init__(cluster, locking, read_policy=read_policy)
 
-    # -- reads -------------------------------------------------------------
-    def _image_clean(self, block: int) -> bool:
-        layout: RaidxLayout = self.layout  # type: ignore[assignment]
-        mg = layout.mirror_group_of(block)
-        return (
-            mg.image_disk not in self.failed_disks
-            and mg.group_id not in self._dirty_groups
+    def _make_planner(self) -> Planner:
+        return RaidxPlanner(
+            self.layout,
+            mirror_policy=self.mirror_policy,
+            read_local_mirror=self.read_local_mirror,
         )
 
-    def _read_source(self, client: int, piece: Piece) -> Optional[Placement]:
-        layout: RaidxLayout = self.layout  # type: ignore[assignment]
-        primary = piece.placement
-        mirror = layout.redundancy_locations(piece.block)[0]
-        if primary.disk not in self.failed_disks:
-            if self.read_local_mirror and self._image_clean(piece.block):
-                # Serve from a *local* image copy when the primary is
-                # remote and the image sits on the reading node's disk.
-                if (
-                    self.sios.node_of_disk(primary.disk) != client
-                    and self.sios.node_of_disk(mirror.disk) == client
-                ):
-                    return mirror
-            if (
-                self.read_policy == "shortest_queue"
-                and self._image_clean(piece.block)
-            ):
-                return self._balance([primary, mirror])
-            return primary
-        if not self._image_clean(piece.block):
-            return None  # image missing or not yet consistent
-        return mirror
+    #: Write-behind mirror state lives on the engine's MirrorState;
+    #: these names stay readable on the system object for callers.
+    _MIRROR_ATTRS = frozenset({
+        "_pending_flushes", "_dirty_groups", "_queued_extents",
+        "background_bytes", "coalesced_extents", "absorbed_rewrites",
+        "vulnerability_windows",
+    })
 
-    # -- writes ------------------------------------------------------------
-    def _write(self, client: int, pieces: List[Piece], trace=None):
-        # Foreground: data blocks stripe across all disks in parallel.
-        events = []
-        for p in pieces:
-            if p.placement.disk in self.failed_disks:
-                # Degraded write: only the image will carry this block.
-                continue
-            events.append(
-                self._write_piece_tolerant(client, p.placement, p, trace)
-            )
-        extents = self._image_extents(pieces)
-        for g, disk, _off, _n in extents:
-            if disk not in self.failed_disks:
-                self._dirty_groups.add(g)
-        if self.mirror_policy is MirrorPolicy.FOREGROUND:
-            events.extend(self._flush_extents(client, extents, trace=trace))
-            if events:
-                yield self.env.all_of(events)
-            return
-        if events:
-            yield self.env.all_of(events)
-        # Background: hand the clustered image extents to the flusher;
-        # rewrites of an already-queued extent are absorbed.
-        self._pending_flushes.extend(
-            self._flush_extents(client, extents, absorb=True, trace=trace)
-        )
-
-    def _image_extents(
-        self, pieces: List[Piece]
-    ) -> List[Tuple[int, int, int, int]]:
-        """Coalesce image fragments into (group, disk, offset, nbytes) runs.
-
-        Fragments of one mirror group are contiguous in image space, so a
-        full group becomes a single long (n-1)-block extent — the paper's
-        "image blocks gathered as a long block written into the same disk".
-        """
-        layout: RaidxLayout = self.layout  # type: ignore[assignment]
-        bs = layout.block_size
-        frags: List[Tuple[int, int, int, int]] = []
-        for p in pieces:
-            mg = layout.mirror_group_of(p.block)
-            pos = mg.blocks.index(p.block)
-            frags.append(
-                (
-                    mg.group_id,
-                    mg.image_disk,
-                    mg.image_offset + pos * bs + p.intra,
-                    p.nbytes,
-                )
-            )
-        frags.sort(key=lambda f: (f[1], f[2]))
-        runs: List[Tuple[int, int, int, int]] = []
-        for g, disk, off, n in frags:
-            if runs and runs[-1][1] == disk and runs[-1][2] + runs[-1][3] == off:
-                pg, pd, po, pn = runs[-1]
-                runs[-1] = (pg, pd, po, pn + n)
-            else:
-                runs.append((g, disk, off, n))
-        self.coalesced_extents += len(runs)
-        return runs
-
-    def _flush_extents(self, client, extents, absorb: bool = False,
-                       trace=None) -> List[Event]:
-        events = []
-        tracer = _obs.TRACER
-        for group, disk, off, nbytes in extents:
-            if disk in self.failed_disks:
-                continue
-            key = (disk, off, nbytes)
-            if absorb:
-                if key in self._queued_extents:
-                    # Write-behind absorption: the queued flush will
-                    # carry the newer contents of this extent.
-                    self.absorbed_rewrites += 1
-                    if tracer.enabled:
-                        tracer.count("mirror.absorbed_rewrites")
-                    continue
-                self._queued_extents.add(key)
-            events.append(
-                self.env.process(
-                    self._flush_one(client, group, disk, off, nbytes, key,
-                                    absorb, trace)
-                )
-            )
-        return events
-
-    def _flush_one(self, client, group, disk, off, nbytes, key, tracked,
-                   trace=None):
-        from repro.errors import DiskFailedError
-
-        exposed_at = self.env.now
-        try:
-            yield from self.cdd(client).block_io(
-                "write", disk, off, nbytes, priority=1, trace=trace
-            )
-            self.vulnerability_windows.append(self.env.now - exposed_at)
-            tracer = _obs.TRACER
-            if tracer.enabled:
-                owner = self.sios.node_of_disk(disk)
-                tracer.record(
-                    MIRROR_FLUSH, f"node{owner}.mirror", exposed_at,
-                    self.env.now, trace=trace, disk=disk, nbytes=nbytes,
-                    deferred=tracked,
-                )
-        except DiskFailedError as e:
-            # The image disk died under the flush: the data block still
-            # lives on its primary, so mark the disk and move on.
-            self.failed_disks.add(e.disk_id)
-            if tracked:
-                self._queued_extents.discard(key)
-            return
-        if tracked:
-            self._queued_extents.discard(key)
-        self.background_bytes += nbytes
-        self._dirty_groups.discard(group)
-
-    def drain(self):
-        """Wait until every background image flush has completed."""
-        while self._pending_flushes:
-            pending, self._pending_flushes = self._pending_flushes, []
-            yield self.env.all_of(pending)
-
-    @property
-    def pending_background_flushes(self) -> int:
-        return sum(1 for e in self._pending_flushes if not e.processed)
+    def __getattr__(self, name: str):
+        if name in RaidxSystem._MIRROR_ATTRS:
+            return getattr(self.engine.mirror, name.lstrip("_"))
+        raise AttributeError(name)
 
     def vulnerability_stats(self) -> dict:
         """Mean/max/p95 of the image-flush exposure windows (seconds)."""
-        w = self.vulnerability_windows
-        if not w:
-            return {"count": 0, "mean": 0.0, "max": 0.0, "p95": 0.0}
-        ordered = sorted(w)
-        return {
-            "count": len(w),
-            "mean": sum(w) / len(w),
-            "max": ordered[-1],
-            "p95": ordered[max(0, int(0.95 * len(ordered)) - 1)],
-        }
+        return self.engine.vulnerability_stats()
 
 
 class NfsSystem(StorageSystem):
-    """Central-server baseline: every chunk is a user-level RPC.
-
-    The server (node 0 by default) stripes its export RAID-0 style over
-    its own local disks.  Transfers move in rsize/wsize chunks — 8 KiB,
-    the NFSv2-over-UDP default of the paper's era — each a full RPC with
-    user-level processing at both ends.
-    """
+    """Central-server baseline: the server (node 0 by default) stripes
+    its export RAID-0 style over its local disks; transfers move in
+    rsize/wsize chunks (8 KiB, the NFSv2-over-UDP default of the
+    paper's era), each a full RPC with user-level processing at both
+    ends."""
 
     name = "nfs"
+    redundant = False
 
     def __init__(
-        self,
-        cluster,
-        server: int = 0,
-        transfer_size: int = 8 * KiB,
-        server_cache_mb: int = 128,
-        stable_writes: bool = True,
+        self, cluster, server: int = 0, transfer_size: int = 8 * KiB,
+        server_cache_mb: int = 128, stable_writes: bool = True,
     ):
-        """``server_cache_mb`` models the server's buffer cache: reads of
-        recently touched blocks skip the disk (network/CPU-bound), while
-        writes are stable — synchronously on disk — per NFSv2 semantics.
-        Set 0 to disable (fully cold server).  ``stable_writes=False``
-        models NFSv3 asynchronous writes (chunks pipeline like reads,
-        with the commit deferred)."""
+        """``server_cache_mb`` models the server's buffer cache (0 =
+        fully cold server); writes are stable per NFSv2 semantics.
+        ``stable_writes=False`` models NFSv3 asynchronous writes
+        (chunks pipeline like reads, commit deferred)."""
         super().__init__(cluster)
         if transfer_size <= 0:
             raise ConfigurationError("transfer size must be positive")
@@ -814,11 +301,6 @@ class NfsSystem(StorageSystem):
             if cache_blocks > 0
             else None
         )
-
-    @property
-    def server_cache(self):
-        """The server's buffer cache (or None when disabled)."""
-        return self._cache
 
     @property
     def capacity(self) -> int:

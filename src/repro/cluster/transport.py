@@ -18,6 +18,7 @@ from repro.cluster.message import Message, MessageKind, MessageStats
 from repro.config import ClusterConfig
 from repro.hardware.network import Network
 from repro.hardware.node import Node
+from repro.io.context import PieceContext
 from repro.obs import runtime as _obs
 from repro.obs.trace import CPU_PROTO
 from repro.sim.core import Environment
@@ -40,8 +41,16 @@ class Transport:
         self.stats = MessageStats()
 
     def message(self, kind: MessageKind, src: int, dst: int, nbytes: int,
-                trace=None):
-        """Process generator: deliver one message end to end."""
+                trace=None, ctx: PieceContext | None = None):
+        """Process generator: deliver one message end to end.
+
+        ``ctx`` carries the issuing plan op's execution context; the
+        trace id is resolved from it when no explicit ``trace`` is
+        given, so spans recorded on either endpoint tag themselves with
+        the originating logical request.
+        """
+        if trace is None and ctx is not None:
+            trace = ctx.trace
         msg = Message(kind=kind, src=src, dst=dst, nbytes=nbytes)
         self.stats.record(msg)
         net = self.config.network
@@ -74,6 +83,8 @@ class Transport:
             )
 
     def send(self, kind: MessageKind, src: int, dst: int, nbytes: int,
-             trace=None):
+             trace=None, ctx: PieceContext | None = None):
         """Run :meth:`message` as a background process; returns its event."""
-        return self.env.process(self.message(kind, src, dst, nbytes, trace))
+        return self.env.process(
+            self.message(kind, src, dst, nbytes, trace, ctx)
+        )

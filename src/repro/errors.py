@@ -31,6 +31,23 @@ class DataLossError(ReproError):
     """A failure pattern exceeded the layout's fault coverage."""
 
 
+class DegradedModeError(DataLossError):
+    """A disk failed under a back-end with no redundancy to absorb it.
+
+    Raised by ``fail_disk`` on non-redundant systems (RAID-0, NFS) so
+    every architecture reports entering an unrecoverable degraded mode
+    through one typed path instead of diverging per system.
+    """
+
+    def __init__(self, arch: str, disk: int):
+        super().__init__(
+            f"{arch}: disk {disk} failed and the layout stores no "
+            f"redundancy — degraded mode is unrecoverable"
+        )
+        self.arch = arch
+        self.disk = disk
+
+
 class LockProtocolError(ReproError):
     """The CDD lock-group protocol was used incorrectly."""
 

@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.errors import DegradedModeError
+
 
 @dataclass(frozen=True)
 class FailureEvent:
@@ -63,7 +65,13 @@ class FaultInjector:
             if delay > 0:
                 yield float(delay)
             if ev.action == "fail":
-                storage.fail_disk(ev.disk)
+                try:
+                    storage.fail_disk(ev.disk)
+                except DegradedModeError:
+                    # Non-redundant back-end: the failure is applied and
+                    # the typed report becomes a data-loss timestamp.
+                    if self.log.data_loss_at is None:
+                        self.log.data_loss_at = env.now
             else:
                 storage.repair_disk(ev.disk)
             self.log.applied.append(ev)

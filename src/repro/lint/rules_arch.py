@@ -10,6 +10,15 @@ everything application-shaped (``fs``, ``checkpoint``, ``workloads``,
 imports count — lazy function-level imports and ``TYPE_CHECKING`` blocks
 are the sanctioned cycle-breakers and are exempt.
 
+The plan/execute split adds one finer-grained contract on top of the
+package table: ``repro.raid.plan`` and ``repro.raid.planners`` are the
+*pure* half of the I/O path.  They may see only placement math and the
+base modules — never the sim kernel, hardware models, or the cluster
+layer, not even lazily — and they must not contain ``yield``: a planner
+that becomes a process generator has smuggled execution into planning.
+(The executing half, ``repro.cluster.engine``, is an ordinary
+``cluster`` module and follows the table above.)
+
 ========  ==============================================================
 ARCH001   a package imports a layer it must not see (e.g. ``sim``
           importing anything, ``hardware`` importing ``cluster``)
@@ -17,11 +26,15 @@ ARCH002   ``Disk``/``ScsiBus`` reached directly from outside the
           hardware/cluster boundary — all disk access goes through the
           CDD / single-I/O-space path
 ARCH003   an import cycle among modules (module-level imports only)
+ARCH004   a planner module (``repro.raid.plan``/``planners``) imports
+          outside raid + base modules (even lazily) or contains a
+          ``yield`` — planners are pure, the engine executes
 ========  ==============================================================
 """
 
 from __future__ import annotations
 
+import ast
 from typing import Dict, Iterator, List, Sequence, Set
 
 from repro.lint.core import (
@@ -164,6 +177,49 @@ class ArchCycleRule(ProjectRule):
             )
 
 
+#: The pure half of the plan/execute split.  These modules describe I/O
+#: as data; the ExecutionEngine (repro.cluster.engine) runs it.
+PLANNER_MODULES = ("repro.raid.plan", "repro.raid.planners")
+#: What planners may import from repro (intra-raid plus the base set).
+_PLANNER_ALLOWED = {"raid"} | BASE_MODULES
+
+
+class PlannerPurityRule(ProjectRule):
+    """ARCH004: planners stay pure — data in, IOPlan out."""
+
+    code = "ARCH004"
+    summary = "planner module is not pure"
+
+    def check_project(self, mods: Sequence[ModuleInfo]) -> Iterator[Finding]:
+        for mod in mods:
+            if mod.module not in PLANNER_MODULES:
+                continue
+            # Unlike ARCH001, lazy imports are NOT an escape hatch here:
+            # a planner that lazily imports the sim kernel is still
+            # executing, just sneakily.
+            for imported, name, lineno, _top in mod.repro_imports:
+                dst = _dest_package(imported)
+                if dst is None or dst in _PLANNER_ALLOWED:
+                    continue
+                yield Finding(
+                    self.code, mod.path, lineno, 0,
+                    f"planner module {mod.module} imports repro.{dst} "
+                    f"({imported}); planners are pure — geometry in, "
+                    "IOPlan out — and only the engine "
+                    "(repro.cluster.engine) may touch the sim kernel, "
+                    "hardware, or cluster layers",
+                )
+            for node in ast.walk(mod.tree):
+                if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                    yield Finding(
+                        self.code, mod.path, node.lineno, 0,
+                        f"yield in planner module {mod.module}; a "
+                        "planner must not be a process generator — "
+                        "return a declarative plan and let the "
+                        "ExecutionEngine schedule the simulator events",
+                    )
+
+
 def _find_cycles(graph: Dict[str, Set[str]]) -> List[List[str]]:
     """Strongly connected components with more than one member (plus
     self-loops), smallest member first for stable reporting."""
@@ -204,4 +260,9 @@ def _find_cycles(graph: Dict[str, Set[str]]) -> List[List[str]]:
     return sccs
 
 
-RULES = (ArchLayeringRule(), ArchBoundaryRule(), ArchCycleRule())
+RULES = (
+    ArchLayeringRule(),
+    ArchBoundaryRule(),
+    ArchCycleRule(),
+    PlannerPurityRule(),
+)

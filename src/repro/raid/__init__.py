@@ -2,9 +2,12 @@
 
 Each layout is *pure geometry* — a mapping from logical data blocks to
 physical ``(disk, byte offset)`` placements for data and redundancy —
-plus fault-coverage predicates.  The I/O protocols that act on the
-geometry (foreground/background mirroring, read-modify-write parity,
-degraded reads) live in :mod:`repro.cluster.systems`.
+plus fault-coverage predicates.  The per-architecture I/O protocols
+(foreground/background mirroring, read-modify-write parity, degraded
+reads) are expressed over the geometry as declarative
+:mod:`repro.raid.plan` values by the pure planners in
+:mod:`repro.raid.planners`, and executed by
+:class:`repro.cluster.engine.ExecutionEngine`.
 """
 
 from repro.raid.layout import Layout, Placement

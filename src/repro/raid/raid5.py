@@ -3,8 +3,8 @@
 A stripe holds ``D-1`` data blocks plus one parity block; the parity
 disk rotates across stripes.  Small writes pay the classic
 read-modify-write penalty — the "small write problem" RAID-x is designed
-to eliminate — executed by the array engine in
-:mod:`repro.cluster.systems`.
+to eliminate — planned by :class:`repro.raid.planners.Raid5Planner` and
+executed by the shared :mod:`repro.cluster.engine`.
 """
 
 from __future__ import annotations

@@ -1,0 +1,55 @@
+"""Golden equivalence: the plan/execute engine vs. the pre-refactor systems.
+
+``golden_equivalence.json`` was captured from the per-system protocol
+bodies *before* the plan/execute split (the hand-written
+``_read``/``_write``/``_reconstruct_read`` paths).  These tests replay
+the same seeded mixed workloads — healthy and single-disk-failed, all
+five array architectures plus NFS, with and without locking — through
+the shared :class:`~repro.cluster.engine.ExecutionEngine` and require
+the results to be **byte-identical**: same request completion times
+(exact float hex), same full trace-span stream (hash over every span's
+kind/track/start/end/args), same per-disk op counters.
+
+If one of these fails, the engine scheduled a different number or order
+of simulator events than the protocol it replaced — a timing regression
+even if every test of externally visible behaviour still passes.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from tests.cluster.equivalence_scenarios import SCENARIOS, run_scenario
+
+GOLDEN = pathlib.Path(__file__).parent / "golden_equivalence.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN.read_text())
+
+
+@pytest.mark.parametrize(
+    "name,arch,build_kw,system_kw,fail_disk",
+    SCENARIOS,
+    ids=[s[0] for s in SCENARIOS],
+)
+def test_engine_matches_pre_refactor_golden(
+    golden, name, arch, build_kw, system_kw, fail_disk
+):
+    got = run_scenario(name, arch, build_kw, system_kw, fail_disk)
+    want = golden[name]
+    # Compare the cheap discriminators first for a readable failure.
+    assert got["final_time"] == want["final_time"], "completion time drifted"
+    assert got["n_spans"] == want["n_spans"], "span count drifted"
+    assert got["requests"] == want["requests"], "request spans drifted"
+    assert got["disks"] == want["disks"], "per-disk op counters drifted"
+    assert (
+        got["span_stream_sha256"] == want["span_stream_sha256"]
+    ), "full span stream drifted"
+    assert got == want
+
+
+def test_golden_covers_every_scenario(golden):
+    assert set(golden) == {s[0] for s in SCENARIOS}

@@ -3,7 +3,11 @@
 import pytest
 
 from repro.cluster.cluster import build_cluster
-from repro.errors import ConfigurationError, DataLossError
+from repro.errors import (
+    ConfigurationError,
+    DataLossError,
+    DegradedModeError,
+)
 from repro.raid.mirror_policy import MirrorPolicy
 from repro.sim.core import SimulationError
 from repro.units import KiB
@@ -140,12 +144,36 @@ def test_raid5_degraded_read_reconstructs():
     assert total_disk_reads(c) - before == c.n_disks - 1
 
 
-def test_raid0_read_after_failure_is_data_loss():
+def test_raid0_fail_disk_raises_degraded_mode():
+    """Non-redundant layouts report the loss at fail time, typed."""
     c = cluster_for("raid0")
     do_io(c, "write", 0, BS)
-    c.storage.fail_disk(0)
+    with pytest.raises(DegradedModeError) as exc:
+        c.storage.fail_disk(0)
+    assert exc.value.arch == "raid0"
+    assert exc.value.disk == 0
+    # The disk is still marked failed despite the raise.
+    assert 0 in c.storage.failed_disks
+    # Reads of the lost range keep failing with the data-loss root class.
     with pytest.raises(DataLossError):
         do_io(c, "read", 0, BS)
+
+
+def test_nfs_fail_disk_raises_degraded_mode():
+    """NFS routes through the same degraded-path report as RAID-0."""
+    c = cluster_for("nfs")
+    disk = c.storage._server_disks[0]
+    with pytest.raises(DegradedModeError) as exc:
+        c.storage.fail_disk(disk)
+    assert exc.value.arch == "nfs"
+    assert disk in c.storage.failed_disks
+
+
+def test_redundant_systems_fail_disk_does_not_raise():
+    for arch in ("raid5", "raid10", "chained", "raidx"):
+        c = cluster_for(arch)
+        c.storage.fail_disk(1)  # absorbed: redundancy covers it
+        assert 1 in c.storage.failed_disks
 
 
 def test_raid5_two_failures_is_data_loss():

@@ -85,3 +85,59 @@ def test_arch003_silent_on_lazy_back_edge():
                 return repro.fs.alpha
             """,
     }, select="ARCH003")
+
+
+# -- ARCH004: planner purity ---------------------------------------------
+
+def test_arch004_fires_when_planner_imports_sim_kernel():
+    assert "ARCH004" in lint({
+        "repro.raid.planners": """
+            from repro.sim.core import Environment
+            """,
+    }, select="ARCH004")
+
+
+def test_arch004_fires_on_lazy_cluster_import():
+    # Lazy imports break ARCH001 cycles legitimately, but a planner
+    # reaching for the execution layer is impure no matter how late.
+    assert "ARCH004" in lint({
+        "repro.raid.plan": """
+            def sneak():
+                from repro.cluster.cdd import CooperativeDiskDriver
+                return CooperativeDiskDriver
+            """,
+    }, select="ARCH004")
+
+
+def test_arch004_fires_on_yield_in_planner():
+    assert "ARCH004" in lint({
+        "repro.raid.planners": """
+            def not_a_plan(disk):
+                yield disk.read(0, 4096)
+            """,
+    }, select="ARCH004")
+
+
+def test_arch004_silent_on_pure_planner():
+    assert "ARCH004" not in lint({
+        "repro.raid.planners": """
+            from repro.errors import DataLossError
+            from repro.raid.plan import IOPlan
+            from repro.units import KiB
+
+            def plan(offset, nbytes):
+                if nbytes < 0:
+                    raise DataLossError("bad")
+                return IOPlan, KiB
+            """,
+    }, select="ARCH004")
+
+
+def test_arch004_ignores_non_planner_raid_modules():
+    # Other raid modules answer to ARCH001, not the purity rule.
+    assert "ARCH004" not in lint({
+        "repro.raid.layout": """
+            def gen():
+                yield 1
+            """,
+    }, select="ARCH004")

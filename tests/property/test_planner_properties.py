@@ -1,0 +1,208 @@
+"""Hypothesis: structural invariants of the pure planners.
+
+For every architecture and random ``(op, offset, nbytes, failed)``
+inputs, the declarative plans must:
+
+* cover the requested byte range exactly once (pieces contiguous,
+  disjoint, summing to ``nbytes``; foreground data writes 1:1 with
+  pieces);
+* respect RAID-x orthogonality — no mirror-image extent on any of its
+  source data blocks' disks, and image extents covering each written
+  byte exactly once;
+* never place RAID-5 parity on a data disk of the same stripe, with
+  every read-modify-write pass pairing parity I/O to the union of the
+  modified intra-block ranges;
+* be deterministic pure values (same inputs ⇒ equal plans).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.raid import make_layout
+from repro.raid.plan import (
+    OrthogonalWrite,
+    ParallelWrite,
+    ParityWrite,
+    SerialWrite,
+)
+from repro.raid.planners import make_planner
+from repro.units import KiB
+
+BS = 32 * KiB
+N_DISKS = 8
+DISK_MB = 16
+
+ARCHS = ["raid0", "raid5", "raid10", "chained", "raidx"]
+
+_LAYOUTS = {
+    arch: make_layout(
+        arch,
+        n_disks=N_DISKS,
+        block_size=BS,
+        disk_capacity=DISK_MB * 1024 * 1024,
+        stripe_width=4,
+    )
+    for arch in ARCHS
+}
+_PLANNERS = {arch: make_planner(arch, _LAYOUTS[arch]) for arch in ARCHS}
+
+
+def _capacity(arch):
+    return _LAYOUTS[arch].data_capacity
+
+
+request_st = st.tuples(
+    st.sampled_from(["read", "write"]),
+    st.integers(min_value=0, max_value=255),  # block index
+    st.integers(min_value=0, max_value=BS - 1),  # intra offset
+    st.integers(min_value=1, max_value=4 * BS),  # nbytes
+)
+failed_st = st.sets(
+    st.integers(min_value=0, max_value=N_DISKS - 1), max_size=2
+)
+
+
+def _plan_for(arch, req, failed):
+    op, block, intra, nbytes = req
+    offset = block * BS + intra
+    cap = _capacity(arch)
+    if offset >= cap:
+        offset = offset % cap
+    nbytes = min(nbytes, cap - offset)
+    return _PLANNERS[arch].plan(op, offset, nbytes, frozenset(failed)), \
+        offset, nbytes
+
+
+@given(arch=st.sampled_from(ARCHS), req=request_st, failed=failed_st)
+@settings(max_examples=120, deadline=None)
+def test_pieces_cover_range_exactly_once(arch, req, failed):
+    plan, offset, nbytes = _plan_for(arch, req, failed)
+    spans = [
+        (p.block * BS + p.intra, p.block * BS + p.intra + p.nbytes)
+        for p in plan.pieces
+    ]
+    spans.sort()
+    assert sum(e - s for s, e in spans) == nbytes
+    if spans:
+        assert spans[0][0] == offset
+        assert spans[-1][1] == offset + nbytes
+        # Contiguous and non-overlapping.
+        for (s0, e0), (s1, e1) in zip(spans, spans[1:]):
+            assert e0 == s1
+    # Lock requirements name exactly the touched blocks, in order.
+    assert plan.lock_blocks == tuple(p.block for p in plan.pieces)
+
+
+@given(arch=st.sampled_from(ARCHS), req=request_st, failed=failed_st)
+@settings(max_examples=120, deadline=None)
+def test_write_plans_carry_each_piece_exactly_once(arch, req, failed):
+    op, block, intra, nbytes = req
+    plan, offset, nbytes = _plan_for(arch, ("write", block, intra, nbytes),
+                                     failed)
+    action = plan.action
+    if not plan.pieces:
+        assert action is None
+        return
+    want = {(p.disk, p.disk_offset, p.nbytes) for p in plan.pieces}
+    if isinstance(action, ParallelWrite):
+        datas = [
+            o
+            for mw in action.pieces
+            for o in mw.ops
+            if o.kind == "data"
+        ]
+    elif isinstance(action, SerialWrite):
+        datas = [o for o in action.waves[0] if o.kind == "data"]
+    elif isinstance(action, ParityWrite):
+        datas = [
+            o
+            for sw in action.stripes
+            for o in (
+                sw.full_stripe.writes
+                if sw.full_stripe is not None
+                else [w for g in sw.rmw_passes for w in g.writes]
+            )
+        ]
+    elif isinstance(action, OrthogonalWrite):
+        datas = list(action.foreground)
+    else:  # pragma: no cover
+        raise AssertionError(f"unknown action {type(action)}")
+    got = {(o.disk, o.offset, o.nbytes) for o in datas}
+    assert got == want
+    assert len(datas) == len(plan.pieces)
+    assert all(o.op == "write" for o in datas)
+
+
+@given(req=request_st, failed=failed_st)
+@settings(max_examples=120, deadline=None)
+def test_raidx_orthogonality_and_image_coverage(req, failed):
+    op, block, intra, nbytes = req
+    plan, offset, nbytes = _plan_for("raidx", ("write", block, intra, nbytes),
+                                     failed)
+    action = plan.action
+    if action is None:
+        return
+    lay = _LAYOUTS["raidx"]
+    # Every image extent lands on a disk carrying none of the data
+    # blocks it mirrors (orthogonality: a single disk loss never takes
+    # both copies).
+    for ext in action.extents:
+        source_disks = set()
+        for p in plan.pieces:
+            img = lay.redundancy_locations(p.block)[0]
+            lo, hi = img.offset + p.intra, img.offset + p.intra + p.nbytes
+            if img.disk == ext.disk and lo < ext.offset + ext.nbytes \
+                    and hi > ext.offset:
+                source_disks.add(p.disk)
+        assert ext.disk not in source_disks
+    # Image extents cover each written byte exactly once (clustering
+    # coalesces fragments, never drops or duplicates them).
+    assert sum(e.nbytes for e in action.extents) == sum(
+        p.nbytes for p in plan.pieces
+    )
+    # And clustering helps: never more extents than pieces.
+    assert len(action.extents) <= len(plan.pieces)
+
+
+@given(req=request_st, failed=failed_st,
+       fso=st.booleans(), batch=st.booleans())
+@settings(max_examples=120, deadline=None)
+def test_raid5_parity_never_on_data_disk_of_stripe(req, failed, fso, batch):
+    op, block, intra, nbytes = req
+    planner = make_planner(
+        "raid5", _LAYOUTS["raid5"],
+        full_stripe_optimization=fso, batch_rmw=batch,
+    )
+    cap = _LAYOUTS["raid5"].data_capacity
+    offset = (block * BS + intra) % cap
+    nbytes = min(nbytes, cap - offset)
+    plan = planner.plan("write", offset, nbytes, frozenset(failed))
+    if plan.action is None:
+        return
+    lay = _LAYOUTS["raid5"]
+    for sw in plan.action.stripes:
+        stripe_data_disks = {
+            lay.data_location(b).disk for b in lay.stripe_blocks(sw.stripe)
+        }
+        assert sw.parity_disk not in stripe_data_disks
+        if sw.full_stripe is not None:
+            assert sw.full_stripe.parity_write.disk == sw.parity_disk
+            continue
+        for g in sw.rmw_passes:
+            assert g.parity_read.disk == sw.parity_disk
+            assert g.parity_write.disk == sw.parity_disk
+            # Parity I/O covers the union of modified intra ranges.
+            lo = min(o.offset - lay.data_location(o.block).offset
+                     for o in g.reads)
+            span = g.parity_read.nbytes
+            assert span >= max(o.nbytes for o in g.reads)
+            assert g.parity_read.offset - lo >= 0
+            assert g.xor_bytes == sum(o.nbytes for o in g.reads)
+
+
+@given(arch=st.sampled_from(ARCHS), req=request_st, failed=failed_st)
+@settings(max_examples=60, deadline=None)
+def test_plans_are_pure_and_deterministic(arch, req, failed):
+    plan1, _, _ = _plan_for(arch, req, failed)
+    plan2, _, _ = _plan_for(arch, req, failed)
+    assert plan1 == plan2
