@@ -6,7 +6,7 @@ kernel events per second `Environment.step` + `Process._resume` can
 push through.  Every paper artifact is bounded by this number, so the
 hot-path work in `repro.sim.core` is gated on it.
 
-Scenarios (all pure kernel, no disk/network models):
+Pure-kernel scenarios (no device models):
 
 * ``timeout_chain``   — P processes, each yielding E consecutive
   timeouts: the canonical ``yield env.timeout(dt)`` service loop that
@@ -19,6 +19,15 @@ Scenarios (all pure kernel, no disk/network models):
   delivery + process termination events.
 * ``store_producer_consumer`` — P producer/consumer pairs over a
   :class:`~repro.sim.resources.Store`: the cluster message-queue path.
+
+Device fast-forward scenarios (kernel + the disk model, measuring the
+analytic fast-forward of :mod:`repro.hardware.disk` — flip it off with
+``REPRO_DISK_FF=0`` for a before/after comparison):
+
+* ``disk_drain``      — one disk with a deep FIFO backlog queued up
+  front, drained back to back: the pure serve-loop hot path.
+* ``mirror_flush``    — waves of bulk background (priority 1) writes,
+  the RAID-x OSM image-flush pattern, spawned via ``schedule_many``.
 
 Run standalone::
 
@@ -121,11 +130,76 @@ def store_producer_consumer(pairs: int = 20, items: int = 2_000) -> int:
     return pairs * (2 * items + 4)
 
 
+def disk_drain(requests: int = 8_000) -> int:
+    """Drain a deep FIFO backlog on one disk, queued before t=0.
+
+    Offsets alternate sequential runs with far seeks (both service-time
+    branches); the serve loop never goes idle, so this is the purest
+    measurement of per-request service cost — the path the analytic
+    fast-forward replaces with one Recurring firing per completion.
+    """
+    from repro.config import DiskParams
+    from repro.hardware.disk import Disk
+
+    env = Environment()
+    disk = Disk(env, DiskParams())
+    step = 16_384
+    span = disk.capacity - step
+    offset = 0
+    last = None
+    for i in range(requests):
+        if i % 8 == 0:
+            offset = (i * 7_340_033) % span  # far seek, deterministic
+        op = "read" if i % 3 else "write"
+        last = disk.submit(op, offset, step)
+        offset = (offset + step) % span
+    env.run(last)
+    # Normalized to the phase path's three heap events per request
+    # (StorePut, service completion, done) so before/after runs report
+    # comparable events/sec; the fast-forward needs fewer actual events
+    # per request, which is precisely the speedup being measured.
+    return 3 * requests
+
+
+def mirror_flush(flushes: int = 6_400) -> int:
+    """Waves of bulk background writes: the RAID-x image-flush pattern.
+
+    Each wave submits a batch of sequential priority-1 extents (the
+    n-1 images of an OSM cluster written behind the foreground ack) and
+    waits for the batch, exercising schedule_many + the fast-forward's
+    sequential closed form.
+    """
+    from repro.config import DiskParams
+    from repro.hardware.disk import Disk
+
+    env = Environment()
+    disk = Disk(env, DiskParams())
+    batch = 16
+    waves = max(1, flushes // batch)
+    extent = 65_536
+    wrap = disk.capacity - batch * extent
+
+    def flusher():
+        for w in range(waves):
+            base = (w * batch * extent) % wrap
+            events = [
+                disk.submit("write", base + j * extent, extent, priority=1)
+                for j in range(batch)
+            ]
+            yield env.all_of(events)
+
+    env.process(flusher())
+    env.run()
+    return 3 * waves * batch
+
+
 SCENARIOS: Dict[str, Callable[..., int]] = {
     "timeout_chain": timeout_chain,
     "sleep_chain": sleep_chain,
     "event_relay": event_relay,
     "store_producer_consumer": store_producer_consumer,
+    "disk_drain": disk_drain,
+    "mirror_flush": mirror_flush,
 }
 
 

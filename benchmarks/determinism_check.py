@@ -48,8 +48,10 @@ def _canon(kind: str, row: dict) -> str:
 
 
 def fig5_rows():
+    # cache=False: the point of this check is to *re-simulate* and diff;
+    # serving the second run from the sweep cache would prove nothing.
     result = fig5_bandwidth(
-        client_counts=FIG5_CLIENTS, workloads=FIG5_WORKLOADS
+        client_counts=FIG5_CLIENTS, workloads=FIG5_WORKLOADS, cache=False
     )
     for row in result.rows:
         yield _canon("fig5", dict(row))

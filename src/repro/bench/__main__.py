@@ -110,6 +110,19 @@ def main(argv=None) -> int:
         help="print the cluster-wide metrics registry (per-layer latency "
         "histograms and counters) after the artifacts complete",
     )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore the content-addressed sweep cache (.bench_cache/) "
+        "and re-simulate every row",
+    )
+    parser.add_argument(
+        "--profile",
+        metavar="OUT.pstats",
+        default=None,
+        help="run the selected artifacts under cProfile and write a "
+        "pstats file (inspect with: python -m pstats OUT.pstats)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -124,12 +137,25 @@ def main(argv=None) -> int:
     if unknown:
         parser.error(f"unknown artifact ids: {unknown}")
 
+    if args.no_cache:
+        from repro.bench import cache as bench_cache
+
+        bench_cache.set_enabled(False)
+
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+
     tracer = None
     if observing:
         from repro.obs import runtime as obs_runtime
 
         tracer = obs_runtime.install()
     try:
+        if profiler is not None:
+            profiler.enable()
         for key in chosen:
             title, fn = ARTIFACTS[key]
             bar = "=" * max(24, len(title) + 8)
@@ -138,6 +164,10 @@ def main(argv=None) -> int:
             print(fn(workers=args.workers))
             print(f"[{key}: regenerated in {time.perf_counter() - t0:.1f}s]")
     finally:
+        if profiler is not None:
+            profiler.disable()
+            profiler.dump_stats(args.profile)
+            print(f"\n[profile: pstats -> {args.profile}]")
         if tracer is not None:
             from repro.obs import runtime as obs_runtime
             from repro.obs.export import write_chrome_trace, write_jsonl

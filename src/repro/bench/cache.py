@@ -1,0 +1,193 @@
+"""Content-addressed cache for sweep result rows.
+
+A cache entry's key is the SHA-256 of a canonical JSON document
+describing everything the row depends on:
+
+* the canonical config point (the sweep's kwargs for that row),
+* the experiment name and the point function's qualified name,
+* a fingerprint of the simulator source (every ``*.py`` under
+  ``src/repro``, path and contents).
+
+Because the simulator is deterministic (CI pins this), a row is a pure
+function of that key: re-running an unchanged figure script does zero
+simulations, and editing any source file invalidates every entry at
+once — stale results cannot survive a code change.  Entries live as
+small JSON files under ``.bench_cache/`` (gitignored); a corrupted or
+truncated file is treated as a miss and overwritten.
+
+The cache is opt-in per :func:`repro.bench.harness.sweep` call
+(``cache=True`` or a :class:`SweepCache` instance).  ``REPRO_BENCH_CACHE=0``
+or ``--no-cache`` on ``python -m repro.bench`` disables the default-on
+call sites (explicitly passed instances are honoured regardless).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional
+
+#: Default cache directory, relative to the working directory (override
+#: with ``REPRO_BENCH_CACHE_DIR``).
+DEFAULT_DIR = ".bench_cache"
+
+#: Set by ``--no-cache`` (see repro.bench.__main__): turns ``cache=True``
+#: call sites into no-cache runs without threading a flag everywhere.
+_cli_disabled = False
+
+_fingerprints: Dict[str, str] = {}
+
+
+def set_enabled(flag: bool) -> None:
+    """Process-wide switch for default-on (``cache=True``) call sites."""
+    global _cli_disabled
+    _cli_disabled = not flag
+
+
+def default_enabled() -> bool:
+    """Whether ``cache=True`` call sites should actually cache."""
+    if _cli_disabled:
+        return False
+    return os.environ.get("REPRO_BENCH_CACHE", "1").lower() not in (
+        "0",
+        "off",
+        "no",
+        "false",
+    )
+
+
+def code_fingerprint(root: Optional[Path] = None) -> str:
+    """SHA-256 over every ``*.py`` under the simulator source tree.
+
+    Hashes relative paths and file contents in sorted order, so any
+    edit — including adding or deleting a module — changes the digest.
+    Memoized per root: a sweep of hundreds of points hashes the tree
+    once.
+    """
+    if root is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+    root = Path(root)
+    key = str(root)
+    cached = _fingerprints.get(key)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        digest.update(path.relative_to(root).as_posix().encode())
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+        digest.update(b"\x00")
+    fp = _fingerprints[key] = digest.hexdigest()
+    return fp
+
+
+class SweepCache:
+    """Content-addressed store of sweep rows under ``root``.
+
+    ``hits``/``misses``/``stores`` count lookups for tests and for the
+    zero-simulation acceptance check.
+    """
+
+    def __init__(
+        self,
+        root: Optional[Path] = None,
+        fingerprint: Optional[str] = None,
+    ):
+        if root is None:
+            root = Path(os.environ.get("REPRO_BENCH_CACHE_DIR", DEFAULT_DIR))
+        self.root = Path(root)
+        self.fingerprint = (
+            code_fingerprint() if fingerprint is None else fingerprint
+        )
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def key(
+        self,
+        experiment: str,
+        fn: Callable[..., Dict[str, Any]],
+        point: Dict[str, Any],
+    ) -> str:
+        """Cache key for one row: config point + experiment + code."""
+        doc = json.dumps(
+            {
+                "experiment": experiment,
+                "fn": f"{getattr(fn, '__module__', '?')}."
+                f"{getattr(fn, '__qualname__', '?')}",
+                "point": point,
+                "src": self.fingerprint,
+            },
+            sort_keys=True,
+            default=repr,  # non-JSON param values hash by repr
+        )
+        return hashlib.sha256(doc.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Stored metrics for ``key``, or None (missing/corrupted)."""
+        try:
+            raw = self._path(key).read_text()
+            doc = json.loads(raw)
+            metrics = doc["metrics"]
+            if not isinstance(metrics, dict):
+                raise TypeError("metrics is not a dict")
+        except (OSError, ValueError, KeyError, TypeError):
+            # Missing, truncated, or hand-mangled entry: recompute (the
+            # store() after the miss overwrites the bad file).
+            self.misses += 1
+            return None
+        self.hits += 1
+        return metrics
+
+    def put(
+        self,
+        key: str,
+        experiment: str,
+        point: Dict[str, Any],
+        metrics: Dict[str, Any],
+    ) -> None:
+        """Store one row; silently skips non-JSON-roundtrippable metrics.
+
+        Only metrics that survive a JSON roundtrip unchanged are cached
+        (floats and ints roundtrip exactly; a tuple would come back as a
+        list), so a later hit returns byte-identical rows.
+        """
+        try:
+            payload = json.dumps(
+                {"experiment": experiment, "point": point, "metrics": metrics},
+                sort_keys=True,
+                default=None,
+            )
+            if json.loads(payload)["metrics"] != metrics:
+                return
+        except (TypeError, ValueError):
+            return
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Write-then-rename so a concurrent reader never sees a torn file.
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(payload)
+        os.replace(tmp, path)
+        self.stores += 1
+
+
+def resolve(cache: Any) -> Optional[SweepCache]:
+    """Normalize a sweep's ``cache`` argument to a SweepCache or None.
+
+    ``None``/``False`` → no caching; ``True`` → a default-rooted cache,
+    unless disabled process-wide; an instance is used as-is.
+    """
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return SweepCache() if default_enabled() else None
+    return cache

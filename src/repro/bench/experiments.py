@@ -68,11 +68,15 @@ def fig5_bandwidth(
     client_counts: Sequence[int] = FIG5_CLIENTS,
     workloads: Sequence[str] = tuple(_WORKLOADS),
     workers: Optional[int] = None,
+    cache: bool = True,
 ) -> ExperimentResult:
     """Fig. 5: aggregate bandwidth vs clients for each op × architecture.
 
     ``workers`` fans the grid points out over a process pool; the rows
     are identical to a serial run (see :func:`repro.bench.harness.sweep`).
+    Rows are served from the content-addressed sweep cache when the
+    simulator source is unchanged (``cache=False``, ``--no-cache``, or
+    ``REPRO_BENCH_CACHE=0`` to disable).
     """
     return sweep(
         "fig5_bandwidth",
@@ -83,6 +87,7 @@ def fig5_bandwidth(
             "clients": list(client_counts),
         },
         workers=workers,
+        cache=cache,
     )
 
 

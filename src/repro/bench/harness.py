@@ -5,9 +5,14 @@ from __future__ import annotations
 import itertools
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.analysis.report import render_table
+from repro.bench.cache import SweepCache, resolve as _resolve_cache
+
+#: Chunks handed to each pool worker per map: a handful per worker
+#: balances IPC batching against tail imbalance from uneven points.
+_CHUNKS_PER_WORKER = 4
 
 
 @dataclass
@@ -63,6 +68,7 @@ def sweep(
     fn: Callable[..., Dict[str, Any]],
     grid: Dict[str, Sequence[Any]],
     workers: Optional[int] = None,
+    cache: Union[None, bool, SweepCache] = None,
 ) -> ExperimentResult:
     """Run ``fn(**point)`` over the cartesian product of ``grid``.
 
@@ -72,10 +78,16 @@ def sweep(
     the rendered table.
 
     With ``workers`` > 1 the points run concurrently in a process pool
-    (each simulation point is independent; the sim itself is serial).
-    Rows are always appended in grid order, so the result — including
-    every metric value — is identical to a serial run.  ``fn`` must be
-    picklable (a module-level function) in that case.
+    (each simulation point is independent; the sim itself is serial),
+    submitted in chunks to amortize IPC overhead.  Rows are always
+    appended in grid order, so the result — including every metric
+    value — is identical to a serial run.  ``fn`` must be picklable (a
+    module-level function) in that case.
+
+    ``cache=True`` (or a :class:`~repro.bench.cache.SweepCache`) skips
+    any point whose row is already stored under a matching
+    (point, experiment, source-fingerprint) key and simulates only the
+    misses; see :mod:`repro.bench.cache`.  Default: no caching.
     """
     names = list(grid)
     points = [
@@ -85,24 +97,47 @@ def sweep(
     if not points:
         raise ValueError("empty parameter grid")
 
-    result: ExperimentResult | None = None
+    sc = _resolve_cache(cache)
+    rows: Dict[int, Dict[str, Any]] = {}
+    keys: List[str] = []
+    if sc is not None:
+        keys = [sc.key(name, fn, p) for p in points]
+        for i, k in enumerate(keys):
+            hit = sc.get(k)
+            if hit is not None:
+                rows[i] = hit
+    misses = [i for i in range(len(points)) if i not in rows]
 
-    def consume(metrics_iter) -> None:
-        nonlocal result
-        for point, metrics in zip(points, metrics_iter):
-            if result is None:
-                result = ExperimentResult(name, names, list(metrics))
-            elif set(metrics) != set(result.metric_names):
-                raise ValueError(
-                    f"sweep {name!r}: point {point} returned metric keys "
-                    f"{sorted(metrics)}, expected "
-                    f"{sorted(result.metric_names)}"
+    if misses:
+        miss_points = [points[i] for i in misses]
+        if workers is not None and workers > 1:
+            chunksize = -(-len(miss_points) // (workers * _CHUNKS_PER_WORKER))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                computed = list(
+                    pool.map(
+                        _call_point,
+                        itertools.repeat(fn),
+                        miss_points,
+                        chunksize=max(1, chunksize),
+                    )
                 )
-            result.add(point, metrics)
+        else:
+            computed = [fn(**p) for p in miss_points]
+        for i, metrics in zip(misses, computed):
+            rows[i] = metrics
+            if sc is not None:
+                sc.put(keys[i], name, points[i], metrics)
 
-    if workers is not None and workers > 1:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            consume(pool.map(_call_point, itertools.repeat(fn), points))
-    else:
-        consume(fn(**point) for point in points)
+    result: ExperimentResult | None = None
+    for i, point in enumerate(points):
+        metrics = rows[i]
+        if result is None:
+            result = ExperimentResult(name, names, list(metrics))
+        elif set(metrics) != set(result.metric_names):
+            raise ValueError(
+                f"sweep {name!r}: point {point} returned metric keys "
+                f"{sorted(metrics)}, expected "
+                f"{sorted(result.metric_names)}"
+            )
+        result.add(point, metrics)
     return result

@@ -183,10 +183,13 @@ class ExecutionEngine:
         return candidates[0] if candidates else None
 
     def _run_read(self, client: int, plan: IOPlan, trace):
-        events = [
-            self.env.process(self._read_piece(client, rp.piece, trace))
+        # Bulk spawn: one heapified Initialize batch for the fan-out
+        # instead of a heap sift per piece (timing-identical, see
+        # Environment.process_many).
+        events = self.env.process_many(
+            self._read_piece(client, rp.piece, trace)
             for rp in plan.action.reads
-        ]
+        )
         if events:
             yield self.env.all_of(events)
 
@@ -392,7 +395,7 @@ class ExecutionEngine:
         self, client: int, extents: Tuple[ImageExtent, ...],
         absorb: bool = False, trace=None,
     ) -> List[Event]:
-        events = []
+        gens = []
         tracer = _obs.TRACER
         m = self.mirror
         for e in extents:
@@ -408,15 +411,16 @@ class ExecutionEngine:
                         tracer.count("mirror.absorbed_rewrites")
                     continue
                 m.queued_extents.add(key)
-            events.append(
-                self.env.process(
-                    self._flush_one(
-                        client, e.group, e.disk, e.offset, e.nbytes, key,
-                        absorb, trace,
-                    )
+            gens.append(
+                self._flush_one(
+                    client, e.group, e.disk, e.offset, e.nbytes, key,
+                    absorb, trace,
                 )
             )
-        return events
+        # The OSM write-behind makes image flushes naturally bulk (the
+        # n-1 images of a cluster in one batch): spawn them through the
+        # kernel's heapify path rather than one sift per extent.
+        return self.env.process_many(gens)
 
     def _flush_one(
         self, client, group, disk, off, nbytes, key, tracked, trace=None

@@ -11,24 +11,54 @@ usual square-root profile.
 
 Requests are served one at a time by a server process; the queue
 discipline is pluggable (see :mod:`repro.io.scheduler`).
+
+Analytic fast-forward
+---------------------
+With :data:`FAST_FORWARD` enabled (the default; set ``REPRO_DISK_FF=0``
+to disable) the server process is replaced by a callback-driven loop
+built on :class:`repro.sim.core.Recurring`: the whole service interval
+is computed in closed form at dispatch and a single marker firing per
+completion performs the span/stats/completion bookkeeping — no
+generator frame, and no Store machinery at all: submissions land in a
+plain list, and a parked server is woken by arming the marker directly.
+Relative to the phase path this *removes* heap events (the StorePut
+per submit, the StoreGet per idle grant), which is order-isomorphic —
+deleting an event that runs no callbacks only shifts later sequence
+numbers uniformly, never reordering them (see DESIGN §6.13 for the
+full legality argument).  Event order, spans, and float timestamps are
+byte-identical to the phase-by-phase path; the golden equivalence
+suite pins this.
 """
 
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from heapq import heappush
+from math import sqrt as _sqrt
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.config import DiskParams
 from repro.errors import AddressError, DiskFailedError
 from repro.obs import runtime as _obs
 from repro.obs.trace import DISK_QUEUE_WAIT, DISK_SERVICE
-from repro.sim.core import Environment
+from repro.sim.core import Environment, Recurring
 from repro.sim.events import Event
 from repro.sim.resources import Store
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.io.scheduler import DiskScheduler
+
+#: Process-wide default for the analytic fast-forward (per-disk override
+#: via ``Disk(fast_forward=...)``).  Read at Disk construction time, so
+#: tests and A/B benchmarks can flip it before building a cluster.
+FAST_FORWARD = os.environ.get("REPRO_DISK_FF", "1").lower() not in (
+    "0",
+    "off",
+    "no",
+    "false",
+)
 
 
 @dataclass
@@ -59,7 +89,7 @@ class DiskStats:
         return self.bytes_read + self.bytes_written
 
 
-@dataclass
+@dataclass(slots=True)
 class DiskRequest:
     """One disk operation; ``done`` triggers with the service time."""
 
@@ -96,6 +126,7 @@ class Disk:
         disk_id: int = 0,
         scheduler: Optional["DiskScheduler"] = None,
         name: str = "",
+        fast_forward: Optional[bool] = None,
     ):
         from repro.io.scheduler import FifoScheduler
 
@@ -114,7 +145,31 @@ class Disk:
         self._last_end = 0
         self._inbox: Store = Store(env)
         self._pending = 0
-        self._server = env.process(self._serve())
+        self._ff = FAST_FORWARD if fast_forward is None else fast_forward
+        if self._ff:
+            # Callback-driven server: one Recurring firing per request
+            # completion.  The marker's fn dispatches on _ff_req: None
+            # means "wake from park" (grant _ff_wake_req), anything
+            # else is the in-flight request completing now.
+            self._ff_marker = Recurring(env, self._ff_step)
+            self._ff_items: List[DiskRequest] = []
+            self._ff_parked = True
+            self._ff_wake_req: Optional[DiskRequest] = None
+            self._ff_req: Optional[DiskRequest] = None
+            self._ff_info: Optional[tuple] = None
+            # DiskParams is frozen: bind the closed-form constants once
+            # (avg_rotation_s is a computed property — one call, not
+            # one per dispatch).
+            p = self.params
+            self._ff_ctrl = p.controller_overhead_s
+            self._ff_window = p.sequential_window_bytes
+            self._ff_rate = p.media_rate
+            self._ff_rot = p.avg_rotation_s
+            self._ff_t2t = p.track_to_track_seek_s
+            self._ff_stroke = p.full_stroke_seek_s - p.track_to_track_seek_s
+            self._ff_cap = p.capacity_bytes
+        else:
+            self._server = env.process(self._serve())
 
     # -- public API ------------------------------------------------------
     @property
@@ -150,7 +205,19 @@ class Disk:
             req.done.fail(DiskFailedError(self.disk_id))
             return req.done
         self._pending += 1
-        self._inbox.put(req)
+        if self._ff:
+            if self._ff_parked:
+                # Wake the parked server: arm the marker at now.  The
+                # phase path's put+grant pair becomes one heap event;
+                # the dropped StorePut ran no callbacks, so the removal
+                # is a uniform sequence shift (DESIGN §6.13).
+                self._ff_parked = False
+                self._ff_wake_req = req
+                self.env.schedule(self._ff_marker)
+            else:
+                self._ff_items.append(req)
+        else:
+            self._inbox.put(req)
         return req.done
 
     def read(self, offset: int, nbytes: int, priority: int = 0,
@@ -281,3 +348,150 @@ class Disk:
                 req.done.fail(DiskFailedError(self.disk_id))
             else:
                 req.done.succeed(service)
+
+    # -- analytic fast-forward ---------------------------------------------
+    # A callback transliteration of _serve.  Every action with an
+    # observable effect (scheduler drain/pop, span record, stats
+    # update, done trigger) runs in the same relative order and
+    # allocates heap sequence numbers at the same points as the
+    # generator; the Store round-trips the generator needs to block are
+    # dropped entirely, which only removes callback-free heap events —
+    # a uniform sequence shift.  The two paths are therefore
+    # order-isomorphic: identical timestamps, span streams, and
+    # counters.  DESIGN §6.13 spells out the argument.
+
+    def _ff_step(self, now: float) -> Optional[float]:
+        """Marker firing: wake from park, or complete the request at ``now``.
+
+        Returns the absolute time of the next completion (the run loop
+        re-arms the marker) or None when the disk parks or the marker
+        was re-armed inline for an immediate grant.
+        """
+        req = self._ff_req
+        if req is None:
+            # Wake from park — the loop's ``req = yield inbox.get()``.
+            self.scheduler.push(self._ff_wake_req)
+            self._ff_wake_req = None
+            service = self._ff_next(now)
+            return None if service is None else now + service
+
+        service, seek, rot, xfer, tracer = self._ff_info  # type: ignore[misc]
+        if tracer.enabled:
+            tracer.record(
+                DISK_SERVICE,
+                self.name,
+                now - service,
+                now,
+                trace=req.trace,
+                op=req.op,
+                nbytes=req.nbytes,
+                seek=seek,
+                rotation=rot,
+                transfer=xfer,
+                priority=req.priority,
+            )
+        st = self.stats
+        nbytes = req.nbytes
+        st.busy_time += service
+        if req.priority == 0:
+            st.busy_time_foreground += service
+        else:
+            st.busy_time_background += service
+        st.seek_time += seek
+        st.rotation_time += rot
+        st.transfer_time += xfer
+        if seek == 0.0 and rot == 0.0:
+            st.sequential_hits += 1
+        if req.op == "read":
+            st.reads += 1
+            st.bytes_read += nbytes
+        else:
+            st.writes += 1
+            st.bytes_written += nbytes
+
+        self._head = self._last_end = req.offset + nbytes
+        self._pending -= 1
+        done = req.done
+        if self.failed:
+            done.fail(DiskFailedError(self.disk_id))
+        else:
+            # Inlined done.succeed(service): a request reaching its
+            # completion firing can never be pre-triggered (a fail-fast
+            # submit never queues; a mid-queue failure fails in
+            # _ff_next), so the already-triggered guard is dead here.
+            done._value = service
+            env = self.env
+            heappush(env._queue, (now, next(env._seq), done))
+
+        nxt = self._ff_next(now)
+        return None if nxt is None else now + nxt
+
+    def _ff_next(self, now: float) -> Optional[float]:
+        """Dispatch the next request; its service time, or None.
+
+        Mirrors the serve loop from its ``sched.empty()`` check through
+        the queue-wait span: drain arrivals, pop by policy, fail or
+        price.  The completion bookkeeping runs in :meth:`_ff_step`
+        when the marker pops.  On empty backlog the server parks (a
+        submit re-arms the marker); if arrivals raced in, the marker is
+        re-armed at ``now`` instead — the phase path's immediately
+        granted StoreGet.
+        """
+        sched = self.scheduler
+        items = self._ff_items
+        while True:
+            if sched.empty():
+                self._ff_req = None
+                if items:
+                    self._ff_wake_req = items.pop(0)
+                    self.env.schedule(self._ff_marker)
+                else:
+                    self._ff_parked = True
+                return None
+            if items:
+                for r in items:
+                    sched.push(r)
+                del items[:]
+            req = sched.pop(head=self._head)
+            if self.failed:
+                self._pending -= 1
+                req.done.fail(DiskFailedError(self.disk_id))
+                continue
+            # The service closed form, inlined from service_time()/
+            # seek_time() with the frozen params bound at construction.
+            # Identical float arithmetic, term for term.
+            off = req.offset
+            last_end = self._last_end
+            if off >= last_end and off - last_end < self._ff_window:
+                seek = 0.0
+                rot = 0.0
+            else:
+                dist = off - self._head
+                if dist < 0:
+                    dist = -dist
+                if dist <= 0:
+                    seek = 0.0
+                else:
+                    frac = dist / self._ff_cap
+                    if frac > 1.0:
+                        frac = 1.0
+                    seek = self._ff_t2t + self._ff_stroke * _sqrt(frac)
+                rot = self._ff_rot
+            xfer = req.nbytes / self._ff_rate
+            service = self._ff_ctrl + seek + rot + xfer
+            tracer = _obs.TRACER
+            if tracer.enabled and now > req.submitted_at:
+                tracer.record(
+                    DISK_QUEUE_WAIT,
+                    self.name,
+                    req.submitted_at,
+                    now,
+                    trace=req.trace,
+                    op=req.op,
+                    priority=req.priority,
+                )
+            self._ff_req = req
+            # The tracer rides along: the phase path gates the service
+            # span on the tracer it read at dispatch, not at completion.
+            self._ff_info = (service, seek, rot, xfer, tracer)
+            return service

@@ -29,7 +29,17 @@ through ``run`` → callbacks → ``Process._resume`` → a fresh
   pushed inline where profiling showed the extra frame of
   :meth:`schedule` dominating (``Timeout``, ``succeed``, ``_finish``);
   the key fuses priority and FIFO sequence into one int so heap
-  comparisons at equal times touch a single element.
+  comparisons at equal times touch a single element;
+* :meth:`Environment.schedule_many` bulk-inserts a batch of events —
+  sequence keys are allocated in iteration order, then the whole batch
+  lands with one ``heapify`` when that beats per-event sifts.  Pop
+  order depends only on the (unique) ``(time, key)`` totals, never on
+  the heap's internal layout, so bulk insertion is timing-invisible;
+* a :class:`Recurring` event drives callback-based server loops: the
+  run loop calls its ``fn(now)`` directly and re-arms it at the
+  returned time with ``heappushpop`` — the device-model analog of the
+  ``_Sleep`` fast path, with no generator frame at all (see the
+  analytic fast-forward in :mod:`repro.hardware.disk`).
 
 Behaviour (event ordering, error propagation, interrupt semantics) is
 identical to the straightforward implementation; the property tests in
@@ -38,15 +48,16 @@ identical to the straightforward implementation; the property tests in
 
 from __future__ import annotations
 
-from heapq import heappush, heappop, heappushpop
+from heapq import heapify, heappush, heappop, heappushpop
 from itertools import count
 from sys import getrefcount
-from typing import Any, Generator, Iterable, Optional
+from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from repro.sim.events import (
     _KEY_OFFSET,
     _NORMAL,
     _PENDING,
+    _URGENT,
     AllOf,
     AnyOf,
     Event,
@@ -88,6 +99,46 @@ class _Sleep(Event):
     """
 
     __slots__ = ("process", "generator")
+
+
+class Recurring(Event):
+    """A self-rescheduling event driving a callback-based server loop.
+
+    Each time the event is popped the kernel calls ``fn(now)``; the
+    callback performs one service step and returns the *absolute* time
+    of its next firing, or ``None`` to stop.  The run loop dispatches a
+    ``Recurring`` inline and re-arms it with ``heappushpop`` — the
+    device-model analog of the ``_Sleep`` fast path, with no generator
+    frame behind it.  A stopped ``Recurring`` is re-armed by its owner
+    with :meth:`Environment.schedule`; it is never *processed* in the
+    :class:`~repro.sim.events.Event` sense, so it cannot be waited on.
+
+    ``callbacks`` holds a fallback that mirrors the inline dispatch so
+    the generic :meth:`Environment.step` path behaves identically.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(
+        self,
+        env: "Environment",
+        fn: Callable[[float], Optional[float]],
+    ):
+        self.env = env
+        self.callbacks = [self._step_fire]
+        self._value = None
+        self._ok = True
+        self._defused = False
+        self.fn = fn
+
+    def _step_fire(self, _event: Event) -> None:
+        # Generic-path fallback (Environment.step): fire, then restore
+        # the callbacks list step() cleared so the event stays armable.
+        env = self.env
+        nxt = self.fn(env._now)
+        self.callbacks = [self._step_fire]
+        if nxt is not None:
+            heappush(env._queue, (nxt, next(env._seq), self))
 
 
 class Environment:
@@ -146,6 +197,28 @@ class Environment:
         """Start ``generator`` as a new simulation process."""
         return Process(self, generator)
 
+    def process_many(
+        self, generators: Iterable[Generator]
+    ) -> List["Process"]:
+        """Bulk-start processes with one batched heap insertion.
+
+        Equivalent to ``[self.process(g) for g in generators]`` — the
+        deferred ``Initialize`` events receive the same urgent keys in
+        the same order — but a large batch lands through
+        :meth:`schedule_many`'s single ``heapify`` instead of one heap
+        sift per process.
+        """
+        procs: List[Process] = []
+        inits: List[Event] = []
+        for g in generators:
+            p = Process(self, g, defer_init=True)
+            procs.append(p)
+            target = p._target
+            if target is not None:  # always true for a fresh process
+                inits.append(target)
+        self.schedule_many(inits, priority=_URGENT)
+        return procs
+
     def all_of(self, events: Iterable[Event]) -> AllOf:
         """Event triggering when all ``events`` have triggered."""
         return AllOf(self, events)
@@ -163,6 +236,44 @@ class Environment:
         if priority != _NORMAL:
             key -= _KEY_OFFSET
         heappush(self._queue, (self._now + delay, key, event))
+
+    def schedule_many(
+        self,
+        events: Iterable[Event],
+        priority: int = _NORMAL,
+        delay: float = 0.0,
+    ) -> int:
+        """Bulk-queue ``events`` for processing ``delay`` from now.
+
+        Sequence keys are allocated in iteration order, so the batch
+        is processed exactly as N individual :meth:`schedule` calls
+        would be.  When the batch rivals the queue in size the entries
+        are appended and the heap rebuilt with one ``heapify``
+        (O(H+n)) instead of n sifts (O(n·log H)); pop order depends
+        only on the unique ``(time, key)`` totals, never on the heap's
+        internal layout, so the strategy choice is timing-invisible.
+
+        Returns the number of events queued.
+        """
+        seq = self._seq
+        at = self._now + delay
+        if priority != _NORMAL:
+            entries = [(at, next(seq) - _KEY_OFFSET, e) for e in events]
+        else:
+            entries = [(at, next(seq), e) for e in events]
+        n = len(entries)
+        if not n:
+            return 0
+        queue = self._queue
+        total = len(queue) + n
+        # n sifts cost ~n·log2(total); a rebuild costs ~2·total.
+        if n * max(1, total.bit_length()) < 2 * total:
+            for entry in entries:
+                heappush(queue, entry)
+        else:
+            queue.extend(entries)
+            heapify(queue)
+        return n
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -226,6 +337,7 @@ class Environment:
         pop = heappop
         pushpop = heappushpop
         sleep_cls = _Sleep
+        recurring_cls = Recurring
         timeout_cls = Timeout
         refcount = getrefcount
         _float, _int = float, int
@@ -276,6 +388,21 @@ class Environment:
                         process._park(nxt)
                         self._active_process = None
                         break
+
+                    if event.__class__ is recurring_cls:
+                        # Callback-based server step: fire and re-arm
+                        # at the returned time (heappushpop fuses the
+                        # re-arm push with the next pop).  Like _Sleep,
+                        # a Recurring's callbacks stay in place — only
+                        # the generic step() fallback uses them.
+                        nxt = event.fn(now)
+                        if nxt is None:
+                            break
+                        now, _, event = pushpop(
+                            queue, (nxt, next_seq(), event)
+                        )
+                        self._now = now
+                        continue
 
                     callbacks = event.callbacks
                     event.callbacks = None
@@ -345,7 +472,13 @@ class Process(Event):
 
     __slots__ = ("_generator", "_target", "_wake", "_sleep", "_sleep_cbs")
 
-    def __init__(self, env: Environment, generator: Generator):
+    def __init__(
+        self,
+        env: Environment,
+        generator: Generator,
+        *,
+        defer_init: bool = False,
+    ):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
         super().__init__(env)
@@ -356,7 +489,11 @@ class Process(Event):
         # Reusable sleep event for numeric yields (created on first use).
         self._sleep: Optional[Event] = None
         self._sleep_cbs: Optional[list] = None
-        self._target: Optional[Event] = Initialize(env, self)
+        # defer_init builds the Initialize unscheduled; the caller
+        # (Environment.process_many) bulk-queues it.
+        self._target: Optional[Event] = Initialize(
+            env, self, schedule=not defer_init
+        )
 
     @property
     def is_alive(self) -> bool:

@@ -262,19 +262,28 @@ class AnyOf(Condition):
 
 
 class Initialize(Event):
-    """Internal: kicks a newly created process at the current time."""
+    """Internal: kicks a newly created process at the current time.
+
+    With ``schedule=False`` the event is built triggered but *not*
+    queued — :meth:`repro.sim.core.Environment.process_many` collects
+    such deferred initializers and bulk-inserts them (urgent priority,
+    sequence keys in creation order) via ``schedule_many``.
+    """
 
     __slots__ = ()
 
-    def __init__(self, env: "Environment", process: "Process"):
+    def __init__(
+        self, env: "Environment", process: "Process", schedule: bool = True
+    ):
         self.env = env
         self.callbacks = [process._resume]
         self._value = None
         self._ok = True
         self._defused = False
-        heappush(
-            env._queue, (env._now, next(env._seq) - _KEY_OFFSET, self)
-        )
+        if schedule:
+            heappush(
+                env._queue, (env._now, next(env._seq) - _KEY_OFFSET, self)
+            )
 
 
 class Interruption(Event):

@@ -1,0 +1,17 @@
+"""Bench-test isolation: keep the sweep cache out of default runs.
+
+``fig5_bandwidth`` (and future experiment entry points) default to
+``cache=True``; under test that would write ``.bench_cache/`` into the
+working directory and could serve rows from a previous run, masking
+regressions the test meant to catch.  Disabling the *default-on* path
+here keeps every existing test hermetic, while the dedicated cache
+tests opt back in by passing an explicit ``SweepCache`` instance
+(which :func:`repro.bench.cache.resolve` honours regardless).
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _no_default_sweep_cache(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_CACHE", "0")

@@ -73,3 +73,25 @@ def test_trace_flag_leaves_tracing_disabled(tmp_path):
 
     main(["--trace", str(tmp_path / "t.json")])
     assert not obs_runtime.TRACER.enabled
+
+
+def test_profile_flag_writes_pstats(tmp_path, capsys):
+    import pstats
+
+    out_path = tmp_path / "bench.pstats"
+    assert main(["t2", "--profile", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "profile: pstats" in out
+    stats = pstats.Stats(str(out_path))
+    assert stats.total_calls > 0
+
+
+def test_no_cache_flag_disables_default(capsys):
+    from repro.bench import cache as bench_cache
+
+    try:
+        assert main(["t2", "--no-cache"]) == 0
+        assert not bench_cache.default_enabled()
+    finally:
+        bench_cache.set_enabled(True)
+    assert "Table 2" in capsys.readouterr().out

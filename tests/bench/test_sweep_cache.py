@@ -1,0 +1,169 @@
+"""The content-addressed sweep cache: hits, misses, and invalidation.
+
+The cache key is SHA-256 over (canonical config point, experiment name
++ point function, source fingerprint of ``src/repro``), so these tests
+pin the contract: identical reruns do zero simulations, any config or
+code change re-simulates exactly what changed, corrupted entries heal
+themselves, and the escape hatches really escape.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import cache as bench_cache
+from repro.bench.cache import SweepCache, code_fingerprint
+from repro.bench.harness import sweep
+
+CALLS = []
+
+
+def _point(a, b):
+    CALLS.append((a, b))
+    return {"sum": a + b, "ratio": a / b}
+
+
+@pytest.fixture(autouse=True)
+def _reset_calls():
+    CALLS.clear()
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return SweepCache(root=tmp_path / "cache", fingerprint="fp0")
+
+
+GRID = {"a": [1, 2], "b": [10, 20]}
+
+
+def test_identical_rerun_hits_every_row(cache):
+    first = sweep("exp", _point, GRID, cache=cache)
+    assert len(CALLS) == 4
+    assert cache.stores == 4 and cache.hits == 0
+
+    second = sweep("exp", _point, GRID, cache=cache)
+    assert len(CALLS) == 4  # zero new simulations
+    assert cache.hits == 4
+    assert second.rows == first.rows
+    assert json.dumps(second.rows, sort_keys=True) == json.dumps(
+        first.rows, sort_keys=True
+    )
+
+
+def test_config_change_misses_only_new_points(cache):
+    sweep("exp", _point, GRID, cache=cache)
+    CALLS.clear()
+    sweep("exp", _point, {"a": [1, 2, 3], "b": [10, 20]}, cache=cache)
+    # The four old points hit; only the a=3 column simulates.
+    assert sorted(CALLS) == [(3, 10), (3, 20)]
+
+
+def test_source_fingerprint_change_invalidates(tmp_path):
+    root = tmp_path / "cache"
+    sweep("exp", _point, GRID, cache=SweepCache(root, fingerprint="fp0"))
+    CALLS.clear()
+    sweep("exp", _point, GRID, cache=SweepCache(root, fingerprint="fp1"))
+    assert len(CALLS) == 4  # every row re-simulated
+
+
+def test_experiment_name_partitions_entries(cache):
+    sweep("exp", _point, GRID, cache=cache)
+    CALLS.clear()
+    sweep("other", _point, GRID, cache=cache)
+    assert len(CALLS) == 4
+
+
+def test_corrupted_entry_recovers(cache):
+    sweep("exp", _point, GRID, cache=cache)
+    # Mangle one entry three ways: truncation, bad JSON, wrong shape.
+    files = sorted(cache.root.rglob("*.json"))
+    assert len(files) == 4
+    files[0].write_text("")
+    files[1].write_text("{not json")
+    files[2].write_text(json.dumps({"metrics": [1, 2]}))
+    CALLS.clear()
+    result = sweep("exp", _point, GRID, cache=cache)
+    assert len(CALLS) == 3  # the intact entry still hits
+    assert all(r["sum"] == r["a"] + r["b"] for r in result.rows)
+    # The bad files were overwritten: a rerun is all hits again.
+    CALLS.clear()
+    sweep("exp", _point, GRID, cache=cache)
+    assert CALLS == []
+
+
+def test_rows_identical_across_hit_and_miss(cache):
+    first = sweep("exp", _point, GRID, cache=cache)
+    second = sweep("exp", _point, GRID, cache=cache)
+    # Float metrics roundtrip exactly through the JSON store.
+    for r1, r2 in zip(first.rows, second.rows):
+        assert r1 == r2
+        assert repr(r1["ratio"]) == repr(r2["ratio"])
+
+
+def _tuple_point(a):
+    CALLS.append((a,))
+    return {"pair": (a, a + 1)}
+
+
+def test_non_roundtrippable_metrics_not_cached(cache):
+    sweep("exp", _tuple_point, {"a": [1]}, cache=cache)
+    assert cache.stores == 0  # tuple would come back as a list: skip
+    CALLS.clear()
+    result = sweep("exp", _tuple_point, {"a": [1]}, cache=cache)
+    assert len(CALLS) == 1  # recomputed, not served mangled
+    assert result.rows[0]["pair"] == (1, 2)
+
+
+def test_cache_true_respects_kill_switch(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_CACHE_DIR", str(tmp_path / "c"))
+    monkeypatch.setenv("REPRO_BENCH_CACHE", "1")
+    sweep("exp", _point, GRID, cache=True)
+    CALLS.clear()
+    monkeypatch.setenv("REPRO_BENCH_CACHE", "0")
+    sweep("exp", _point, GRID, cache=True)
+    assert len(CALLS) == 4  # env kill switch: nothing served
+
+
+def test_no_cache_cli_flag_disables_default(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_CACHE_DIR", str(tmp_path / "c"))
+    monkeypatch.setenv("REPRO_BENCH_CACHE", "1")
+    sweep("exp", _point, GRID, cache=True)
+    CALLS.clear()
+    bench_cache.set_enabled(False)  # what --no-cache does
+    try:
+        sweep("exp", _point, GRID, cache=True)
+    finally:
+        bench_cache.set_enabled(True)
+    assert len(CALLS) == 4
+
+
+def test_default_is_no_caching(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    sweep("exp", _point, GRID)
+    CALLS.clear()
+    sweep("exp", _point, GRID)
+    assert len(CALLS) == 4  # bare sweep() never caches
+    assert not (tmp_path / ".bench_cache").exists()
+
+
+def test_parallel_sweep_uses_cache(cache):
+    serial = sweep("exp", _point, GRID, cache=cache)
+    hits_before = cache.hits
+    parallel = sweep("exp", _point, GRID, workers=2, cache=cache)
+    assert cache.hits == hits_before + 4  # no pool dispatch needed
+    assert parallel.rows == serial.rows
+
+
+def test_code_fingerprint_tracks_source(tmp_path):
+    src = tmp_path / "pkg"
+    src.mkdir()
+    (src / "a.py").write_text("x = 1\n")
+    fp1 = code_fingerprint(src)
+    assert fp1 == code_fingerprint(src)  # memoized, stable
+    bench_cache._fingerprints.clear()
+    (src / "a.py").write_text("x = 2\n")
+    fp2 = code_fingerprint(src)
+    assert fp1 != fp2
+    bench_cache._fingerprints.clear()
+    (src / "b.py").write_text("")
+    assert code_fingerprint(src) != fp2  # new files count too

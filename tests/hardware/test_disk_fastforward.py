@@ -1,0 +1,185 @@
+"""Analytic fast-forward vs the generator serve loop: byte-identical.
+
+The fast-forward path (``Disk(fast_forward=True)``) must be a perfect
+transliteration of the phase-by-phase server: same completion floats,
+same span stream (order included), same stats, same mid-run queue
+depths — under bursty arrivals, priority mixes, every scheduler
+policy, and failures landing while requests are queued and in flight.
+These tests run both paths over seeded scenarios and compare full
+signatures.
+"""
+
+import hashlib
+import json
+import random
+
+import pytest
+
+from repro.config import DiskParams
+from repro.hardware import disk as disk_mod
+from repro.hardware.disk import Disk
+from repro.io.scheduler import FifoScheduler, LookScheduler, SstfScheduler
+from repro.obs import runtime as obs_runtime
+from repro.sim.core import Environment
+
+_SCHEDULERS = {
+    "fifo": FifoScheduler,
+    "sstf": SstfScheduler,
+    "look": LookScheduler,
+}
+
+
+def _hex(v):
+    return v.hex() if isinstance(v, float) else v
+
+
+def _run_scenario(fast_forward, scheduler, chaos):
+    env = Environment()
+    results = []
+    depths = []
+    with obs_runtime.tracing() as tracer:
+        disk = Disk(
+            env,
+            DiskParams(),
+            scheduler=_SCHEDULERS[scheduler](),
+            fast_forward=fast_forward,
+        )
+        cap = disk.capacity
+
+        def outcome(i):
+            def cb(event):
+                if not event._ok:
+                    event.defused()
+                results.append((i, event._ok, _hex(env.now)))
+
+            return cb
+
+        def driver():
+            rnd = random.Random(0xD15C)
+            seq_base = 0
+            idx = 0
+            for step in range(40):
+                for j in range(1 + step % 3):  # bursts of 1..3
+                    if (step + j) % 4 == 0:
+                        # Sequential run continuation.
+                        offset = seq_base
+                        seq_base += 16384
+                    else:
+                        offset = rnd.randrange(0, (cap - 65536) // 4096)
+                        offset *= 4096
+                        seq_base = offset + 16384
+                    ev = disk.submit(
+                        "read" if (step + j) % 3 else "write",
+                        offset,
+                        4096 * (1 + (step + j) % 4),
+                        priority=1 if (step + j) % 5 == 0 else 0,
+                        trace=idx,
+                    )
+                    ev.callbacks.append(outcome(idx))
+                    idx += 1
+                # Gaps: sometimes shorter than a service interval, so
+                # arrivals land mid-batch; sometimes long enough to
+                # drain the queue and park the server.
+                yield rnd.choice((0.0002, 0.0015, 0.02))
+
+        def sampler():
+            for _ in range(120):
+                depths.append((_hex(env.now), disk.queue_depth))
+                yield 0.004
+
+        def chaos_proc():
+            yield 0.05
+            disk.fail()
+            yield 0.03
+            disk.repair()
+            yield 0.06
+            disk.fail()
+            yield 0.001
+            disk.repair()
+
+        env.process(driver())
+        env.process(sampler())
+        if chaos:
+            env.process(chaos_proc())
+        env.run()
+
+        spans = [
+            [s.kind, s.track, _hex(s.start), _hex(s.end), s.trace,
+             {k: _hex(v) for k, v in sorted((s.args or {}).items())}]
+            for s in tracer.spans
+        ]
+        st = disk.stats
+        return {
+            "final_time": _hex(env.now),
+            "results": results,
+            "n_spans": len(spans),
+            "span_sha": hashlib.sha256(
+                json.dumps(spans, sort_keys=True).encode()
+            ).hexdigest(),
+            "depths": depths,
+            "stats": {
+                "reads": st.reads,
+                "writes": st.writes,
+                "bytes_read": _hex(st.bytes_read),
+                "bytes_written": _hex(st.bytes_written),
+                "busy": _hex(st.busy_time),
+                "busy_fg": _hex(st.busy_time_foreground),
+                "busy_bg": _hex(st.busy_time_background),
+                "seek": _hex(st.seek_time),
+                "rot": _hex(st.rotation_time),
+                "xfer": _hex(st.transfer_time),
+                "seq_hits": st.sequential_hits,
+            },
+            "max_depth_seen": disk.scheduler.max_depth_seen,
+        }
+
+
+@pytest.mark.parametrize("scheduler", sorted(_SCHEDULERS))
+@pytest.mark.parametrize("chaos", [False, True], ids=["healthy", "chaos"])
+def test_fast_forward_matches_phase_path(scheduler, chaos):
+    phase = _run_scenario(False, scheduler, chaos)
+    ff = _run_scenario(True, scheduler, chaos)
+    assert ff == phase
+    # The scenario actually exercised what it claims to.
+    assert phase["n_spans"] > 100
+    assert phase["stats"]["seq_hits"] > 0
+    assert phase["stats"]["busy_bg"] != 0.0
+    if chaos:
+        assert any(not ok for _, ok, _ in phase["results"])
+        assert any(ok for _, ok, _ in phase["results"])
+
+
+def test_fast_forward_matches_untraced_too():
+    # No tracer installed: the stats/completion bookkeeping alone.
+    def run(ff):
+        env = Environment()
+        disk = Disk(env, DiskParams(), fast_forward=ff)
+        done = [
+            disk.submit("write", i * 8192, 8192) for i in range(100)
+        ]
+        env.run(done[-1])
+        return (_hex(env.now), _hex(disk.stats.busy_time),
+                disk.stats.sequential_hits)
+
+    assert run(True) == run(False)
+
+
+def test_module_flag_controls_default(monkeypatch):
+    env = Environment()
+    monkeypatch.setattr(disk_mod, "FAST_FORWARD", False)
+    assert not Disk(env)._ff
+    monkeypatch.setattr(disk_mod, "FAST_FORWARD", True)
+    assert Disk(env)._ff
+    # Explicit argument beats the module default.
+    assert not Disk(env, fast_forward=False)._ff
+
+
+def test_submit_to_failed_disk_fails_fast_both_paths():
+    for ff in (False, True):
+        env = Environment()
+        disk = Disk(env, DiskParams(), fast_forward=ff)
+        disk.fail()
+        ev = disk.submit("read", 0, 4096)
+        assert ev.triggered and not ev._ok
+        ev.defused()
+        assert disk.queue_depth == 0
