@@ -1,0 +1,61 @@
+"""Reduced-scale determinism check for the sharded scale sweep.
+
+Runs ``repro.bench.experiments.run_scale`` at a fraction of its
+benchmark scale — a few thousand open-loop requests split over
+arrival-seed shards — and prints one canonical JSON line per reduced
+row, floats rendered as ``float.hex()`` so no drift can hide behind
+decimal rounding.  The shard rows are simulation-pure (counts, event
+totals, simulated time, histogram payloads; no wall-clock), so CI runs
+this twice — once serial, once on a worker pool — and diffs the
+outputs: a single changed byte means either a nondeterministic code
+path or a shard plan that depends on worker count.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/scale_smoke_check.py > rows.txt
+    PYTHONPATH=src python benchmarks/scale_smoke_check.py --workers 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench.experiments import run_scale
+
+# Reduced scale: two small clusters, sharded arrivals, a couple of
+# thousand requests — the two CI runs stay under a minute.
+NODES = (4, 12)
+REQUESTS = 3000
+SHARDS = 3
+
+
+def _hexfloat(value):
+    if isinstance(value, float):
+        return value.hex()
+    return value
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    # cache=False: the point is to *re-simulate* and diff; serving the
+    # second run from the sweep cache would prove nothing.
+    result = run_scale(
+        NODES, REQUESTS, shards=SHARDS, workers=args.workers, cache=False
+    )
+    for row in result.rows:
+        print(
+            json.dumps(
+                {k: _hexfloat(v) for k, v in sorted(row.items())},
+                sort_keys=True,
+            )
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

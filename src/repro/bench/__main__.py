@@ -19,42 +19,51 @@ import time
 from repro.bench import experiments as ex
 
 
-def _fig5(workers=None):
+def _fig5(workers=None, **kw):
     return ex.render_fig5(ex.fig5_bandwidth(workers=workers))
 
 
-def _table3(workers=None):
+def _table3(workers=None, **kw):
     return ex.table3_improvement().render(
         "Table 3 — bandwidth and improvement factors"
     )
 
 
-def _fig6(workers=None):
+def _fig6(workers=None, **kw):
     return ex.fig6_andrew().render("Figure 6 — Andrew benchmark (seconds)")
 
 
-def _fig7(workers=None):
+def _fig7(workers=None, **kw):
     return ex.fig7_checkpoint().render(
         "Figure 7 — checkpoint schedules on RAID-x"
     )
 
 
-def _headline(workers=None):
+def _headline(workers=None, **kw):
     claims = ex.headline_claims()
     lines = [f"  {k:26s} {v:.3f}" for k, v in claims.items()]
     return "Headline claims (measured):\n" + "\n".join(lines)
 
 
+def _scale(workers=None, shards=None, **kw):
+    return ex.render_scale(
+        ex.run_scale(workers=workers, shards=shards or 4)
+    )
+
+
 ARTIFACTS = {
     "t2": (
         "Table 2 (analytical peak performance)",
-        lambda workers=None: ex.table2_peak(),
+        lambda workers=None, **kw: ex.table2_peak(),
     ),
     "f1": (
         "Figure 1 (mirroring schemes)",
-        lambda workers=None: ex.fig1_layout_maps(),
+        lambda workers=None, **kw: ex.fig1_layout_maps(),
     ),
-    "f3": ("Figure 3 (4x3 array)", lambda workers=None: ex.fig3_nk_map()),
+    "f3": (
+        "Figure 3 (4x3 array)",
+        lambda workers=None, **kw: ex.fig3_nk_map(),
+    ),
     "f5": ("Figure 5 (bandwidth vs clients)", _fig5),
     "t3": ("Table 3 (improvement factors)", _table3),
     "f6": ("Figure 6 (Andrew benchmark)", _fig6),
@@ -62,8 +71,9 @@ ARTIFACTS = {
     "c1": ("Conclusions' headline ratios", _headline),
     "tr": (
         "Write-path trace demo (RAID-x vs RAID-5)",
-        lambda workers=None: ex.trace_demo(),
+        lambda workers=None, **kw: ex.trace_demo(),
     ),
+    "sc": ("Scale sweep (open-loop, 10^6 requests)", _scale),
 }
 
 
@@ -88,7 +98,16 @@ def main(argv=None) -> int:
         default=None,
         metavar="N",
         help="fan parameter sweeps out over N worker processes "
-        "(results are identical to a serial run; currently used by f5)",
+        "(results are identical to a serial run; used by f5 and sc)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="split each scale point (sc) into N independent arrival-seed "
+        "replicas, cached and pooled individually (default: 4); the "
+        "reduced rows are identical for any worker count",
     )
     parser.add_argument(
         "--trace",
@@ -161,7 +180,7 @@ def main(argv=None) -> int:
             bar = "=" * max(24, len(title) + 8)
             print(f"\n{bar}\n    {key.upper()} — {title}\n{bar}")
             t0 = time.perf_counter()
-            print(fn(workers=args.workers))
+            print(fn(workers=args.workers, shards=args.shards))
             print(f"[{key}: regenerated in {time.perf_counter() - t0:.1f}s]")
     finally:
         if profiler is not None:

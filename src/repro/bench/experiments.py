@@ -319,6 +319,133 @@ def headline_claims() -> Dict[str, float]:
     }
 
 
+#: Node counts swept by the scale experiment (clusters well past the
+#: paper's 12-node Trojans testbed).
+SCALE_NODES = (12, 64, 256)
+
+
+def _scale_point(
+    n_nodes: int,
+    n_requests: int,
+    seed: int,
+    architecture: str = "raidx",
+    rate_per_node: float = 8.0,
+    op: str = "read",
+    scenario: str = "poisson",
+):
+    """One open-loop scale shard — **simulation-deterministic** metrics.
+
+    Returns only quantities that are a pure function of (point, seed):
+    counts, simulated time, event totals, and the latency histogram
+    payload.  Wall-clock throughput is measured by the callers that own
+    timing (``benchmarks/bench_scale.py``, the scale-smoke test) so CI
+    can compare two runs of this function byte for byte.
+
+    The default scenario is the conflict-free regime the node
+    fast-forward targets: local-placement reads at low per-node load on
+    a healthy array, untraced.
+    """
+    from repro.workloads.openloop import OpenLoopWorkload
+
+    cluster = build_cluster(
+        trojans_cluster(n=n_nodes), architecture=architecture
+    )
+    wl = OpenLoopWorkload(
+        cluster,
+        rate_ops_per_s=rate_per_node * n_nodes,
+        duration_s=None,
+        n_requests=n_requests,
+        op=op,
+        scenario=scenario,
+        placement="local",
+        seed=seed,
+    )
+    r = wl.run()
+    return {
+        "completed": r.completed,
+        "failed": r.failed,
+        "events": cluster.env.processed_events,
+        "fast_submits": cluster.storage.engine.fast_submits,
+        "sim_s": r.duration_s,
+        "mean_ms": r.mean_latency() * 1e3,
+        "p99_ms": r.p99_latency() * 1e3,
+        "hist": r.histogram.to_payload(),
+    }
+
+
+def reduce_scale_shards(shards: List[Dict]) -> Dict:
+    """Fold per-seed shard rows into one scale-point row.
+
+    Counts and event totals add; the merged histogram re-derives the
+    latency quantiles over all shards' samples.  Deterministic: shard
+    rows arrive in seed order.
+    """
+    from repro.obs.metrics import LogHistogram
+
+    hist = LogHistogram()
+    for s in shards:
+        hist.merge(LogHistogram.from_payload(s["hist"]))
+    return {
+        "completed": sum(s["completed"] for s in shards),
+        "failed": sum(s["failed"] for s in shards),
+        "events": sum(s["events"] for s in shards),
+        "fast_submits": sum(s["fast_submits"] for s in shards),
+        "sim_s": sum(s["sim_s"] for s in shards),
+        "mean_ms": hist.mean * 1e3,
+        "p99_ms": hist.percentile(99) * 1e3,
+        "hist": hist.to_payload(),
+    }
+
+
+def run_scale(
+    node_counts: Sequence[int] = SCALE_NODES,
+    n_requests: int = 1_000_000,
+    shards: int = 4,
+    workers: Optional[int] = None,
+    cache: bool = True,
+    base_seed: int = 0,
+) -> ExperimentResult:
+    """The scale sweep: open-loop latency at 12/64/256 nodes.
+
+    ``n_requests`` is the total per scale point, split evenly over
+    ``shards`` independent arrival-seed replicas (seed ``base_seed + i``
+    for shard ``i``); ``workers`` fans the shards out over a process
+    pool.  Every shard is cached individually, so interrupted or resumed
+    sweeps re-simulate only the missing shards — and the reduced rows
+    are identical for any worker count.
+    """
+    per_shard = max(1, n_requests // max(1, shards))
+    return sweep(
+        "scale_openloop",
+        _scale_point,
+        {"n_nodes": list(node_counts), "n_requests": [per_shard]},
+        workers=workers,
+        cache=cache,
+        replicas=max(1, shards),
+        seed_key="seed",
+        base_seed=base_seed,
+        reduce=reduce_scale_shards,
+    )
+
+
+def render_scale(result: ExperimentResult) -> str:
+    """The scale sweep as a table (histogram payloads elided)."""
+    headers = [
+        "n_nodes", "completed", "failed", "fast_submits", "events",
+        "sim_s", "mean_ms", "p99_ms",
+    ]
+    rows = []
+    for r in result.rows:
+        row = dict(r)
+        row["sim_s"] = round(row["sim_s"], 2)
+        row["mean_ms"] = round(row["mean_ms"], 3)
+        row["p99_ms"] = round(row["p99_ms"], 3)
+        rows.append([row.get(h) for h in headers])
+    return render_table(
+        headers, rows, title="Scale sweep — open-loop local reads"
+    )
+
+
 def trace_demo(
     archs: Sequence[str] = ("raidx", "raid5"),
     clients: int = 4,

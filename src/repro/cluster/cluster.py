@@ -50,6 +50,10 @@ class Cluster:
             )
             for j in range(geo.n)
         ]
+        # Attach each node's NIC: the node fast-forward predicate needs
+        # a local view of in-flight network traffic.
+        for node, nic in zip(self.nodes, self.network.nics):
+            node.nic = nic
         self.transport = Transport(self.env, self.network, self.nodes, config)
         self.lock_manager = (
             DistributedLockManager(self.env, self.transport, geo.n)

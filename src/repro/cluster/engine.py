@@ -70,6 +70,43 @@ class MirrorState:
         self.vulnerability_windows: List[float] = []
 
 
+#: Distinguishes "never resolved" from a memoized fall-back decision.
+_FF_MISS = object()
+
+
+class _PhaseRelease:
+    """Completion hook decrementing a client's in-flight phase count."""
+
+    __slots__ = ("counts", "client")
+
+    def __init__(self, counts: List[int], client: int) -> None:
+        self.counts = counts
+        self.client = client
+
+    def __call__(self, _event: Event) -> None:
+        self.counts[self.client] -= 1
+
+
+class _FastFinish:
+    """Completion hook for a fast-forwarded request: the byte accounting
+    that :meth:`ExecutionEngine.run`'s epilogue performs at the same
+    simulated instant on the phase path."""
+
+    __slots__ = ("system", "op", "nbytes")
+
+    def __init__(self, system, op: str, nbytes: int) -> None:
+        self.system = system
+        self.op = op
+        self.nbytes = nbytes
+
+    def __call__(self, event: Event) -> None:
+        if event._ok:
+            if self.op == "read":
+                self.system.bytes_read += self.nbytes
+            else:
+                self.system.bytes_written += self.nbytes
+
+
 class ExecutionEngine:
     """Executes any :class:`~repro.raid.plan.IOPlan` through the CDDs."""
 
@@ -81,6 +118,29 @@ class ExecutionEngine:
         #: Per-stripe mutexes serializing parity read-modify-write.
         self._stripe_locks: Dict[int, Mutex] = {}
         self.mirror = MirrorState()
+        #: Requests served by :meth:`try_fast_submit` (fast-forward hits).
+        self.fast_submits = 0
+        #: Per-client count of event-driven requests still in flight.
+        #: A phase request claims its client's CPU from a deferred
+        #: Initialize event (and again at completion resumes), so its
+        #: claims can be pending-but-invisible to the link ``outstanding``
+        #: counters at the current instant; the fast path must not jump
+        #: ahead of them (DESIGN §6.14).
+        n = len(self.cluster.nodes)
+        self.phase_inflight: List[int] = [0] * n
+        self._phase_release = [
+            _PhaseRelease(self.phase_inflight, c) for c in range(n)
+        ]
+        #: Memoized fast-path plan resolutions.  With no failed disks
+        #: and no dirty mirror groups (the only states the fast path
+        #: accepts, and the cache's read/write gate) the planner's
+        #: answer for a (client, op, offset, nbytes) request is a pure
+        #: function of the key, so the resolved single-piece op — or the
+        #: decision to fall back — can be replayed without re-planning.
+        self._ff_plans: Dict[
+            Tuple[int, str, int, int],
+            Optional[Tuple[int, str, int, int, int]],
+        ] = {}
 
     # -- plumbing ----------------------------------------------------------
     @property
@@ -114,6 +174,110 @@ class ExecutionEngine:
             pop.op, pop.disk, pop.offset, pop.nbytes,
             priority=pop.priority, ctx=ctx,
         )
+
+    # -- submit-time fast path ---------------------------------------------
+    def try_fast_submit(
+        self, client: int, op: str, offset: int, nbytes: int
+    ) -> Optional[Event]:
+        """Closed-form execution of a conflict-free single-piece request.
+
+        The submit-time twin of :meth:`run`: when the request is
+        untraced, lock-free, single-piece, served by a local disk under
+        the static read policy, and the owner node's whole pipeline is
+        idle, the node fast-forward (:meth:`Node.try_fast_forward`)
+        prices the hop chain analytically; this method adds the engine's
+        own bookkeeping (op counters at submit, byte accounting at
+        completion) at the same points the phase path would.  Returns
+        the completion event, or ``None`` to fall back — a fallback
+        charges and counts nothing.
+        """
+        system = self.system
+        if _obs.TRACER.enabled or self.failed_disks:
+            return None
+        if self.phase_inflight[client]:
+            # An event-driven request from this client is in flight; its
+            # next claim on this node may still sit in the queue where
+            # the idle-pipeline predicate cannot see it.
+            return None
+        if op == "write" and system.locking:
+            return None
+        bs = system.block_size
+        if offset % bs + nbytes > bs:
+            return None  # spans blocks: never a single-piece plan
+        if self.mirror.dirty_groups:
+            # Stale images change read candidates; resolve afresh and
+            # leave the clean-state cache untouched either way.
+            resolved = self._resolve_fast(client, op, offset, nbytes)
+        else:
+            key = (client, op, offset, nbytes)
+            resolved = self._ff_plans.get(key, _FF_MISS)
+            if resolved is _FF_MISS:
+                resolved = self._resolve_fast(client, op, offset, nbytes)
+                self._ff_plans[key] = resolved
+        if resolved is None:
+            return None
+        disk, io_op, io_offset, io_nbytes, priority = resolved
+        done = self.cluster.nodes[client].try_fast_forward(
+            disk, io_op, io_offset, io_nbytes, priority=priority
+        )
+        if done is None:
+            return None
+        cdd = self.cdd(client)
+        cdd.issued_ops += 1
+        cdd.transport.stats.local_block_ops += 1
+        self.fast_submits += 1
+        done.callbacks.append(_FastFinish(system, op, nbytes))
+        return done
+
+    def _resolve_fast(
+        self, client: int, op: str, offset: int, nbytes: int
+    ) -> Optional[Tuple[int, str, int, int, int]]:
+        """Plan one request down to a single local piece op, or ``None``.
+
+        Pure given the live failed/dirty state (the caller gates the
+        memo on both being empty): plans the request, insists on the
+        single-piece shapes the fast path can price, resolves the read
+        source under the static policy, and rejects remote owners.
+        """
+        system = self.system
+        plan = self.planner.plan(op, offset, nbytes, self.failed_disks)
+        if op == "read":
+            if system.read_policy != "static":
+                return None
+            reads = plan.action.reads
+            if len(reads) != 1:
+                return None
+            piece = reads[0].piece
+            src = self.read_source(client, piece)
+            if src is None:
+                return None
+            disk = src.disk
+            io_op = "read"
+            io_offset = src.offset + piece.intra
+            io_nbytes = piece.nbytes
+            priority = 0
+        else:
+            action = plan.action
+            if (
+                not isinstance(action, ParallelWrite)
+                or action.check_survivors
+                or len(action.pieces) != 1
+            ):
+                return None
+            ops = action.pieces[0].ops
+            if len(ops) != 1:
+                return None
+            pop = ops[0]
+            if pop.tolerant:
+                return None
+            disk = pop.disk
+            io_op = pop.op
+            io_offset = pop.offset
+            io_nbytes = pop.nbytes
+            priority = pop.priority
+        if disk % len(self.cluster.nodes) != client:
+            return None  # CDD.owner_of: remote op
+        return (disk, io_op, io_offset, io_nbytes, priority)
 
     # -- top-level request path --------------------------------------------
     def run(self, client: int, op: str, offset: int, nbytes: int):

@@ -37,6 +37,15 @@ from repro.sim.events import Event
 from repro.units import KiB
 
 
+def _node_ff_default() -> bool:
+    """The node fast-forward module default, read lazily so test
+    monkeypatching of ``repro.hardware.node.NODE_FAST_FORWARD`` is
+    honoured at system construction time."""
+    from repro.hardware import node as _node_mod
+
+    return _node_mod.NODE_FAST_FORWARD
+
+
 class StorageSystem:
     """Common interface of all storage back-ends."""
 
@@ -135,6 +144,12 @@ class DistributedArraySystem(StorageSystem):
         self.read_policy = read_policy
         self.planner: Planner = self._make_planner()
         self.engine = ExecutionEngine(self)
+        #: Node-level fast-forward kill-switch.  Read from the module
+        #: flag at construction (so A/B runs flip ``REPRO_NODE_FF``
+        #: before building); cleared permanently by the first disk
+        #: failure or by a fault injector, whose mid-window failures the
+        #: closed form cannot reproduce exactly (DESIGN §6.14).
+        self.node_ff = _node_ff_default()
 
     def _make_planner(self) -> Planner:
         raise NotImplementedError
@@ -153,6 +168,26 @@ class DistributedArraySystem(StorageSystem):
 
     def io(self, client: int, op: str, offset: int, nbytes: int):
         return self.engine.run(client, op, offset, nbytes)
+
+    def submit(self, client: int, op: str, offset: int, nbytes: int) -> Event:
+        """Fast-forward a conflict-free request, else run the full path."""
+        if self.node_ff:
+            engine = self.engine
+            done = engine.try_fast_submit(client, op, offset, nbytes)
+            if done is not None:
+                return done
+            proc = self.env.process(engine.run(client, op, offset, nbytes))
+            engine.phase_inflight[client] += 1
+            proc.callbacks.append(engine._phase_release[client])
+            return proc
+        return self.env.process(self.io(client, op, offset, nbytes))
+
+    def fail_disk(self, disk: int) -> None:
+        # A failure landing inside a fast-forward window would surface
+        # at the closed-form completion time instead of at dispatch;
+        # keep every later request on the exact event-driven path.
+        self.node_ff = False
+        super().fail_disk(disk)
 
     def drain(self):
         return self.engine.drain()

@@ -51,6 +51,12 @@ class FaultInjector:
         self.schedule = sorted(schedule, key=lambda e: e.at)
         self.log = InjectionLog()
         self._proc = None
+        # Failures may land while a fast-forwarded request window is in
+        # flight, which the closed form would surface at the wrong
+        # instant; keep the whole chaos run on the event-driven path.
+        storage = cluster.storage
+        if schedule and storage is not None and hasattr(storage, "node_ff"):
+            storage.node_ff = False
 
     def start(self) -> None:
         """Arm the injector (idempotent)."""

@@ -360,6 +360,97 @@ class Disk:
     # order-isomorphic: identical timestamps, span streams, and
     # counters.  DESIGN §6.13 spells out the argument.
 
+    # -- node fast-forward hooks (see repro.hardware.node) ----------------
+
+    def ff_ready(self, op: str, offset: int, nbytes: int) -> bool:
+        """True when a node fast-forward may preload this request.
+
+        Requires the callback server (so the marker is free to arm),
+        parked with no backlog and nothing in flight, a healthy disk,
+        and a request that would pass :meth:`DiskRequest.validate` —
+        folded in here so the claim/preload sequence that follows can
+        never raise after upstream resources have been charged.
+        """
+        return (
+            self._ff
+            and self._ff_parked
+            and not self.failed
+            and self._pending == 0
+            and (op == "read" or op == "write")
+            and offset >= 0
+            and nbytes >= 0
+            and offset + nbytes <= self.params.capacity_bytes
+        )
+
+    def ff_preload(
+        self,
+        op: str,
+        offset: int,
+        nbytes: int,
+        dispatch_at: float,
+        priority: int = 0,
+        trace: Optional[int] = None,
+    ) -> Event:
+        """Price a request *now* that will reach the disk at ``dispatch_at``.
+
+        The node fast-forward has established (conflict predicate, see
+        DESIGN §6.14) that this parked disk stays untouched until the
+        request's bus transfer completes at ``dispatch_at``, so the
+        wake-at-dispatch marker firing can run early: same scheduler
+        push/pop (depth accounting), same closed-form pricing against
+        the same head state, with the completion marker armed directly
+        at ``dispatch_at + service`` — skipping the wake event.  The
+        caller must have checked :meth:`ff_ready`.
+        """
+        req = DiskRequest(
+            op=op,
+            offset=offset,
+            nbytes=nbytes,
+            done=self.env.event(),
+            submitted_at=dispatch_at,
+            priority=priority,
+            trace=trace,
+        )
+        self._pending += 1
+        self._ff_parked = False
+        sched = self.scheduler
+        sched.push(req)
+        req = sched.pop(head=self._head)
+        # The closed form below mirrors _ff_next term for term (kept
+        # duplicated: a shared helper would put a call frame on the
+        # per-completion hot path).  Head state read at submit time is
+        # the head state at dispatch time — the predicate guarantees no
+        # intervening service.
+        off = req.offset
+        last_end = self._last_end
+        if off >= last_end and off - last_end < self._ff_window:
+            seek = 0.0
+            rot = 0.0
+        else:
+            dist = off - self._head
+            if dist < 0:
+                dist = -dist
+            if dist <= 0:
+                seek = 0.0
+            else:
+                frac = dist / self._ff_cap
+                if frac > 1.0:
+                    frac = 1.0
+                seek = self._ff_t2t + self._ff_stroke * _sqrt(frac)
+            rot = self._ff_rot
+        xfer = req.nbytes / self._ff_rate
+        service = self._ff_ctrl + seek + rot + xfer
+        self._ff_req = req
+        self._ff_info = (service, seek, rot, xfer, _obs.TRACER)
+        # Phase path: the wake marker pops at dispatch_at and the run
+        # loop re-arms it at ``now + service`` with now == dispatch_at.
+        # Same float expression here, armed early.
+        env = self.env
+        heappush(
+            env._queue, (dispatch_at + service, next(env._seq), self._ff_marker)
+        )
+        return req.done
+
     def _ff_step(self, now: float) -> Optional[float]:
         """Marker firing: wake from park, or complete the request at ``now``.
 

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import List, Optional
+import os
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.config import ClusterConfig
 from repro.hardware.cpu import Cpu
@@ -13,6 +14,19 @@ from repro.obs import runtime as _obs
 from repro.obs.trace import SCSI_TRANSFER
 from repro.sim.core import Environment
 from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.nic import Nic
+
+#: Process-wide default for the node-level analytic fast-forward
+#: (per-node override via ``Node(fast_forward=...)``).  Read at Node
+#: construction time, like the disk-level ``FAST_FORWARD`` flag.
+NODE_FAST_FORWARD = os.environ.get("REPRO_NODE_FF", "1").lower() not in (
+    "0",
+    "off",
+    "no",
+    "false",
+)
 
 
 class Node:
@@ -30,12 +44,20 @@ class Node:
         node_id: int,
         disk_ids: List[int],
         scheduler_policy: Optional[str] = None,
+        fast_forward: Optional[bool] = None,
     ):
         self.env = env
         self.config = config
         self.node_id = node_id
         self.cpu = Cpu(env, config.cpu, node_id=node_id)
         self.scsi = ScsiBus(env, name=f"scsi{node_id}")
+        #: This node's NIC, attached by the cluster wiring (None for a
+        #: node built stand-alone); the fast-forward predicate treats a
+        #: missing NIC as idle.
+        self.nic: Optional["Nic"] = None
+        self.fast_forward = (
+            NODE_FAST_FORWARD if fast_forward is None else fast_forward
+        )
         self.disks: List[Disk] = [
             Disk(
                 env,
@@ -87,3 +109,59 @@ class Node:
         return self.env.process(
             self.disk_io(disk_id, op, offset, nbytes, priority, trace)
         )
+
+    def try_fast_forward(
+        self, disk_id: int, op: str, offset: int, nbytes: int,
+        priority: int = 0,
+    ) -> Optional[Event]:
+        """Closed-form local pipeline: CPU driver entry → SCSI → disk.
+
+        When this node's whole hop chain is conflict-free — CPU and SCSI
+        links idle, NIC quiet, target disk parked — the phase path's
+        per-hop event chain collapses to three eager bandwidth-link
+        claims priced with *identical float arithmetic* (see DESIGN
+        §6.14 for the legality argument), and the disk completion marker
+        is armed directly at the closed-form finish time.  Returns the
+        completion event, or ``None`` to fall back to the event-driven
+        path; a fallback leaves no state behind (all checks precede any
+        claim).
+        """
+        if not self.fast_forward:
+            return None
+        cpu_link = self.cpu._work
+        scsi_link = self.scsi._link
+        if (
+            cpu_link.outstanding
+            or scsi_link.outstanding
+            or cpu_link.congestion_threshold is not None
+            or scsi_link.congestion_threshold is not None
+        ):
+            return None
+        nic = self.nic
+        if nic is not None and not nic.idle:
+            return None
+        try:
+            disk = self.local_disk(disk_id)
+        except KeyError:
+            return None
+        if not disk.ff_ready(op, offset, nbytes):
+            return None
+        now = self.env.now
+        # Eager CPU claim: BandwidthLink.transfer's arithmetic, term for
+        # term (rate 1.0 carries seconds of work as "bytes"), minus the
+        # completion Timeout — ``outstanding`` stays 0 for the window.
+        cost = self.config.cpu.kernel_request_overhead_s
+        start = max(now, cpu_link._free_at)
+        duration = cost / cpu_link.rate
+        cpu_link._free_at = start + duration
+        cpu_link.bytes_carried += cost
+        cpu_link.busy_time += duration
+        t1 = now + (start + duration + cpu_link.latency - now)
+        # Eager SCSI claim from the CPU's release time.
+        start = max(t1, scsi_link._free_at)
+        duration = nbytes / scsi_link.rate
+        scsi_link._free_at = start + duration
+        scsi_link.bytes_carried += nbytes
+        scsi_link.busy_time += duration
+        t2 = t1 + (start + duration + scsi_link.latency - t1)
+        return disk.ff_preload(op, offset, nbytes, t2, priority=priority)

@@ -107,6 +107,50 @@ class LogHistogram:
                 return min(max(center, self._min), self._max)
         return self._max  # pragma: no cover - rank <= count always lands
 
+    def merge(self, other: "LogHistogram") -> None:
+        """Fold another histogram in (exact: buckets and moments add)."""
+        for idx, c in other.counts.items():
+            self.counts[idx] = self.counts.get(idx, 0) + c
+        self.count += other.count
+        self.total += other.total
+        self.zeros += other.zeros
+        if other.count:
+            if other._min < self._min:
+                self._min = other._min
+            if other._max > self._max:
+                self._max = other._max
+
+    def to_payload(self) -> Dict:
+        """A JSON-safe dict that roundtrips exactly.
+
+        Bucket counts become sorted ``[index, count]`` pairs and the
+        non-finite empty-range sentinels become ``None``, so the payload
+        survives ``json.dumps``/``loads`` unchanged — a requirement for
+        storing shard rows in the content-addressed sweep cache.
+        """
+        return {
+            "counts": [[i, self.counts[i]] for i in sorted(self.counts)],
+            "count": self.count,
+            "total": self.total,
+            "zeros": self.zeros,
+            "min": self._min if self.count else None,
+            "max": self._max if self.count else None,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict, name: str = "") -> "LogHistogram":
+        """Rebuild a histogram from :meth:`to_payload` output."""
+        h = cls(name)
+        h.counts = {int(i): int(c) for i, c in payload["counts"]}
+        h.count = int(payload["count"])
+        h.total = float(payload["total"])
+        h.zeros = int(payload["zeros"])
+        if payload["min"] is not None:
+            h._min = float(payload["min"])
+        if payload["max"] is not None:
+            h._max = float(payload["max"])
+        return h
+
     def summary(self) -> Dict[str, float]:
         return {
             "count": float(self.count),

@@ -250,6 +250,15 @@ class Layout:
                 )
             seen[key] = ("data", b)
             for m in self.redundancy_locations(b):
+                if not 0 <= m.disk < self.n_disks:
+                    raise LayoutError(
+                        f"block {b}: image disk {m.disk} out of range"
+                    )
+                if not 0 <= m.offset <= self.disk_capacity - self.block_size:
+                    raise LayoutError(
+                        f"block {b}: image offset {m.offset} past the "
+                        f"disk end"
+                    )
                 if m.disk == p.disk:
                     raise LayoutError(
                         f"block {b}: image on same disk as data "

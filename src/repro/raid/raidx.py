@@ -77,6 +77,7 @@ class RaidxLayout(Layout):
         # ids by n per rotation.  Only complete rotations are table-
         # cacheable — the final (partial) rotation can hold truncated
         # mirror groups and falls back to the formulas.
+        self._data_rows = self._fit_data_rows()
         self._mirror_period = self.n_disks * (self.n - 1)
         self._mirror_safe_limit = (
             self.data_blocks // self._mirror_period
@@ -85,9 +86,42 @@ class RaidxLayout(Layout):
         self._image_table: tuple | None = None
 
     # -- capacity ----------------------------------------------------------
+    def _mirror_rows_needed(self, data_rows: int) -> int:
+        """Image rows a disk must hold when the data region has
+        ``data_rows`` rows.
+
+        The image row of local index ℓ is ``(ℓ//(n-1)//n)·(n-1) +
+        ℓ mod (n-1)``; the ``p`` term skews up to ``n-2`` rows past the
+        rotation base, so the region needs slightly *more* than
+        ``data_rows`` rows.  Rows advance uniformly per placement
+        rotation, so scanning the final two rotations finds the max.
+        """
+        n = self.n
+        top = data_rows * n
+        lo = max(0, top - 2 * self.n_disks * (n - 1))
+        need = 0
+        for ell in range(lo, top):
+            row = (ell // (n - 1) // n) * (n - 1) + ell % (n - 1) + 1
+            if row > need:
+                need = row
+        return need
+
+    def _fit_data_rows(self) -> int:
+        """Largest data region whose images still fit below the disk end.
+
+        An even split (``rows // 2``) overcommits: the image-row skew
+        (see :meth:`_mirror_rows_needed`) pushes the last few images up
+        to ``n-2`` rows past half the disk, which would address past the
+        end of the physical disk for tail blocks.
+        """
+        d = self.rows // 2
+        while d > 0 and self._mirror_rows_needed(d) > self.rows - d:
+            d -= 1
+        return d
+
     @property
     def data_rows(self) -> int:
-        return self.rows // 2
+        return self._data_rows
 
     @property
     def data_blocks(self) -> int:

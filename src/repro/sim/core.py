@@ -150,7 +150,14 @@ class Environment:
         Starting value of :attr:`now` (seconds by convention).
     """
 
-    __slots__ = ("_now", "_queue", "_seq", "_active_process", "_timeout_pool")
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_seq",
+        "_active_process",
+        "_timeout_pool",
+        "processed_events",
+    )
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
@@ -158,6 +165,9 @@ class Environment:
         self._seq = count()
         self._active_process: Optional[Process] = None
         self._timeout_pool: list = []
+        #: Heap entries dispatched so far, across all :meth:`run`/:meth:`step`
+        #: calls — the denominator for events/sec throughput reporting.
+        self.processed_events = 0
 
     # -- clock & introspection -----------------------------------------
     @property
@@ -285,6 +295,7 @@ class Environment:
             self._now, _, event = heappop(self._queue)
         except IndexError:
             raise EmptySchedule() from None
+        self.processed_events += 1
 
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:  # pragma: no cover - defensive
@@ -341,6 +352,7 @@ class Environment:
         timeout_cls = Timeout
         refcount = getrefcount
         _float, _int = float, int
+        n_dispatched = 0
         try:
             while True:
                 try:
@@ -348,6 +360,7 @@ class Environment:
                 except IndexError:
                     raise EmptySchedule() from None
                 self._now = now
+                n_dispatched += 1
 
                 # Inner loop: process `event`; a sleeping process that
                 # goes straight back to sleep re-arms its event with
@@ -384,6 +397,7 @@ class Environment:
                                 queue, (now + nxt, next_seq(), event)
                             )
                             self._now = now
+                            n_dispatched += 1
                             continue
                         process._park(nxt)
                         self._active_process = None
@@ -402,6 +416,7 @@ class Environment:
                             queue, (nxt, next_seq(), event)
                         )
                         self._now = now
+                        n_dispatched += 1
                         continue
 
                     callbacks = event.callbacks
@@ -444,6 +459,8 @@ class Environment:
                         "triggered"
                     ) from None
             return None
+        finally:
+            self.processed_events += n_dispatched
 
 
 class _StopSimulation(Exception):

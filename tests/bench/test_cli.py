@@ -33,9 +33,9 @@ def test_unknown_artifact_rejected(capsys):
 
 def test_artifact_table_complete():
     # Every paper artifact id from DESIGN.md's index has a runner, plus
-    # the write-path trace demo.
+    # the write-path trace demo and the scale sweep.
     assert set(ARTIFACTS) == {"t2", "f1", "f3", "f5", "t3", "f6", "f7",
-                              "c1", "tr"}
+                              "c1", "tr", "sc"}
     for _title, fn in ARTIFACTS.values():
         assert callable(fn)
 

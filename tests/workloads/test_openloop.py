@@ -1,5 +1,8 @@
 """Open-loop latency workload."""
 
+import math
+
+import numpy as np
 import pytest
 
 from repro.cluster.cluster import build_cluster
@@ -15,11 +18,19 @@ def make(arch="raidx", **kw):
 
 
 def test_all_requests_complete():
-    wl = make()
+    wl = make(exact_latencies=True)
     r = wl.run()
     assert r.completed == len(r.latencies)
     assert r.completed > 10  # ~40 expected at 200 ops/s x 0.2 s
+    assert r.failed == 0
     assert all(lat > 0 for lat in r.latencies)
+    assert len(r.histogram) == r.completed
+
+
+def test_histogram_mode_is_default():
+    r = make().run()
+    assert r.latencies is None  # exact list only behind the flag
+    assert len(r.histogram) == r.completed > 0
 
 
 def test_rate_is_respected_roughly():
@@ -29,17 +40,25 @@ def test_rate_is_respected_roughly():
 
 
 def test_latency_stats():
-    r = make().run()
+    r = make(exact_latencies=True).run()
     assert r.mean_latency() > 0
-    assert r.p95_latency() >= r.mean_latency()
+    assert r.p99_latency() >= r.p95_latency()
     assert r.achieved_ops_per_s > 0
+    # Histogram quantiles stay within the bucket growth factor of exact.
+    exact_p95 = float(np.percentile(r.latencies, 95))
+    assert r.p95_latency() == pytest.approx(exact_p95, rel=0.15)
+    assert r.mean_latency() == pytest.approx(
+        float(np.mean(r.latencies)), rel=1e-12
+    )
 
 
 def test_saturation_flag():
     calm = make(rate_ops_per_s=50, duration_s=0.3).run()
     assert not calm.saturated
+    assert calm.drain_s <= 0.25 * calm.window_s
     stormy = make(rate_ops_per_s=5000, duration_s=0.2).run()
     assert stormy.saturated
+    assert stormy.drain_s > 0.25 * stormy.window_s
     assert stormy.mean_latency() > calm.mean_latency()
 
 
@@ -62,18 +81,87 @@ def test_validation():
         OpenLoopWorkload(cluster, rate_ops_per_s=10, duration_s=0)
     with pytest.raises(ValueError):
         OpenLoopWorkload(cluster, rate_ops_per_s=10, op="erase")
+    with pytest.raises(ValueError):
+        OpenLoopWorkload(cluster, rate_ops_per_s=10, scenario="weekly")
+    with pytest.raises(ValueError):
+        OpenLoopWorkload(cluster, rate_ops_per_s=10, placement="remote")
+    with pytest.raises(ValueError):
+        OpenLoopWorkload(cluster, rate_ops_per_s=10, n_requests=0)
+    with pytest.raises(ValueError):
+        OpenLoopWorkload(
+            cluster, rate_ops_per_s=10, diurnal_amplitude=1.5
+        )
 
 
 def test_deterministic_with_seed():
-    a = make(seed=7).run()
-    b = make(seed=7).run()
+    a = make(seed=7, exact_latencies=True).run()
+    b = make(seed=7, exact_latencies=True).run()
     assert a.completed == b.completed
     assert a.latencies == b.latencies
 
 
+@pytest.mark.parametrize("scenario", ["poisson", "zipf", "diurnal"])
+def test_arrival_scenarios_deterministic(scenario):
+    a = make(scenario=scenario, seed=3, exact_latencies=True).run()
+    b = make(scenario=scenario, seed=3, exact_latencies=True).run()
+    assert a.completed == b.completed > 0
+    assert a.latencies == b.latencies
+    assert a.histogram.to_payload() == b.histogram.to_payload()
+
+
+def test_zipf_concentrates_accesses():
+    # A strong hot-spot revisits far fewer distinct blocks than uniform.
+    uni = make(scenario="poisson", rate_ops_per_s=2000, seed=5)
+    hot = make(
+        scenario="zipf", zipf_s=2.0, rate_ops_per_s=2000, seed=5
+    )
+    u = uni._blocks(2000)
+    z = hot._blocks(2000)
+    assert len(np.unique(z)) < 0.5 * len(np.unique(u))
+
+
+def test_diurnal_rate_ramps():
+    wl = make(scenario="diurnal", rate_ops_per_s=4000, duration_s=1.0,
+              diurnal_amplitude=1.0)
+    times = wl._arrival_times()
+    # Peak at t=0.25 (sin max), trough at t=0.75 (rate ~0).
+    peak = np.sum((times > 0.15) & (times < 0.35))
+    trough = np.sum((times > 0.65) & (times < 0.85))
+    assert peak > 4 * max(1, trough)
+
+
+def test_n_requests_mode_exact_count():
+    wl = make(n_requests=37, duration_s=None)
+    r = wl.run()
+    assert r.completed == 37
+    assert r.window_s > 0  # last arrival time stands in for the window
+    assert r.duration_s >= r.window_s
+
+
+def test_local_placement_is_all_local():
+    cluster = build_cluster(small_config(n=4), architecture="raidx")
+    wl = OpenLoopWorkload(
+        cluster, rate_ops_per_s=400, duration_s=0.2, op="read",
+        placement="local",
+    )
+    r = wl.run()
+    assert r.completed > 0
+    assert cluster.transport.stats.remote_block_ops == 0
+
+
 def test_empty_result_statistics():
     r = LatencyResult(offered_ops_per_s=10, completed=0, duration_s=1.0)
-    import math
-
     assert math.isnan(r.mean_latency())
     assert math.isnan(r.p95_latency())
+    assert math.isnan(r.p99_latency())
+    assert not r.saturated  # zero window never reports saturation
+
+
+def test_zero_window_edge_case():
+    # window_s == 0 (n_requests mode with one instant arrival) must not
+    # divide by zero or claim saturation.
+    r = LatencyResult(
+        offered_ops_per_s=10, completed=1, duration_s=0.5, window_s=0.0
+    )
+    assert r.drain_s == 0.5
+    assert not r.saturated
