@@ -45,10 +45,30 @@ def _headline(workers=None, **kw):
     return "Headline claims (measured):\n" + "\n".join(lines)
 
 
-def _scale(workers=None, shards=None, **kw):
+def _scale(workers=None, shards=None, requests=None, **kw):
     return ex.render_scale(
-        ex.run_scale(workers=workers, shards=shards or 4)
+        ex.run_scale(
+            workers=workers,
+            shards=shards or 4,
+            n_requests=requests or 1_000_000,
+        )
     )
+
+
+def _report(workers=None, shards=None, requests=None, as_json=False,
+            sample_rate=None, sample_seed=0, **kw):
+    import json
+
+    data = ex.scale_report(
+        workers=workers,
+        shards=shards or 4,
+        n_requests=requests or 1_000_000,
+        sample_rate=0.05 if sample_rate is None else sample_rate,
+        sample_seed=sample_seed,
+    )
+    if as_json:
+        return json.dumps(data, indent=2, sort_keys=True)
+    return ex.render_report(data)
 
 
 ARTIFACTS = {
@@ -74,7 +94,14 @@ ARTIFACTS = {
         lambda workers=None, **kw: ex.trace_demo(),
     ),
     "sc": ("Scale sweep (open-loop, 10^6 requests)", _scale),
+    "report": (
+        "Observability report (merged telemetry + bottleneck)", _report
+    ),
 }
+
+#: Artifacts excluded from the run-everything default (the report
+#: re-reduces the ``sc`` sweep, so running both would be redundant).
+_ON_REQUEST = ("report",)
 
 
 def main(argv=None) -> int:
@@ -110,6 +137,14 @@ def main(argv=None) -> int:
         "reduced rows are identical for any worker count",
     )
     parser.add_argument(
+        "--requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="total requests per scale point for the sc/report "
+        "artifacts (default: 1,000,000); reduce for quick looks",
+    )
+    parser.add_argument(
         "--trace",
         metavar="OUT.json",
         default=None,
@@ -128,6 +163,29 @@ def main(argv=None) -> int:
         action="store_true",
         help="print the cluster-wide metrics registry (per-layer latency "
         "histograms and counters) after the artifacts complete",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of text tables "
+        "(currently honoured by the 'report' artifact)",
+    )
+    parser.add_argument(
+        "--sample-rate",
+        type=float,
+        default=None,
+        metavar="R",
+        help="deterministic trace sampling rate in [0, 1] for --trace/"
+        "--jsonl/--metrics runs (default 1.0: keep every trace); "
+        "sampled-out requests still feed all histograms and counters",
+    )
+    parser.add_argument(
+        "--sample-seed",
+        type=int,
+        default=0,
+        metavar="S",
+        help="seed for the per-trace sampling hash (same seed + rate "
+        "=> same keep/drop decisions in every process)",
     )
     parser.add_argument(
         "--no-cache",
@@ -150,7 +208,11 @@ def main(argv=None) -> int:
         return 0
 
     observing = bool(args.trace or args.jsonl or args.metrics)
-    default = ["tr"] if observing and not args.artifacts else list(ARTIFACTS)
+    default = (
+        ["tr"]
+        if observing and not args.artifacts
+        else [a for a in ARTIFACTS if a not in _ON_REQUEST]
+    )
     chosen = args.artifacts or default
     unknown = [a for a in chosen if a not in ARTIFACTS]
     if unknown:
@@ -171,7 +233,12 @@ def main(argv=None) -> int:
     if observing:
         from repro.obs import runtime as obs_runtime
 
-        tracer = obs_runtime.install()
+        tracer = obs_runtime.install(
+            sample_rate=(
+                1.0 if args.sample_rate is None else args.sample_rate
+            ),
+            sample_seed=args.sample_seed,
+        )
     try:
         if profiler is not None:
             profiler.enable()
@@ -180,7 +247,14 @@ def main(argv=None) -> int:
             bar = "=" * max(24, len(title) + 8)
             print(f"\n{bar}\n    {key.upper()} — {title}\n{bar}")
             t0 = time.perf_counter()
-            print(fn(workers=args.workers, shards=args.shards))
+            print(fn(
+                workers=args.workers,
+                shards=args.shards,
+                requests=args.requests,
+                as_json=args.json,
+                sample_rate=args.sample_rate,
+                sample_seed=args.sample_seed,
+            ))
             print(f"[{key}: regenerated in {time.perf_counter() - t0:.1f}s]")
     finally:
         if profiler is not None:

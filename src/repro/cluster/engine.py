@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import DataLossError, DiskFailedError
+from repro.hardware.node import FFSpanSynth
 from repro.io.context import PieceContext
 from repro.obs import runtime as _obs
 from repro.obs.trace import LOCK_WAIT, MIRROR_FLUSH, REQUEST
@@ -182,17 +183,22 @@ class ExecutionEngine:
         """Closed-form execution of a conflict-free single-piece request.
 
         The submit-time twin of :meth:`run`: when the request is
-        untraced, lock-free, single-piece, served by a local disk under
-        the static read policy, and the owner node's whole pipeline is
+        lock-free, single-piece, served by a local disk under the
+        static read policy, and the owner node's whole pipeline is
         idle, the node fast-forward (:meth:`Node.try_fast_forward`)
         prices the hop chain analytically; this method adds the engine's
         own bookkeeping (op counters at submit, byte accounting at
         completion) at the same points the phase path would.  Returns
         the completion event, or ``None`` to fall back — a fallback
         charges and counts nothing.
+
+        Tracing no longer forces a fallback: an armed
+        :class:`~repro.hardware.node.FFSpanSynth` replays the phase
+        path's trace-id allocation and span records at the same event
+        pops, so the span stream stays byte-identical (DESIGN §6.15).
         """
         system = self.system
-        if _obs.TRACER.enabled or self.failed_disks:
+        if self.failed_disks:
             return None
         if self.phase_inflight[client]:
             # An event-driven request from this client is in flight; its
@@ -217,8 +223,17 @@ class ExecutionEngine:
         if resolved is None:
             return None
         disk, io_op, io_offset, io_nbytes, priority = resolved
+        tracer = _obs.TRACER
+        synth = (
+            FFSpanSynth(
+                self.env, tracer, client, op, offset, nbytes, system.name
+            )
+            if tracer.enabled
+            else None
+        )
         done = self.cluster.nodes[client].try_fast_forward(
-            disk, io_op, io_offset, io_nbytes, priority=priority
+            disk, io_op, io_offset, io_nbytes, priority=priority,
+            synth=synth,
         )
         if done is None:
             return None

@@ -79,6 +79,10 @@ class DiskStats:
     rotation_time: float = 0.0
     transfer_time: float = 0.0
     sequential_hits: int = 0
+    #: High-water mark of the submitted-but-not-completed count — the
+    #: always-on queue-depth signal (one compare per submit, cheap
+    #: enough to stay within the perf-smoke floors).
+    queue_depth_hw: int = 0
 
     @property
     def total_ops(self) -> int:
@@ -205,6 +209,8 @@ class Disk:
             req.done.fail(DiskFailedError(self.disk_id))
             return req.done
         self._pending += 1
+        if self._pending > self.stats.queue_depth_hw:
+            self.stats.queue_depth_hw = self._pending
         if self._ff:
             if self._ff_parked:
                 # Wake the parked server: arm the marker at now.  The
@@ -412,6 +418,8 @@ class Disk:
             trace=trace,
         )
         self._pending += 1
+        if self._pending > self.stats.queue_depth_hw:
+            self.stats.queue_depth_hw = self._pending
         self._ff_parked = False
         sched = self.scheduler
         sched.push(req)

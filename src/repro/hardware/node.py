@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import os
+from heapq import heappush
 from typing import TYPE_CHECKING, List, Optional
 
 from repro.config import ClusterConfig
@@ -11,9 +12,9 @@ from repro.hardware.disk import Disk
 from repro.hardware.scsi import ScsiBus
 from repro.io.scheduler import make_scheduler
 from repro.obs import runtime as _obs
-from repro.obs.trace import SCSI_TRANSFER
+from repro.obs.trace import CPU_DRIVER, REQUEST, SCSI_TRANSFER
 from repro.sim.core import Environment
-from repro.sim.events import Event
+from repro.sim.events import _KEY_OFFSET, Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hardware.nic import Nic
@@ -27,6 +28,142 @@ NODE_FAST_FORWARD = os.environ.get("REPRO_NODE_FF", "1").lower() not in (
     "no",
     "false",
 )
+
+
+class FFSpanSynth(Event):
+    """Lockstep span synthesis for one fast-forwarded request.
+
+    With tracing on, the event-driven phase path allocates its trace id
+    and records its cpu/scsi/request spans at specific *event pops*
+    whose heap keys were allocated at specific earlier pops.  The heap
+    breaks same-time ties by those keys, so the byte-identical
+    span-stream contract (the golden equivalence suites hash spans in
+    append order) is about *pop positions*, not just timestamps.
+
+    This event re-schedules itself through the exact pop positions the
+    phase path would occupy — one urgent pop at submit time matching the
+    request process's ``Initialize``, one matching the piece process's,
+    then one per hop completion — and performs the phase path's
+    observable actions (trace-id allocation, span records) at each.
+    The closed-form times priced by :meth:`Node.try_fast_forward` supply
+    the span boundaries, so timestamps are the same float expressions
+    the phase path evaluates.  DESIGN §6.15 gives the full argument.
+
+    Cost: tracing off, no synth exists; a sampled-out request spends one
+    event pop (the decision point, where the counters are fed); a
+    sampled-in request spends five pops plus a completion callback —
+    still far below the phase path's per-hop process machinery.
+    """
+
+    __slots__ = (
+        "tracer", "client", "op", "offset", "nbytes", "arch", "stage",
+        "trace", "t0", "t1", "t2", "t3", "io_nbytes", "req",
+    )
+
+    def __init__(
+        self, env: Environment, tracer, client: int, op: str,
+        offset: int, nbytes: int, arch: str,
+    ):
+        self.env = env
+        self.callbacks: Optional[list] = [self._fire]
+        self._value = None
+        self._ok = True
+        self._defused = False
+        self.tracer = tracer
+        self.client = client
+        self.op = op
+        self.offset = offset
+        self.nbytes = nbytes
+        self.arch = arch
+        self.stage = 0
+        self.trace: Optional[int] = None
+
+    def arm(self, t0, t1, t2, t3, io_nbytes, req, done) -> None:
+        """Start the stage chain once the eager claims have priced it.
+
+        ``req`` is the preloaded :class:`~repro.hardware.disk.DiskRequest`
+        (its ``trace`` field is filled in at stage 0, before the disk's
+        completion marker reads it); ``done`` is the completion event —
+        its pop schedules the request-epilogue stages.
+        """
+        self.t0 = t0
+        self.t1 = t1
+        self.t2 = t2
+        self.t3 = t3
+        self.io_nbytes = io_nbytes
+        self.req = req
+        done.callbacks.append(self._on_done)
+        env = self.env
+        # Urgent at submit time: the pop slot the phase request's
+        # Initialize would occupy, so trace ids allocate in submit order.
+        heappush(env._queue, (t0, next(env._seq) - _KEY_OFFSET, self))
+
+    def _on_done(self, _event: Event) -> None:
+        # The disk completion pop: where the phase piece process would
+        # resume and finish (pushing its Process event).  A sampled-out
+        # synth (req cleared at stage 0) has nothing left to emit.
+        if self.req is None:
+            return
+        env = self.env
+        heappush(env._queue, (env._now, next(env._seq), self))
+
+    def _fire(self, _event: Event) -> None:
+        env = self.env
+        stage = self.stage
+        self.stage = stage + 1
+        self.callbacks = [self._fire]
+        tracer = self.tracer
+        if stage == 0:
+            # ≡ Initialize pop: the request body starts; the phase path
+            # allocates the trace id here, then spawns the piece
+            # process (one urgent push).
+            trace = tracer.new_trace()
+            self.trace = trace
+            self.req.trace = trace
+            if not tracer.keeps(trace):
+                # Sampled out: no spans will be appended anywhere (the
+                # disk marker's record() drops its span by the same
+                # hash), so the remaining stages have nothing to do.
+                # Feed the per-hop latency histograms the durations the
+                # phase path would observe, and stop.
+                tracer.observe(CPU_DRIVER, self.t1 - self.t0)
+                tracer.observe(SCSI_TRANSFER, self.t2 - self.t1)
+                tracer.observe(REQUEST, self.t3 - self.t0)
+                self.req = None  # deadens _on_done
+                return
+            heappush(env._queue, (self.t0, next(env._seq) - _KEY_OFFSET, self))
+        elif stage == 1:
+            # ≡ piece-process Initialize pop: the CPU claim's completion
+            # Timeout is allocated here (normal key at t1).
+            heappush(env._queue, (self.t1, next(env._seq), self))
+        elif stage == 2:
+            # ≡ CPU Timeout pop: the driver-entry span records, and the
+            # SCSI transfer's Timeout is allocated (normal key at t2).
+            tracer.record(
+                CPU_DRIVER, f"node{self.client}.cpu", self.t0, self.t1,
+                trace=self.trace,
+            )
+            heappush(env._queue, (self.t2, next(env._seq), self))
+        elif stage == 3:
+            # ≡ SCSI Timeout pop: the bus span records.  The disk's own
+            # service span is recorded by its completion marker (armed
+            # at preload), which also triggers ``done`` → _on_done.
+            tracer.record(
+                SCSI_TRANSFER, f"node{self.client}.scsi", self.t1, self.t2,
+                trace=self.trace, nbytes=self.io_nbytes,
+            )
+        elif stage == 4:
+            # ≡ piece Process pop: the phase path's AllOf condition
+            # fires here (one normal push).
+            heappush(env._queue, (env._now, next(env._seq), self))
+        else:
+            # ≡ AllOf pop: the request generator's epilogue records the
+            # root span at the completion instant.
+            tracer.record(
+                REQUEST, f"node{self.client}.request", self.t0, env.now,
+                trace=self.trace, op=self.op, offset=self.offset,
+                nbytes=self.nbytes, arch=self.arch,
+            )
 
 
 class Node:
@@ -112,7 +249,7 @@ class Node:
 
     def try_fast_forward(
         self, disk_id: int, op: str, offset: int, nbytes: int,
-        priority: int = 0,
+        priority: int = 0, synth: Optional[FFSpanSynth] = None,
     ) -> Optional[Event]:
         """Closed-form local pipeline: CPU driver entry → SCSI → disk.
 
@@ -125,6 +262,11 @@ class Node:
         completion event, or ``None`` to fall back to the event-driven
         path; a fallback leaves no state behind (all checks precede any
         claim).
+
+        With tracing on the engine passes a :class:`FFSpanSynth`, armed
+        here with the priced hop boundaries so the span stream stays
+        byte-identical to the phase path (DESIGN §6.15); a fallback
+        leaves the synth un-armed and inert.
         """
         if not self.fast_forward:
             return None
@@ -164,4 +306,12 @@ class Node:
         scsi_link.bytes_carried += nbytes
         scsi_link.busy_time += duration
         t2 = t1 + (start + duration + scsi_link.latency - t1)
-        return disk.ff_preload(op, offset, nbytes, t2, priority=priority)
+        done = disk.ff_preload(op, offset, nbytes, t2, priority=priority)
+        if synth is not None:
+            # t2 + service is the exact float the completion marker was
+            # armed at — the phase path's request end time.
+            synth.arm(
+                now, t1, t2, t2 + disk._ff_info[0], nbytes,
+                disk._ff_req, done,
+            )
+        return done

@@ -15,6 +15,9 @@ OBS002    a span opened with ``open_span`` may not be closed on some
           path — close it in ``finally`` or use it as a context manager
 OBS003    assignment to the ``TRACER`` slot outside
           ``repro.obs.runtime`` — use ``install()``/``tracing()``
+OBS004    nondeterminism (RNG draws, wall clock) in a sampling decision
+          path — sampling must be a pure function of (trace id, seed)
+          so every process of a sharded sweep keeps the same traces
 ========  ==============================================================
 """
 
@@ -25,6 +28,7 @@ from typing import Iterator
 
 from repro.lint.cfg import ResourceSpec, find_resource_leaks
 from repro.lint.core import Finding, ModuleInfo, Rule
+from repro.lint.rules_sim import _WALL_CLOCK
 
 SPAN_SPEC = ResourceSpec(
     acquire_methods=frozenset({"open_span"}),
@@ -127,4 +131,72 @@ class ObsSlotAssignRule(Rule):
                     )
 
 
-RULES = (ObsDirectTracerRule(), ObsSpanCloseRule(), ObsSlotAssignRule())
+class ObsSamplerDeterminismRule(Rule):
+    """OBS004: sampling decisions are seeded hashes, never live draws.
+
+    The whole point of deterministic trace sampling is that the keep /
+    drop decision for a trace id is identical in every process: sweep
+    shards sample coherently, a resumed run keeps the same traces as a
+    fresh one, and the fast-forward path reaches the same decision the
+    event-driven path would.  Any RNG draw or wall-clock read inside a
+    sampling path silently breaks all three, so this rule mirrors
+    SIM001/SIM002 for sampler code — which lives in ``repro.obs``,
+    outside the SIM rules' scope.
+
+    Scope: function bodies whose name marks them as a sampling decision
+    path (``keeps``, or any name containing ``sample``) in any
+    ``repro.*`` module.
+    """
+
+    code = "OBS004"
+    summary = "nondeterministic sampling decision (RNG or wall clock)"
+
+    def _is_sampler(self, name: str) -> bool:
+        return name == "keeps" or "sample" in name
+
+    def check(self, mod: ModuleInfo) -> Iterator[Finding]:
+        if not mod.module.startswith("repro.") or mod.package == "lint":
+            return
+        for fn in ast.walk(mod.tree):
+            if not isinstance(
+                fn, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ) or not self._is_sampler(fn.name):
+                continue
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                origin = mod.resolve(node.func)
+                if origin is None:
+                    continue
+                if origin in _WALL_CLOCK:
+                    yield mod.finding(
+                        node, self.code,
+                        f"{origin}() in sampling path {fn.name}(): the "
+                        "keep/drop decision must be a pure seeded hash "
+                        "of the trace id, not a clock read",
+                    )
+                elif origin.split(".")[0] == "random":
+                    yield mod.finding(
+                        node, self.code,
+                        f"{origin}() in sampling path {fn.name}(): an "
+                        "RNG draw makes the decision depend on draw "
+                        "order — hash (trace ^ seed) instead",
+                    )
+                elif origin.startswith("numpy.random.") and not (
+                    origin == "numpy.random.default_rng"
+                    and (node.args or node.keywords)
+                ):
+                    yield mod.finding(
+                        node, self.code,
+                        f"{origin}() in sampling path {fn.name}(): "
+                        "sampling must not consume RNG state; hash "
+                        "(trace ^ seed) instead",
+                    )
+
+
+RULES = (
+    ObsDirectTracerRule(),
+    ObsSpanCloseRule(),
+    ObsSlotAssignRule(),
+    ObsSamplerDeterminismRule(),
+)

@@ -1,6 +1,6 @@
-"""Observability: span tracing, metrics, and trace exporters.
+"""Observability: span tracing, metrics, load accounting, exporters.
 
-The subsystem has four parts (DESIGN.md §6.10):
+The subsystem has five parts (DESIGN.md §6.10, §6.15):
 
 * :mod:`repro.obs.trace` — a :class:`Tracer` recording typed spans
   (disk queue wait, disk service, NIC tx/rx, lock wait, background
@@ -13,7 +13,11 @@ The subsystem has four parts (DESIGN.md §6.10):
   :func:`~repro.obs.runtime.install` / :func:`~repro.obs.runtime.reset`
   and the :func:`~repro.obs.runtime.tracing` context manager;
 * :mod:`repro.obs.export` — JSONL span logs and Chrome trace-event JSON
-  viewable in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.
+  (duration spans plus queue-depth / link-occupancy counter tracks)
+  viewable in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``;
+* :mod:`repro.obs.load` — on-demand collection of the always-on
+  hardware load counters (disk busy/bytes/queue-depth high-water,
+  CPU/SCSI/NIC link time) into a shard-mergeable registry.
 
 Instrumentation sites pay one module-attribute read plus one boolean
 check per potential span when tracing is disabled; the perf-smoke floors
@@ -46,6 +50,7 @@ from repro.obs.export import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.load import collect_load, disk_utilizations, utilization_skew
 from repro.obs import runtime
 
 __all__ = [
@@ -73,5 +78,8 @@ __all__ = [
     "chrome_trace_events",
     "write_chrome_trace",
     "write_jsonl",
+    "collect_load",
+    "disk_utilizations",
+    "utilization_skew",
     "runtime",
 ]

@@ -18,7 +18,14 @@ from __future__ import annotations
 import json
 from typing import Dict, Iterable, List, Tuple
 
-from repro.obs.trace import Span
+from repro.obs.trace import (
+    DISK_QUEUE_WAIT,
+    DISK_SERVICE,
+    NET_RX,
+    NET_TX,
+    SCSI_TRANSFER,
+    Span,
+)
 
 
 def write_jsonl(spans: Iterable[Span], path: str) -> int:
@@ -47,8 +54,99 @@ def _track_ids(spans: List[Span]) -> Dict[str, Tuple[int, int, str, str]]:
     return out
 
 
-def chrome_trace_events(spans: Iterable[Span]) -> List[dict]:
-    """Spans as a list of Chrome trace events (metadata first)."""
+#: Link kinds whose per-track concurrency renders as a utilization
+#: counter track (occupancy 0/1 for a serial link, >1 under overlap).
+_LINK_KINDS = frozenset((NET_TX, NET_RX, SCSI_TRANSFER))
+
+
+def counter_track_events(
+    spans: List[Span], tracks: Dict[str, Tuple[int, int, str, str]]
+) -> List[dict]:
+    """Perfetto counter tracks (``"ph": "C"``) derived from the spans.
+
+    Two families, both reconstructed purely from recorded spans so they
+    work on sampled traces too (a sampled counter is a coherent
+    sub-population — whole traces are kept or dropped):
+
+    * ``<disk>.queue_depth`` — per-disk outstanding requests.  A request
+      occupies the queue from its queue-wait start (its service start
+      when it never waited) to its service end; the counter steps at
+      each edge.
+    * ``<link>.occupancy`` — NIC TX/RX and SCSI bus concurrency: +1 at
+      each transfer span's start, −1 at its end.
+    """
+    # {track: [(time, delta), ...]} edge lists.
+    edges: Dict[str, List[Tuple[float, int]]] = {}
+    names: Dict[str, str] = {}
+    # Disk queue depth: join a trace's wait+service spans on one track
+    # into a single occupancy interval.
+    intervals: Dict[Tuple[str, object], List[float]] = {}
+    untraced = 0
+    for s in spans:
+        if s.kind == DISK_SERVICE or s.kind == DISK_QUEUE_WAIT:
+            if s.trace is None:
+                untraced += 1
+                key = (s.track, ("u", untraced))
+            else:
+                key = (s.track, s.trace)
+            iv = intervals.get(key)
+            if iv is None:
+                intervals[key] = [s.start, s.end]
+            else:
+                if s.start < iv[0]:
+                    iv[0] = s.start
+                if s.end > iv[1]:
+                    iv[1] = s.end
+            names[s.track] = "queue_depth"
+        elif s.kind in _LINK_KINDS:
+            edges.setdefault(s.track, []).append((s.start, 1))
+            edges[s.track].append((s.end, -1))
+            names[s.track] = "occupancy"
+    for (track, _key), (lo, hi) in intervals.items():
+        edges.setdefault(track, []).append((lo, 1))
+        edges[track].append((hi, -1))
+    events: List[dict] = []
+    for track in sorted(edges):
+        ids = tracks.get(track)
+        if ids is None:
+            continue
+        pid, _tid, _proc, thread = ids
+        name = f"{thread}.{names[track]}"
+        value = 0
+        last_ts = None
+        # Descending delta at equal times: the +1 of a back-to-back
+        # arrival lands before the -1 of the departure, so the counter
+        # never dips below the true depth at a shared timestamp.
+        for ts, delta in sorted(
+            edges[track], key=lambda e: (e[0], -e[1])
+        ):
+            value += delta
+            ts_us = ts * 1e6
+            if last_ts is not None and ts_us == last_ts:
+                events[-1]["args"]["value"] = value
+                continue
+            last_ts = ts_us
+            events.append(
+                {
+                    "ph": "C",
+                    "pid": pid,
+                    "name": name,
+                    "ts": ts_us,
+                    "args": {"value": value},
+                }
+            )
+    return events
+
+
+def chrome_trace_events(
+    spans: Iterable[Span], counters: bool = True
+) -> List[dict]:
+    """Spans as a list of Chrome trace events (metadata first).
+
+    With ``counters`` (the default), per-disk queue-depth and per-link
+    occupancy counter tracks (see :func:`counter_track_events`) are
+    appended after the duration events.
+    """
     spans = list(spans)
     tracks = _track_ids(spans)
     events: List[dict] = []
@@ -90,6 +188,8 @@ def chrome_trace_events(spans: Iterable[Span]) -> List[dict]:
         if args:
             event["args"] = args
         events.append(event)
+    if counters:
+        events.extend(counter_track_events(spans, tracks))
     return events
 
 

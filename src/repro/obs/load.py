@@ -1,0 +1,116 @@
+"""Always-on load accounting: hardware counters → a MetricsRegistry.
+
+The hardware layer already keeps cheap cumulative counters on every
+path, traced or not — :class:`~repro.hardware.disk.DiskStats` (busy
+time, bytes, per-disk read/write counts, queue-depth high-water),
+:class:`~repro.sim.shared.BandwidthLink` busy time and bytes carried
+(CPU work links, SCSI buses, NIC TX/RX) — so "load accounting" costs
+the hot path nothing beyond the one compare per disk submit that
+maintains the high-water mark.  This module is the *collection* step:
+an on-demand sweep of those counters into a
+:class:`~repro.obs.metrics.MetricsRegistry`, whose payload form merges
+across sweep shards (see ``MetricsRegistry.merge``).
+
+Conventions
+-----------
+Every name is prefixed ``load.``; per-device names embed the global
+device id (``load.disk3.busy_s``, ``load.node1.cpu_busy_s``).  All
+per-device figures are *counters* — cumulative seconds, bytes, or op
+counts — never ratios: ratios don't merge.  Utilization is derived at
+report time against ``load.sim_s`` (summed simulated seconds, so a
+merged utilization is the busy-weighted mean across shards).  The one
+exception is the queue-depth high-water, which must merge by *max*,
+not sum: each disk's high-water is observed into the shared
+``load.disk.queue_depth_hw`` histogram, whose merge keeps the exact
+max (and the cross-disk distribution for skew reporting).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Histogram of per-disk queue-depth high-water marks (merge keeps max).
+QUEUE_DEPTH_HW = "load.disk.queue_depth_hw"
+#: Histogram of per-disk busy fractions at collection time — the merged
+#: distribution is what utilization-skew reporting reads.
+DISK_UTIL = "load.disk.util"
+
+
+def collect_load(cluster, registry: Optional[MetricsRegistry] = None
+                 ) -> MetricsRegistry:
+    """Sweep a finished cluster's hardware counters into a registry.
+
+    Safe to call repeatedly only on *distinct* registries (counters are
+    cumulative adds, so a second sweep into the same registry would
+    double-count).
+    """
+    reg = registry if registry is not None else MetricsRegistry()
+    env = cluster.env
+    elapsed = env.now
+    reg.counter("load.sim_s").value += elapsed
+    for d in cluster.all_disks():
+        st = d.stats
+        base = f"load.disk{d.disk_id}"
+        reg.counter(f"{base}.busy_s").value += st.busy_time
+        reg.counter(f"{base}.busy_fg_s").value += st.busy_time_foreground
+        reg.counter(f"{base}.reads").value += st.reads
+        reg.counter(f"{base}.writes").value += st.writes
+        reg.counter(f"{base}.bytes").value += st.total_bytes
+        reg.observe(QUEUE_DEPTH_HW, st.queue_depth_hw)
+        if elapsed > 0:
+            reg.observe(DISK_UTIL, min(1.0, st.busy_time / elapsed))
+    for node in cluster.nodes:
+        base = f"load.node{node.node_id}"
+        reg.counter(f"{base}.cpu_busy_s").value += node.cpu._work.busy_time
+        reg.counter(f"{base}.scsi_busy_s").value += node.scsi._link.busy_time
+        reg.counter(f"{base}.scsi_bytes").value += node.scsi._link.bytes_carried
+    for nic in cluster.network.nics:
+        base = f"load.nic{nic.node_id}"
+        reg.counter(f"{base}.tx_busy_s").value += nic.tx.busy_time
+        reg.counter(f"{base}.rx_busy_s").value += nic.rx.busy_time
+        reg.counter(f"{base}.tx_bytes").value += nic.bytes_sent
+        reg.counter(f"{base}.rx_bytes").value += nic.bytes_received
+    storage = getattr(cluster, "storage", None)
+    engine = getattr(storage, "engine", None)
+    if engine is not None:
+        reg.counter("load.fast_submits").value += engine.fast_submits
+    return reg
+
+
+def disk_utilizations(reg: MetricsRegistry) -> Dict[int, float]:
+    """{disk id: busy fraction} derived from a (possibly merged) registry.
+
+    Uses ``load.diskN.busy_s / load.sim_s`` — over merged shards this is
+    the busy-weighted mean utilization per disk.
+    """
+    sim_s = reg.counter("load.sim_s").value
+    if not sim_s:
+        return {}
+    out: Dict[int, float] = {}
+    prefix, suffix = "load.disk", ".busy_s"
+    for name in reg.counter_names():
+        if name.startswith(prefix) and name.endswith(suffix):
+            ident = name[len(prefix):-len(suffix)]
+            if ident.isdigit():
+                out[int(ident)] = min(
+                    1.0, reg.counter(name).value / sim_s
+                )
+    return out
+
+
+def utilization_skew(reg: MetricsRegistry) -> float:
+    """Max/mean per-disk utilization — 1.0 is perfectly even.
+
+    The headline balance figure for ``sc`` rows and reports: RAID-x's
+    orthogonal mirror layout should keep it near 1, while skewed
+    layouts (or unbalanced mirror-read policies) push it up.
+    """
+    utils: List[float] = list(disk_utilizations(reg).values())
+    if not utils:
+        return float("nan")
+    mean = sum(utils) / len(utils)
+    if mean <= 0:
+        return float("nan")
+    return max(utils) / mean

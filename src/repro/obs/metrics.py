@@ -198,6 +198,43 @@ class MetricsRegistry:
         self._counters.clear()
         self._histograms.clear()
 
+    # -- shard merging ---------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in: counters add, histograms merge.
+
+        Merging registries in a fixed order (the sweep reducer walks
+        shard rows in seed order) keeps float counter totals
+        byte-identical no matter how many workers produced the shards.
+        """
+        for name, c in other._counters.items():
+            self.counter(name).value += c.value
+        for name, h in other._histograms.items():
+            self.histogram(name).merge(h)
+
+    def to_payload(self) -> Dict:
+        """A JSON-safe dict that roundtrips exactly (like
+        :meth:`LogHistogram.to_payload`) — shard rows carry one of these
+        through the content-addressed sweep cache."""
+        return {
+            "counters": {
+                n: self._counters[n].value for n in sorted(self._counters)
+            },
+            "histograms": {
+                n: self._histograms[n].to_payload()
+                for n in sorted(self._histograms)
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`to_payload` output."""
+        reg = cls()
+        for name, value in payload.get("counters", {}).items():
+            reg.counter(name).value = value
+        for name, hp in payload.get("histograms", {}).items():
+            reg._histograms[name] = LogHistogram.from_payload(hp, name)
+        return reg
+
     # -- reporting -------------------------------------------------------
     def snapshot(self) -> Dict[str, Dict]:
         """All metrics as plain data (counters + histogram summaries)."""

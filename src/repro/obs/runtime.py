@@ -26,11 +26,20 @@ from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 TRACER: Union[Tracer, NullTracer] = NULL_TRACER
 
 
-def install(tracer: Optional[Tracer] = None) -> Tracer:
-    """Install ``tracer`` (or a fresh one) as the active tracer."""
+def install(
+    tracer: Optional[Tracer] = None,
+    sample_rate: float = 1.0,
+    sample_seed: int = 0,
+) -> Tracer:
+    """Install ``tracer`` (or a fresh one) as the active tracer.
+
+    ``sample_rate``/``sample_seed`` configure deterministic trace
+    sampling on the freshly built tracer (ignored when ``tracer`` is
+    passed in — it already carries its own sampling policy).
+    """
     global TRACER
     if tracer is None:
-        tracer = Tracer()
+        tracer = Tracer(sample_rate=sample_rate, sample_seed=sample_seed)
     TRACER = tracer
     return tracer
 
@@ -47,11 +56,17 @@ def reset() -> None:
 
 
 @contextmanager
-def tracing(tracer: Optional[Tracer] = None) -> Iterator[Tracer]:
+def tracing(
+    tracer: Optional[Tracer] = None,
+    sample_rate: float = 1.0,
+    sample_seed: int = 0,
+) -> Iterator[Tracer]:
     """Context manager: install a tracer, restore the previous on exit."""
     global TRACER
     previous = TRACER
-    active = install(tracer)
+    active = install(
+        tracer, sample_rate=sample_rate, sample_seed=sample_seed
+    )
     try:
         yield active
     finally:

@@ -148,11 +148,15 @@ class OpenSpan:
 
     @property
     def closed(self) -> bool:
-        return self.span is not None
+        return "_start" not in self.args
 
     def close(self, **more: Any) -> Optional[Span]:
-        """Record the span ``[open time, env.now]``; idempotent."""
-        if self.span is None:
+        """Record the span ``[open time, env.now]``; idempotent.
+
+        Returns ``None`` when the trace was sampled out (the metrics
+        observation still happened exactly once).
+        """
+        if "_start" in self.args:
             start = self.args.pop("_start")
             self.args.update(more)
             self.span = self.tracer.record(
@@ -188,6 +192,9 @@ class _NullOpenSpan:
 _NULL_OPEN_SPAN = _NullOpenSpan()
 
 
+_MASK64 = (1 << 64) - 1
+
+
 class Tracer:
     """Collects spans and feeds per-kind latency histograms.
 
@@ -195,6 +202,15 @@ class Tracer:
     tracks (``raidx/node0.disk1``) and a second set of histogram keys
     (``raidx:disk.service``), so one tracer can hold several runs —
     RAID-x vs RAID-5 — side by side for direct comparison.
+
+    ``sample_rate`` < 1.0 turns on deterministic trace sampling: each
+    trace id is kept or dropped by a seeded integer hash (no RNG state,
+    no draw order), so the same id gets the same decision in every
+    process — a sharded sweep samples coherently.  Sampled-out requests
+    append no spans but still feed every latency histogram and counter:
+    percentiles stay exact over the full population while span memory
+    scales with the rate.  Spans recorded without a trace id (background
+    flushes, checkpoints) are always kept.
     """
 
     enabled = True
@@ -203,16 +219,39 @@ class Tracer:
         self,
         metrics: Optional[MetricsRegistry] = None,
         label: str = "",
+        sample_rate: float = 1.0,
+        sample_seed: int = 0,
     ):
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError("sample_rate must be within [0, 1]")
         self.spans: List[Span] = []
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.label = label
+        self.sample_rate = sample_rate
+        self.sample_seed = sample_seed
+        self._sample_all = sample_rate >= 1.0
         self._trace_ids = count(1)
 
     # -- recording -------------------------------------------------------
     def new_trace(self) -> int:
         """A fresh trace id linking the spans of one logical request."""
         return next(self._trace_ids)
+
+    def keeps(self, trace: Optional[int]) -> bool:
+        """The deterministic per-trace sampling decision.
+
+        A pure splitmix64-style finalizer over ``trace ^ sample_seed``
+        mapped to [0, 1): stateless, order-independent, identical across
+        processes.  Untraced spans (``trace is None``) are always kept.
+        """
+        if trace is None or self._sample_all:
+            return True
+        x = (trace ^ self.sample_seed) & _MASK64
+        x = (x * 0x9E3779B97F4A7C15) & _MASK64
+        x ^= x >> 29
+        x = (x * 0xBF58476D1CE4E5B9) & _MASK64
+        x ^= x >> 32
+        return (x >> 11) * 2.0 ** -53 < self.sample_rate
 
     def record(
         self,
@@ -222,18 +261,35 @@ class Tracer:
         end: float,
         trace: Optional[int] = None,
         **args: Any,
-    ) -> Span:
-        """Record one completed span and update the latency metrics."""
+    ) -> Optional[Span]:
+        """Record one completed span and update the latency metrics.
+
+        Metrics are fed unconditionally; the span itself is appended
+        only when the trace passes :meth:`keeps` — sampling thins span
+        storage, never the statistics.
+        """
         label = self.label
         if label:
             track = f"{label}/{track}"
-        span = Span(kind, track, start, end, trace, args or None)
-        self.spans.append(span)
+        span = None
+        if self._sample_all or self.keeps(trace):
+            span = Span(kind, track, start, end, trace, args or None)
+            self.spans.append(span)
         duration = end - start
         self.metrics.observe(kind, duration)
         if label:
             self.metrics.observe(f"{label}:{kind}", duration)
         return span
+
+    def observe(self, kind: str, duration: float) -> None:
+        """Feed the latency histograms exactly as :meth:`record` would.
+
+        Used where a span's append is elided (a sampled-out request on
+        the fast-forward path) but its statistics must still land.
+        """
+        self.metrics.observe(kind, duration)
+        if self.label:
+            self.metrics.observe(f"{self.label}:{kind}", duration)
 
     def count(self, name: str, delta: int = 1) -> None:
         """Bump a registry counter (label-prefixed when a label is set)."""
@@ -289,7 +345,13 @@ class NullTracer:
     def new_trace(self) -> None:
         return None
 
+    def keeps(self, trace: Optional[int]) -> bool:
+        return False
+
     def record(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def observe(self, *args: Any, **kwargs: Any) -> None:
         return None
 
     def count(self, *args: Any, **kwargs: Any) -> None:

@@ -33,11 +33,18 @@ def test_unknown_artifact_rejected(capsys):
 
 def test_artifact_table_complete():
     # Every paper artifact id from DESIGN.md's index has a runner, plus
-    # the write-path trace demo and the scale sweep.
+    # the write-path trace demo, the scale sweep, and the telemetry
+    # report.
     assert set(ARTIFACTS) == {"t2", "f1", "f3", "f5", "t3", "f6", "f7",
-                              "c1", "tr", "sc"}
+                              "c1", "tr", "sc", "report"}
     for _title, fn in ARTIFACTS.values():
         assert callable(fn)
+
+
+def test_report_artifact_not_in_default_run():
+    from repro.bench.__main__ import _ON_REQUEST
+
+    assert "report" in _ON_REQUEST
 
 
 def test_trace_flag_writes_perfetto_trace(tmp_path, capsys):
@@ -66,6 +73,59 @@ def test_trace_flag_writes_perfetto_trace(tmp_path, capsys):
     assert jsonl_path.read_text().count("\n") == len(
         [e for e in doc["traceEvents"] if e.get("ph") == "X"]
     )
+
+
+def test_trace_flag_honours_sampling(tmp_path, capsys):
+    import json
+
+    full_path = tmp_path / "full.json"
+    thin_path = tmp_path / "thin.json"
+    assert main(["--trace", str(full_path)]) == 0
+    assert main([
+        "--trace", str(thin_path), "--sample-rate", "0.2",
+        "--sample-seed", "7",
+    ]) == 0
+    capsys.readouterr()
+    n_full = len(json.loads(full_path.read_text())["traceEvents"])
+    n_thin = len(json.loads(thin_path.read_text())["traceEvents"])
+    assert 0 < n_thin < n_full
+
+
+def test_counter_tracks_in_exported_trace(tmp_path):
+    import json
+
+    trace_path = tmp_path / "trace.json"
+    assert main(["--trace", str(trace_path)]) == 0
+    counters = [
+        e for e in json.loads(trace_path.read_text())["traceEvents"]
+        if e.get("ph") == "C"
+    ]
+    names = {e["name"] for e in counters}
+    assert any(n.endswith(".queue_depth") for n in names)
+    assert any(n.endswith(".occupancy") for n in names)
+    assert all("value" in e["args"] for e in counters)
+
+
+def test_report_artifact_json(capsys):
+    assert main([
+        "report", "--json", "--shards", "2", "--requests", "400",
+        "--no-cache",
+    ]) == 0
+    import json
+
+    from repro.bench import cache as bench_cache
+
+    bench_cache.set_enabled(True)
+    out = capsys.readouterr().out
+    payload = out[out.index("{"):out.rindex("}") + 1]
+    data = json.loads(payload)
+    assert {p["n_nodes"] for p in data["points"]} == {12, 64, 256}
+    for p in data["points"]:
+        assert p["latency_ms"]["p50"] <= p["latency_ms"]["p99"]
+        assert p["disk_util"]["skew"] >= 1.0
+        assert p["queue_depth_hw"]["max"] >= 1
+    assert data["attribution"]["bottleneck"]["name"]
+    assert data["attribution"]["n_spans"] > 0
 
 
 def test_trace_flag_leaves_tracing_disabled(tmp_path):

@@ -63,6 +63,7 @@ def _signature(cluster, results):
                 "bw": _hex(d.stats.bytes_written),
                 "seq": d.stats.sequential_hits,
                 "depth": d.scheduler.max_depth_seen,
+                "qd_hw": d.stats.queue_depth_hw,
             }
             for d in cluster.all_disks()
         ],
@@ -78,6 +79,7 @@ def _run_scenario(
     traced=False,
     locking=False,
     read_policy="static",
+    sample=1.0,
 ):
     """Drive a seeded request mix with node-FF forced on or off.
 
@@ -147,7 +149,7 @@ def _run_scenario(
         storage.repair_disk(1)
 
     if traced:
-        ctx = obs_runtime.tracing()
+        ctx = obs_runtime.tracing(sample_rate=sample, sample_seed=7)
         tracer = ctx.__enter__()
     env.process(driver())
     if chaos:
@@ -201,14 +203,34 @@ def test_node_ff_with_chaos_kill_switch():
     assert not cluster.storage.node_ff
 
 
-def test_node_ff_traced_runs_fall_back_span_identical():
+def test_node_ff_traced_runs_span_identical():
     phase, _ = _run_scenario(False, arch="raidx", traced=True)
     ff, cluster = _run_scenario(True, arch="raidx", traced=True)
     assert ff == phase
     assert ff["n_spans"] > 100
-    # Tracing disables the shortcut entirely: spans must come from the
-    # full event-driven path in both runs.
-    assert cluster.storage.engine.fast_submits == 0
+    # Tracing no longer disables the shortcut: the lockstep span
+    # synthesis (FFSpanSynth) emits the phase path's spans from the
+    # closed-form terms — same timestamps, same append order, same
+    # trace ids — so the full-signature comparison above covers the
+    # span stream hash too.
+    assert cluster.storage.engine.fast_submits > 5
+
+
+def test_node_ff_sampled_tracing_span_identical():
+    # Deterministic sampling keeps the same trace ids on both paths
+    # (ids allocate in submit order either way), so the sampled span
+    # streams must also match byte for byte — while keeping fewer
+    # spans than the full trace.
+    full, _ = _run_scenario(True, arch="raidx", traced=True)
+    phase, _ = _run_scenario(
+        False, arch="raidx", traced=True, sample=0.25
+    )
+    ff, cluster = _run_scenario(
+        True, arch="raidx", traced=True, sample=0.25
+    )
+    assert ff == phase
+    assert cluster.storage.engine.fast_submits > 5
+    assert 0 < ff["n_spans"] < full["n_spans"]
 
 
 def test_node_ff_shortest_queue_reads_fall_back():

@@ -98,3 +98,68 @@ def test_obs003_silent_inside_runtime_module():
         """,
         module="repro.obs.runtime",
     )
+
+
+# -- OBS004: sampling decisions are deterministic ------------------------
+
+def test_obs004_fires_on_rng_draw_in_sampler():
+    assert "OBS004" in lint(
+        """
+        import random
+
+        def keeps(self, trace):
+            return random.random() < self.sample_rate
+        """,
+        module="repro.obs.fixture",
+    )
+
+
+def test_obs004_fires_on_wall_clock_in_sampler():
+    assert "OBS004" in lint(
+        """
+        import time
+
+        def sample_decision(trace, rate):
+            return (time.time_ns() % 100) / 100.0 < rate
+        """,
+        module="repro.obs.fixture",
+    )
+
+
+def test_obs004_fires_on_unseeded_numpy_rng_in_sampler():
+    assert "OBS004" in lint(
+        """
+        import numpy.random
+
+        def resample(traces, rate):
+            rng = numpy.random.default_rng()
+            return [t for t in traces if rng.random() < rate]
+        """
+    )
+
+
+def test_obs004_silent_on_seeded_hash_sampler():
+    assert "OBS004" not in lint(
+        """
+        def keeps(self, trace):
+            x = (trace ^ self.sample_seed) & ((1 << 64) - 1)
+            x = (x * 0x9E3779B97F4A7C15) & ((1 << 64) - 1)
+            x ^= x >> 29
+            return (x >> 11) * 2.0 ** -53 < self.sample_rate
+        """,
+        module="repro.obs.fixture",
+    )
+
+
+def test_obs004_silent_outside_sampler_functions():
+    # RNG use in a non-sampling function is SIM002's business (and only
+    # inside the sim scope), not OBS004's.
+    assert "OBS004" not in lint(
+        """
+        import random
+
+        def shuffle_work(items):
+            random.shuffle(items)
+            return items
+        """
+    )

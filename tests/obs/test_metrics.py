@@ -1,5 +1,6 @@
 """Counters, log-bucketed histograms, and the metrics registry."""
 
+import json
 import math
 
 import pytest
@@ -129,3 +130,80 @@ class TestMetricsRegistry:
         reg.clear()
         assert reg.counter_names() == []
         assert reg.histogram_names() == []
+
+
+def _registry(counters, samples):
+    reg = MetricsRegistry()
+    for name, v in counters.items():
+        reg.counter(name).value = v
+    for name, values in samples.items():
+        for v in values:
+            reg.observe(name, v)
+    return reg
+
+
+def _flat(reg):
+    """Registry contents as comparable plain data (exact, not summary)."""
+    return (
+        {n: reg.counter(n).value for n in reg.counter_names()},
+        {n: reg.histogram(n).to_payload() for n in reg.histogram_names()},
+    )
+
+
+class TestMetricsRegistryMerge:
+    """The shard-merge algebra the sweep reducer relies on."""
+
+    A = ({"ops": 3, "busy": 1.25}, {"lat": [0.001, 0.004, 0.010]})
+    B = ({"ops": 5, "bytes": 4096}, {"lat": [0.002], "wait": [0.5]})
+    C = ({"busy": 0.5}, {"wait": [0.25, 0.125]})
+
+    def test_empty_is_identity(self):
+        reg = _registry(*self.A)
+        reg.merge(MetricsRegistry())
+        assert _flat(reg) == _flat(_registry(*self.A))
+        empty = MetricsRegistry()
+        empty.merge(_registry(*self.A))
+        assert _flat(empty) == _flat(_registry(*self.A))
+
+    def test_commutative(self):
+        ab = _registry(*self.A)
+        ab.merge(_registry(*self.B))
+        ba = _registry(*self.B)
+        ba.merge(_registry(*self.A))
+        # Disjoint-or-integer counters and bucketed histograms make the
+        # merge exactly commutative here; shared float counters are
+        # commutative too (IEEE a+b == b+a) though not associative.
+        assert _flat(ab) == _flat(ba)
+
+    def test_associative(self):
+        left = _registry(*self.A)
+        left.merge(_registry(*self.B))
+        left.merge(_registry(*self.C))
+        bc = _registry(*self.B)
+        bc.merge(_registry(*self.C))
+        right = _registry(*self.A)
+        right.merge(bc)
+        assert _flat(left) == _flat(right)
+
+    def test_payload_roundtrip_exact(self):
+        reg = _registry(*self.A)
+        reg.merge(_registry(*self.B))
+        payload = reg.to_payload()
+        via_json = json.loads(json.dumps(payload, sort_keys=True))
+        rebuilt = MetricsRegistry.from_payload(via_json)
+        assert _flat(rebuilt) == _flat(reg)
+        assert rebuilt.to_payload() == payload
+
+    def test_merge_matches_single_registry(self):
+        """Sharded collection then merge == one registry fed everything."""
+        merged = _registry(*self.A)
+        for part in (self.B, self.C):
+            merged.merge(_registry(*part))
+        whole = MetricsRegistry()
+        for counters, samples in (self.A, self.B, self.C):
+            for name, v in counters.items():
+                whole.counter(name).value += v
+            for name, values in samples.items():
+                for v in values:
+                    whole.observe(name, v)
+        assert _flat(merged) == _flat(whole)

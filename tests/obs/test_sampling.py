@@ -1,0 +1,121 @@
+"""Deterministic trace sampling: the keep/drop hash and its contracts.
+
+The sampler's whole value is that a trace id's keep/drop decision is a
+pure function of ``(trace, sample_seed, sample_rate)`` — no RNG state,
+no draw order, no process identity.  These tests pin that: decisions
+are stable across tracer instances and across *separate interpreter
+processes* (the sharded-sweep case), the realized keep fraction tracks
+the configured rate, and sampled-out requests still feed every
+histogram (statistics stay exact over the full population).
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.obs.trace import Tracer
+
+IDS = list(range(1, 2001))
+
+
+def test_same_id_same_decision_across_instances():
+    a = Tracer(sample_rate=0.3, sample_seed=42)
+    b = Tracer(sample_rate=0.3, sample_seed=42)
+    assert [a.keeps(t) for t in IDS] == [b.keeps(t) for t in IDS]
+
+
+def test_decision_is_stable_across_processes():
+    """A fresh interpreter reaches the identical keep set.
+
+    This is what lets sweep shards running in a process pool sample
+    coherently: the decision depends only on (trace, seed, rate).
+    """
+    code = (
+        "from repro.obs.trace import Tracer\n"
+        "t = Tracer(sample_rate=0.3, sample_seed=42)\n"
+        "print(''.join('1' if t.keeps(i) else '0' "
+        "for i in range(1, 2001)))\n"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        check=True,
+    ).stdout.strip()
+    local = Tracer(sample_rate=0.3, sample_seed=42)
+    assert out == "".join("1" if local.keeps(i) else "0" for i in IDS)
+
+
+def test_keep_fraction_tracks_rate():
+    for rate in (0.1, 0.5, 0.9):
+        t = Tracer(sample_rate=rate, sample_seed=7)
+        kept = sum(t.keeps(i) for i in IDS) / len(IDS)
+        assert kept == pytest.approx(rate, abs=0.05)
+
+
+def test_seed_changes_the_sample_not_the_rate():
+    a = Tracer(sample_rate=0.5, sample_seed=1)
+    b = Tracer(sample_rate=0.5, sample_seed=2)
+    decisions_a = [a.keeps(t) for t in IDS]
+    decisions_b = [b.keeps(t) for t in IDS]
+    assert decisions_a != decisions_b
+    assert sum(decisions_a) == pytest.approx(sum(decisions_b), rel=0.15)
+
+
+def test_rate_boundaries():
+    keep_all = Tracer(sample_rate=1.0)
+    assert all(keep_all.keeps(t) for t in IDS)
+    keep_none = Tracer(sample_rate=0.0)
+    assert not any(keep_none.keeps(t) for t in IDS)
+    # Untraced spans (background flushes, checkpoints) are always kept.
+    assert keep_none.keeps(None)
+
+
+def test_rate_validated():
+    with pytest.raises(ValueError):
+        Tracer(sample_rate=1.5)
+    with pytest.raises(ValueError):
+        Tracer(sample_rate=-0.1)
+
+
+def test_sampled_out_spans_still_feed_metrics():
+    t = Tracer(sample_rate=0.0, sample_seed=0)
+    for i in IDS[:100]:
+        assert t.record("request", "node0", 0.0, 0.001, trace=i) is None
+    assert len(t.spans) == 0
+    assert t.metrics.histogram("request").count == 100
+
+
+def test_sampled_in_subset_of_full_trace():
+    full = Tracer(sample_rate=1.0)
+    thin = Tracer(sample_rate=0.25, sample_seed=9)
+    for i in IDS[:200]:
+        full.record("request", "node0", 0.0, 0.001, trace=i)
+        thin.record("request", "node0", 0.0, 0.001, trace=i)
+    kept = {s.trace for s in thin.spans}
+    assert 0 < len(kept) < 200
+    assert kept == {i for i in IDS[:200] if thin.keeps(i)}
+    # Metrics populations are identical despite the thinned span list.
+    assert (
+        thin.metrics.histogram("request").count
+        == full.metrics.histogram("request").count
+    )
+
+
+def test_observe_matches_record_side_effects():
+    """Tracer.observe (the fast-forward sampled-out path) feeds the
+    same histogram keys record() would."""
+    via_record = Tracer(label="raidx")
+    via_record.record("request", "node0", 0.0, 0.004, trace=1)
+    via_observe = Tracer(label="raidx", sample_rate=0.0)
+    via_observe.observe("request", 0.004)
+    assert (
+        via_record.metrics.histogram_names()
+        == via_observe.metrics.histogram_names()
+    )
+    for name in via_record.metrics.histogram_names():
+        assert (
+            via_record.metrics.histogram(name).to_payload()
+            == via_observe.metrics.histogram(name).to_payload()
+        )
