@@ -17,6 +17,17 @@ Rule families (see each module's docstring for the full rationale):
   slot only, open spans always closed.
 * **ARCH** (:mod:`repro.lint.rules_arch`) — import layering, the
   Disk/ScsiBus boundary, cycle detection.
+* **FF** (:mod:`repro.lint.rules_ff`) — the fast-forward legality
+  contract: guard-state mutations only at owning sites, float-only
+  pricing, ``ff_preload`` downstream of ``ff_ready``.
+* **LINT** (:mod:`repro.lint.rules_lint`) — stale suppressions.
+
+The SIM taint, LOCK, OBS span, and FF families are *interprocedural*:
+they share one project call graph (:mod:`repro.lint.callgraph`) and
+per-function summary tables (:mod:`repro.lint.summaries`), so a
+violation hidden one call deep — a wall-clock read in a helper, a lock
+released in a callee, a guard-state write in a function nobody guards —
+is caught at the boundary where it matters.
 
 Baseline: findings whose fingerprints appear in ``lint-baseline.json``
 are grandfathered (reported but not fatal).  The repo's committed
@@ -25,6 +36,8 @@ justify a line-scoped ``# lint: ignore[CODE]`` instead.
 """
 
 from __future__ import annotations
+
+from typing import Sequence
 
 from repro.lint.baseline import load_baseline, split_by_baseline
 from repro.lint.core import (
@@ -36,19 +49,28 @@ from repro.lint.core import (
     run_rules,
 )
 from repro.lint.rules_arch import RULES as ARCH_RULES
+from repro.lint.rules_ff import RULES as FF_RULES
+from repro.lint.rules_lint import RULES as LINT_RULES
 from repro.lint.rules_lock import RULES as LOCK_RULES
 from repro.lint.rules_obs import RULES as OBS_RULES
 from repro.lint.rules_sim import RULES as SIM_RULES
 
-#: Every registered rule, in reporting order.
-ALL_RULES = tuple(SIM_RULES) + tuple(LOCK_RULES) + tuple(OBS_RULES) + tuple(
-    ARCH_RULES
+#: Every registered rule, in reporting order.  LINT_RULES must stay
+#: last: LINT001 reports the suppressions every *earlier* rule's
+#: findings failed to use.
+ALL_RULES = (
+    tuple(SIM_RULES)
+    + tuple(LOCK_RULES)
+    + tuple(OBS_RULES)
+    + tuple(ARCH_RULES)
+    + tuple(FF_RULES)
+    + tuple(LINT_RULES)
 )
 
 
 def lint_paths(
-    paths,
-    select=None,
+    paths: Sequence[str],
+    select: Sequence[str] | None = None,
 ) -> list[Finding]:
     """Parse ``paths`` and run every (selected) rule; returns findings."""
     mods, parse_errors = load_modules(paths)
@@ -56,8 +78,8 @@ def lint_paths(
 
 
 def lint_sources(
-    sources: dict,
-    select=None,
+    sources: dict[str, str],
+    select: Sequence[str] | None = None,
 ) -> list[Finding]:
     """Lint in-memory sources (``{module_name: source}``) — the fixture
     entry point the rule tests use."""

@@ -10,10 +10,12 @@ import argparse
 import json
 import sys
 from collections import Counter
+from typing import Sequence
 
 from repro.lint import ALL_RULES, lint_paths
 from repro.lint.baseline import (
     load_baseline,
+    prune_baseline,
     split_by_baseline,
     write_baseline,
 )
@@ -50,13 +52,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="write every current finding to the baseline file and exit 0",
     )
     parser.add_argument(
+        "--prune-baseline", action="store_true",
+        help="drop baseline fingerprints that no longer match any "
+        "finding (stale grandfathering), then exit 0",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print the registered rules and exit",
     )
     return parser
 
 
-def main(argv=None) -> int:
+def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.list_rules:
@@ -75,6 +82,15 @@ def main(argv=None) -> int:
         write_baseline(args.baseline, findings)
         print(
             f"wrote {len(findings)} fingerprint(s) to {args.baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.prune_baseline:
+        kept, dropped = prune_baseline(args.baseline, findings)
+        print(
+            f"pruned {dropped} stale fingerprint(s) from {args.baseline} "
+            f"({kept} kept)",
             file=sys.stderr,
         )
         return 0

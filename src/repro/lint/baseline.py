@@ -39,6 +39,24 @@ def write_baseline(path: str | Path, findings: Iterable[Finding]) -> None:
     )
 
 
+def prune_baseline(
+    path: str | Path, findings: Sequence[Finding]
+) -> tuple[int, int]:
+    """Drop baseline fingerprints no longer matched by any current
+    finding; returns ``(kept, dropped)``.  The file is rewritten only
+    when something was dropped."""
+    baseline = load_baseline(path)
+    current = {f.fingerprint for f in findings}
+    kept = sorted(baseline & current)
+    dropped = len(baseline) - len(kept)
+    if dropped:
+        payload = {"version": BASELINE_VERSION, "fingerprints": kept}
+        Path(path).write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+    return len(kept), dropped
+
+
 def split_by_baseline(
     findings: Sequence[Finding], baseline: set
 ) -> tuple:

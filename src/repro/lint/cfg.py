@@ -24,13 +24,31 @@ Any exit reached with a non-empty held set is a leak, reported at the
 acquire site.  The analysis is deliberately conservative in the safe
 direction for this codebase's idioms — ``try/finally``, ``with``, and
 immediate ownership transfer into a handle structure all verify clean.
+
+**Interprocedural extension.**  The same interpreter also runs in two
+cross-function modes (driven by :mod:`repro.lint.summaries`):
+
+* *summary mode* — the function's parameters are seeded as held tokens
+  (``initial=``) and the exit states classify each parameter's fate:
+  ``releases`` (released on every path out), ``keeps`` (still held on
+  every exit — the caller must release), ``escapes`` (stored/forwarded
+  — ownership left the function), or ``mixed`` (released on some paths
+  only — the caller cannot know).  A function that acquires and hands
+  the token back on every return is flagged ``returns_acquired``.
+* *caller mode* — a ``resolver(call) -> LockSummary | None`` maps call
+  sites onto callee summaries: passing a held token to a ``releases``
+  callee credits the release, a ``keeps`` callee leaves it held (so a
+  later leak is still caught), a ``mixed`` callee is itself reported
+  (the LOCK003 class), and a call that ``returns_acquired`` counts as
+  an acquire.  Unresolved calls keep the old ownership-transfer
+  behavior, so intraprocedural results are unchanged.
 """
 
 from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Callable, Iterator, Optional
 
 State = frozenset  # of held token names
 
@@ -50,6 +68,33 @@ class ResourceSpec:
     leak_code: str
     #: finding code for a discarded acquire result (no token to release)
     discard_code: str
+
+
+#: Parameter fates a summary can assign (see the module docstring).
+FATE_RELEASES = "releases"
+FATE_KEEPS = "keeps"
+FATE_ESCAPES = "escapes"
+FATE_MIXED = "mixed"
+
+
+@dataclass
+class LockSummary:
+    """Cross-function behavior of one callee, from the caller's side."""
+
+    qualname: str
+    #: positional parameter names (``self``/``cls`` already stripped —
+    #: or re-prefixed with the ``<self>`` placeholder by the resolver
+    #: for explicit ``ClassName.method(obj, ...)`` call syntax).
+    param_order: tuple
+    #: parameter name -> one of the FATE_* strings.
+    fates: dict
+    #: the call's return value is a freshly acquired token on every path.
+    returns_acquired: bool
+
+
+#: Resolves a call site to the callee's summary, or None when the callee
+#: is unknown / unresolvable / part of a recursion cycle.
+Resolver = Callable[[ast.Call], Optional[LockSummary]]
 
 
 @dataclass
@@ -72,21 +117,82 @@ class _BlockOut:
 class FunctionAnalysis:
     """Run the leak analysis over one function body."""
 
-    def __init__(self, func: ast.AST, spec: ResourceSpec):
+    def __init__(
+        self,
+        func: ast.AST,
+        spec: ResourceSpec,
+        resolver: Resolver | None = None,
+        initial: tuple = (),
+    ):
         self.func = func
         self.spec = spec
+        #: call-site -> callee LockSummary (interprocedural mode only).
+        self.resolver = resolver
+        #: token names held on entry (summary mode seeds the parameters).
+        self.initial = tuple(initial)
         #: token name -> acquire call node (for reporting)
         self.acquire_sites: dict[str, ast.AST] = {}
         self.leaks: dict[int, ast.AST] = {}
         self.discards: list[ast.AST] = []
+        #: (id(call), token) -> (call node, token, callee qualname) for
+        #: held tokens passed to a callee with a ``mixed`` fate.
+        self.mixed_calls: dict[tuple, tuple] = {}
+        #: fate bookkeeping for summary mode.
+        self.released_ever: set = set()
+        self.escaped_ever: set = set()
+        #: one bool per (return stmt, state): the value handed back is a
+        #: held acquired token (or a direct acquire call).
+        self.return_token_flags: list[bool] = []
+        self._returns_direct_acquire = False
+        self.out: _BlockOut | None = None
 
     # -- entry -------------------------------------------------------------
     def run(self) -> None:
-        out = self._exec_block(self.func.body, {State()})
+        self.out = self._exec_block(self.func.body, {State(self.initial)})
+        out = self.out
         for _node, state in out.ret + out.raise_:
             self._note_leak(state)
         for state in out.fall:
             self._note_leak(state)
+
+    # -- summary-mode classification ---------------------------------------
+    def param_fates(self) -> dict:
+        """Fate of every ``initial`` token, from the final exit states.
+        Call after :meth:`run`."""
+        assert self.out is not None
+        out = self.out
+        exits = (
+            [s for _n, s in out.ret]
+            + [s for _n, s in out.raise_]
+            + list(out.fall)
+        )
+        fates: dict = {}
+        for name in self.initial:
+            held_some = any(name in s for s in exits)
+            held_all = bool(exits) and all(name in s for s in exits)
+            if name in self.escaped_ever:
+                fates[name] = FATE_ESCAPES
+            elif held_all and name not in self.released_ever:
+                fates[name] = FATE_KEEPS
+            elif not held_some and name in self.released_ever:
+                fates[name] = FATE_RELEASES
+            elif not held_some:
+                # Vanished without an explicit release (rebinding, ...).
+                fates[name] = FATE_ESCAPES
+            else:
+                fates[name] = FATE_MIXED
+        return fates
+
+    def returns_acquired(self) -> bool:
+        """Every path out returns a freshly acquired, still-held token."""
+        assert self.out is not None
+        if self.leaks or self.discards:
+            return False
+        if not self.acquire_sites and not self._returns_direct_acquire:
+            return False
+        if self.out.fall:  # falling off the end returns None
+            return False
+        return bool(self.return_token_flags) and all(self.return_token_flags)
 
     def _note_leak(self, state: State) -> None:
         for token in state:
@@ -105,27 +211,63 @@ class FunctionAnalysis:
             and expr.func.attr in self.spec.acquire_methods
         ):
             return expr
+        if self.resolver is not None and isinstance(expr, ast.Call):
+            summary = self.resolver(expr)
+            if summary is not None and summary.returns_acquired:
+                return expr
         return None
 
+    def _summary_token_fates(self, call: ast.Call, state: State) -> Iterator[tuple]:
+        """``(token, fate, callee)`` for each held token passed to a call
+        the resolver maps onto a summary."""
+        if self.resolver is None:
+            return
+        summary = self.resolver(call)
+        if summary is None:
+            return
+        for i, arg in enumerate(call.args):
+            if not isinstance(arg, ast.Name) or arg.id not in state:
+                continue
+            if i >= len(summary.param_order):
+                continue  # *args tail: no mapping, keep escape behavior
+            fate = summary.fates.get(summary.param_order[i])
+            if fate is not None:
+                yield arg.id, fate, summary.qualname
+        for kw in call.keywords:
+            if kw.arg is None or not isinstance(kw.value, ast.Name):
+                continue
+            if kw.value.id not in state:
+                continue
+            fate = summary.fates.get(kw.arg)
+            if fate is not None:
+                yield kw.value.id, fate, summary.qualname
+
     def _released_tokens(self, stmt: ast.stmt, state: State) -> set:
-        """Tokens released by ``stmt`` (``obj.release(tok)`` / ``tok.close()``)."""
+        """Tokens released by ``stmt`` (``obj.release(tok)`` / ``tok.close()``
+        / a held token passed to a callee summarized as ``releases``)."""
         released = set()
+        if not state:
+            return released
         for node in ast.walk(stmt):
             if not isinstance(node, ast.Call):
                 continue
             func = node.func
-            if not (
+            if (
                 isinstance(func, ast.Attribute)
                 and func.attr in self.spec.release_methods
             ):
-                continue
-            # tok.close() style: the receiver is the token itself.
-            if isinstance(func.value, ast.Name) and func.value.id in state:
-                released.add(func.value.id)
-            # obj.release(tok) style: the token rides as an argument.
-            for arg in node.args:
-                if isinstance(arg, ast.Name) and arg.id in state:
-                    released.add(arg.id)
+                # tok.close() style: the receiver is the token itself.
+                if isinstance(func.value, ast.Name) and func.value.id in state:
+                    released.add(func.value.id)
+                # obj.release(tok) style: the token rides as an argument.
+                for arg in node.args:
+                    if isinstance(arg, ast.Name) and arg.id in state:
+                        released.add(arg.id)
+            elif self.resolver is not None:
+                for tok, fate, _callee in self._summary_token_fates(node, state):
+                    if fate == FATE_RELEASES:
+                        released.add(tok)
+        self.released_ever.update(released)
         return released
 
     def _escaping_tokens(self, stmt: ast.stmt, state: State) -> set:
@@ -139,6 +281,29 @@ class FunctionAnalysis:
         for node in ast.walk(stmt):
             if isinstance(node, ast.Yield) and isinstance(node.value, ast.Name):
                 kept.add(node.value.id)
+        # Node-identity-level exemptions: an argument position that a
+        # callee summary proves keeps (or releases) the token does not
+        # transfer ownership; any *other* use of the same name in the
+        # statement still escapes.
+        kept_ids: set = set()
+        if self.resolver is not None:
+            for node in ast.walk(stmt):
+                if not isinstance(node, ast.Call):
+                    continue
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in self.spec.release_methods
+                ):
+                    continue
+                for tok, fate, callee in self._summary_token_fates(node, state):
+                    if fate in (FATE_KEEPS, FATE_RELEASES):
+                        for arg in list(node.args) + [
+                            kw.value for kw in node.keywords
+                        ]:
+                            if isinstance(arg, ast.Name) and arg.id == tok:
+                                kept_ids.add(id(arg))
+                    elif fate == FATE_MIXED:
+                        self.mixed_calls[(id(node), tok)] = (node, tok, callee)
         escapes = set()
         for node in ast.walk(stmt):
             if (
@@ -147,8 +312,10 @@ class FunctionAnalysis:
                 and node.id in state
                 and node.id not in released
                 and node.id not in kept
+                and id(node) not in kept_ids
             ):
                 escapes.add(node.id)
+        self.escaped_ever.update(escapes)
         return escapes
 
     @staticmethod
@@ -186,14 +353,24 @@ class FunctionAnalysis:
             return nxt
 
         if isinstance(stmt, ast.Return):
+            direct_acquire = (
+                stmt.value is not None
+                and self._acquire_call(stmt.value) is not None
+            )
+            if direct_acquire:
+                self._returns_direct_acquire = True
             for state in states:
                 dropped = state
+                flag = direct_acquire
                 if isinstance(stmt.value, ast.Name):
-                    dropped = State(state - {stmt.value.id})
-                elif stmt.value is not None:
+                    name = stmt.value.id
+                    flag = name in state and name in self.acquire_sites
+                    dropped = State(state - {name})
+                elif stmt.value is not None and not direct_acquire:
                     dropped = State(
                         state - self._escaping_tokens(stmt, state)
                     )
+                self.return_token_flags.append(flag)
                 nxt.ret.append((stmt, dropped))
             return nxt
 
@@ -272,14 +449,16 @@ class FunctionAnalysis:
             new = set(state)
             new -= self._released_tokens(stmt, state)
             new -= self._escaping_tokens(stmt, state)
-            # Rebinding a held token loses the only handle to it.
+            # Rebinding a held token loses the only handle to it.  (A
+            # seeded parameter token has no acquire site: the caller
+            # still holds its own reference, so it is not a local leak.)
             for target in getattr(stmt, "targets", []):
                 if isinstance(target, ast.Name) and target.id in new and (
                     token != target.id
                 ):
-                    self.leaks[id(self.acquire_sites[target.id])] = (
-                        self.acquire_sites[target.id]
-                    )
+                    site = self.acquire_sites.get(target.id)
+                    if site is not None:
+                        self.leaks[id(site)] = site
                     new.discard(target.id)
             if acquire is not None and token is not None:
                 self.acquire_sites[token] = acquire
@@ -289,14 +468,21 @@ class FunctionAnalysis:
 
     # -- compound statements ----------------------------------------------
     def _split_condition(self, test: ast.AST, states: set) -> tuple:
-        """Prune infeasible states: a held token is never falsy/None."""
+        """Prune infeasible states: a held token is never falsy/None.
+
+        Only *locally acquired* tokens qualify — a seeded parameter
+        (summary mode) can be a bool or an optional, so branching on it
+        must explore both arms or ``if flag: release(tok)`` would be
+        misclassified as releasing unconditionally."""
 
         def token_of(expr: ast.AST) -> str | None:
-            return expr.id if isinstance(expr, ast.Name) else None
+            if isinstance(expr, ast.Name) and expr.id in self.acquire_sites:
+                return expr.id
+            return None
 
         truthy = falsy = None  # token proven held in then/else arm
         if isinstance(test, ast.Name):
-            truthy = test.id
+            truthy = token_of(test)
         elif isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
             falsy = token_of(test.operand)
         elif isinstance(test, ast.Compare) and len(test.ops) == 1 and isinstance(
@@ -315,7 +501,12 @@ class FunctionAnalysis:
             then_in = {s for s in states if falsy not in s}
         return then_in, else_in
 
-    def _exec_loop(self, stmt, states: set, nxt: _BlockOut) -> _BlockOut:
+    def _exec_loop(
+        self,
+        stmt: "ast.While | ast.For | ast.AsyncFor",
+        states: set,
+        nxt: _BlockOut,
+    ) -> _BlockOut:
         if self._risky(ast.Expr(getattr(stmt, "test", None) or getattr(stmt, "iter"))):
             for state in states:
                 nxt.raise_.append((stmt, state))
@@ -345,7 +536,12 @@ class FunctionAnalysis:
             nxt.absorb_exits(else_out)
         return nxt
 
-    def _exec_with(self, stmt, states: set, nxt: _BlockOut) -> _BlockOut:
+    def _exec_with(
+        self,
+        stmt: "ast.With | ast.AsyncWith",
+        states: set,
+        nxt: _BlockOut,
+    ) -> _BlockOut:
         entry_states = set()
         for state in states:
             new = set(state)

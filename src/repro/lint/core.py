@@ -15,12 +15,18 @@ committed baseline can grandfather known findings (the repo targets an
 
 Suppression: append ``# lint: ignore`` (or ``# lint: ignore[SIM001]``)
 to the offending line.  Suppressions are deliberately line-scoped —
-there is no file- or block-level escape hatch.
+there is no file- or block-level escape hatch.  The marker is anchored
+to a real trailing *comment token* (found with :mod:`tokenize`), so the
+text ``# lint: ignore`` inside a string literal is inert; and every
+suppression must earn its keep — one that no longer suppresses any
+finding is itself reported (LINT001, :mod:`repro.lint.rules_lint`).
 """
 
 from __future__ import annotations
 
 import ast
+import io
+import tokenize
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
@@ -92,7 +98,16 @@ class ModuleInfo:
         #: (imported module, bound name or None, lineno, top_level) —
         #: repro-internal imports only, for the ARCH rules.
         self.repro_imports: list[tuple[str, str | None, int, bool]] = []
+        #: line -> (codes or None for blanket, column of the comment).
+        #: Collected from real COMMENT tokens only: the marker inside a
+        #: string literal is not a suppression.
+        self.suppressions: dict[int, tuple[frozenset[str] | None, int]] = {}
+        #: Lines whose suppression actually suppressed >= 1 finding in
+        #: the current run (reset by :func:`run_rules`); the complement
+        #: is what LINT001 reports.
+        self.suppression_hits: set[int] = set()
         self._collect_imports()
+        self._collect_suppressions()
 
     # -- derived properties ----------------------------------------------
     @property
@@ -155,19 +170,48 @@ class ModuleInfo:
         head = self.aliases.get(parts[0], parts[0])
         return ".".join([head] + parts[1:])
 
-    # -- reporting ---------------------------------------------------------
+    # -- suppressions ------------------------------------------------------
+    def _collect_suppressions(self) -> None:
+        """Find ``# lint: ignore[...]`` markers in real comment tokens.
+
+        The old line-text scan matched the marker anywhere — including
+        inside string literals — so a docstring *describing* the escape
+        hatch silently suppressed findings on its line.  Tokenizing
+        anchors the marker to the trailing comment token: the comment's
+        text (after ``#``) must *start* with ``lint: ignore``.
+        """
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.source).readline)
+            for tok in tokens:
+                if tok.type != tokenize.COMMENT:
+                    continue
+                body = tok.string[1:].lstrip()
+                if not body.startswith("lint: ignore"):
+                    continue
+                rest = body[len("lint: ignore"):].strip()
+                line, col = tok.start
+                if not rest.startswith("["):
+                    self.suppressions[line] = (None, col)
+                    continue
+                raw = rest[1:rest.find("]")] if "]" in rest else rest[1:]
+                self.suppressions[line] = (
+                    frozenset(c.strip() for c in raw.split(",") if c.strip()),
+                    col,
+                )
+        except (tokenize.TokenError, IndentationError):  # pragma: no cover
+            # The file parsed as AST, so this is near-unreachable; a
+            # tokenizer hiccup just means no suppressions are honoured.
+            pass
+
     def suppressed(self, line: int, rule: str) -> bool:
-        if not 1 <= line <= len(self.lines):
+        entry = self.suppressions.get(line)
+        if entry is None:
             return False
-        text = self.lines[line - 1]
-        marker = text.find("# lint: ignore")
-        if marker < 0:
-            return False
-        rest = text[marker + len("# lint: ignore"):].strip()
-        if not rest.startswith("["):
-            return True  # blanket line suppression
-        codes = rest[1:rest.find("]")] if "]" in rest else rest[1:]
-        return rule in {c.strip() for c in codes.split(",")}
+        codes, _col = entry
+        if codes is None or rule in codes:
+            self.suppression_hits.add(line)
+            return True
+        return False
 
     def finding(self, node: ast.AST, rule: str, message: str) -> Finding:
         line = getattr(node, "lineno", 1)
@@ -191,7 +235,7 @@ class Rule:
 
     def check(self, mod: ModuleInfo) -> Iterator[Finding]:
         raise NotImplementedError
-        yield  # lint: ignore
+        yield
 
 
 class ProjectRule(Rule):
@@ -202,7 +246,7 @@ class ProjectRule(Rule):
 
     def check_project(self, mods: Sequence[ModuleInfo]) -> Iterator[Finding]:
         raise NotImplementedError
-        yield  # lint: ignore
+        yield
 
 
 def module_name_for(path: Path) -> str:
@@ -256,9 +300,18 @@ def run_rules(
     select: Sequence[str] | None = None,
 ) -> list[Finding]:
     """Run ``rules`` over ``mods``; ``select`` filters findings by code
-    prefix (``SIM`` selects the family, ``SIM002`` one rule)."""
+    prefix (``SIM`` selects the family, ``SIM002`` one rule).
+
+    The suppression check runs *before* the ``select`` filter so that a
+    suppression is marked used whenever it matches a real finding, even
+    one outside the selection — LINT001 (unused suppressions, emitted by
+    the last registered rule from ``suppression_hits``) therefore never
+    flags a suppression just because the run was narrowed.
+    """
     findings: list[Finding] = []
     by_path = {m.path: m for m in mods}
+    for m in mods:
+        m.suppression_hits.clear()
     for rule in rules:
         produced: list[Finding] = []
         if isinstance(rule, ProjectRule):
@@ -267,10 +320,20 @@ def run_rules(
             for mod in mods:
                 produced.extend(rule.check(mod))
         for f in produced:
-            if select and not any(f.rule.startswith(s) for s in select):
-                continue
             mod = by_path.get(f.path)
-            if mod is not None and mod.suppressed(f.line, f.rule):
+            if mod is not None:
+                if f.rule == "LINT001":
+                    # A stale suppression cannot launder itself with a
+                    # blanket marker; only an explicit [LINT001] works.
+                    entry = mod.suppressions.get(f.line)
+                    if entry is not None and entry[0] is not None and (
+                        "LINT001" in entry[0]
+                    ):
+                        mod.suppression_hits.add(f.line)
+                        continue
+                elif mod.suppressed(f.line, f.rule):
+                    continue
+            if select and not any(f.rule.startswith(s) for s in select):
                 continue
             findings.append(f)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))

@@ -1,0 +1,49 @@
+"""LINT rules: the analyzer policing its own escape hatches.
+
+========  ==============================================================
+LINT001   a ``# lint: ignore[...]`` suppression that no longer
+          suppresses any finding — the violation it justified was fixed
+          (or never matched), so the marker is a stale license to
+          regress; delete it
+========  ==============================================================
+
+This rule must be registered *last*: :func:`repro.lint.core.run_rules`
+records which suppression lines actually matched a finding
+(``ModuleInfo.suppression_hits``) as the earlier rules' findings stream
+through, and LINT001 reports the complement.  A LINT001 finding can
+itself only be suppressed by an *explicit* ``# lint: ignore[LINT001]``
+— a blanket suppression cannot launder its own staleness.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.lint.core import Finding, ModuleInfo, ProjectRule
+
+
+class UnusedSuppressionRule(ProjectRule):
+    """LINT001: every suppression must still be earning its keep."""
+
+    code = "LINT001"
+    summary = "stale # lint: ignore suppression (matches no finding)"
+
+    def check_project(self, mods: Sequence[ModuleInfo]) -> Iterator[Finding]:
+        for mod in mods:
+            for line in sorted(mod.suppressions):
+                if line in mod.suppression_hits:
+                    continue
+                codes, col = mod.suppressions[line]
+                what = (
+                    "blanket suppression"
+                    if codes is None
+                    else f"suppression of {', '.join(sorted(codes))}"
+                )
+                yield Finding(
+                    self.code, mod.path, line, col,
+                    f"{what} no longer matches any finding; delete the "
+                    "stale marker (or fix the code it was justifying)",
+                )
+
+
+RULES = (UnusedSuppressionRule(),)

@@ -3,26 +3,40 @@
 §4 of the paper requires the CDD lock-group table's write locks to be
 granted and released atomically: a client that acquires a group and then
 dies, raises, or forgets the handle strands the group for every other
-CDD.  The rules below run the shared release-on-all-paths analysis
+CDD.  The rules below run the release-on-all-paths analysis
 (:mod:`repro.lint.cfg`) over every function that touches a recognized
 acquire method (``Mutex.acquire``, ``DistributedLockManager.acquire``,
-``CooperativeDiskDriver.acquire_write_locks``):
+``CooperativeDiskDriver.acquire_write_locks``) — and, since the
+interprocedural engine, across function boundaries: callee summaries
+(:mod:`repro.lint.summaries`) let the interpreter credit a release that
+happens inside a helper, keep tracking a token a helper merely borrows,
+and treat a helper that *returns* a fresh acquire on every path as an
+acquire site in the caller.
 
 ========  ==============================================================
 LOCK001   a lock acquired here may not be released on some path out of
           the function — wrap the held region in ``try/finally`` (or
-          transfer ownership into a handle immediately)
+          transfer ownership into a handle immediately).  Since the
+          interprocedural engine this also covers acquires obtained
+          *from* a helper and tokens a callee provably keeps held.
 LOCK002   the acquire's return value is discarded: nothing can ever
           release this lock
+LOCK003   a held lock is passed to a callee that releases it on some
+          paths but not all — the caller cannot know whether it still
+          owns the lock; make the callee release unconditionally (or
+          never)
 ========  ==============================================================
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+import ast
+from typing import Iterator, Sequence
 
-from repro.lint.cfg import ResourceSpec, find_resource_leaks
-from repro.lint.core import Finding, ModuleInfo, Rule
+from repro.lint.callgraph import get_callgraph
+from repro.lint.cfg import FunctionAnalysis, ResourceSpec, find_resource_leaks
+from repro.lint.core import Finding, ModuleInfo, ProjectRule
+from repro.lint.summaries import get_lock_summaries
 
 LOCK_SPEC = ResourceSpec(
     acquire_methods=frozenset({"acquire", "acquire_write_locks"}),
@@ -32,33 +46,91 @@ LOCK_SPEC = ResourceSpec(
     discard_code="LOCK002",
 )
 
+_LEAK_MSG = (
+    "lock acquired here may not be released on all paths; hold it "
+    "under try/finally (or a with block) so a failure between grant "
+    "and release cannot strand the group"
+)
+_DISCARD_MSG = (
+    "acquire result discarded: keep the request handle and release "
+    "it, or nothing ever can"
+)
 
-class LockReleaseRule(Rule):
-    """LOCK001/LOCK002 over every function in lock-using modules."""
+
+def _in_scope(mod: ModuleInfo) -> bool:
+    return mod.module.startswith("repro.") and mod.package not in (
+        "lint",
+        "bench",
+        "analysis",
+    )
+
+
+def _mentions_acquire(node: ast.AST, spec: ResourceSpec) -> bool:
+    return any(
+        isinstance(n, ast.Attribute) and n.attr in spec.acquire_methods
+        for n in ast.walk(node)
+    )
+
+
+class LockReleaseRule(ProjectRule):
+    """LOCK001/LOCK002/LOCK003 over every function in lock-using modules."""
 
     code = "LOCK"
-    summary = "lock acquires must be released on all paths"
+    summary = "lock acquires must be released on all paths (across calls)"
 
-    def check(self, mod: ModuleInfo) -> Iterator[Finding]:
-        if not mod.module.startswith("repro."):
+    def check_project(self, mods: Sequence[ModuleInfo]) -> Iterator[Finding]:
+        scope = [m for m in mods if _in_scope(m)]
+        if not scope:
             return
-        if mod.package in ("lint", "bench", "analysis"):
-            return
-        for kind, node in find_resource_leaks(mod.tree, LOCK_SPEC):
-            if kind == "leak":
-                yield mod.finding(
-                    node, "LOCK001",
-                    "lock acquired here may not be released on all "
-                    "paths; hold it under try/finally (or a with block) "
-                    "so a failure between grant and release cannot "
-                    "strand the group",
+        graph = get_callgraph(mods)
+        summaries = get_lock_summaries(graph, LOCK_SPEC)
+        returns_acquired = summaries.returns_acquired_quals()
+        graphed_nodes = {id(fn.node) for fn in graph.functions.values()}
+        for mod in scope:
+            for fn in graph.functions_in(mod):
+                calls_ra = bool(
+                    graph.calls_certain.get(fn.qualname, set())
+                    & returns_acquired
                 )
-            else:
-                yield mod.finding(
-                    node, "LOCK002",
-                    "acquire result discarded: keep the request handle "
-                    "and release it, or nothing ever can",
+                if not calls_ra and not _mentions_acquire(fn.node, LOCK_SPEC):
+                    continue
+                analysis = FunctionAnalysis(
+                    fn.node,
+                    LOCK_SPEC,
+                    resolver=summaries.resolver_for(fn.qualname),
                 )
+                analysis.run()
+                yield from self._report(mod, analysis)
+            # Nested defs are outside the call graph; run them in the
+            # original intraprocedural mode so nothing regresses.
+            for node in ast.walk(mod.tree):
+                if (
+                    isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and id(node) not in graphed_nodes
+                    and _mentions_acquire(node, LOCK_SPEC)
+                ):
+                    analysis = FunctionAnalysis(node, LOCK_SPEC)
+                    analysis.run()
+                    yield from self._report(mod, analysis)
 
+    def _report(
+        self, mod: ModuleInfo, analysis: FunctionAnalysis
+    ) -> Iterator[Finding]:
+        for site in analysis.leaks.values():
+            yield mod.finding(site, "LOCK001", _LEAK_MSG)
+        for site in analysis.discards:
+            yield mod.finding(site, "LOCK002", _DISCARD_MSG)
+        for call, _token, callee in analysis.mixed_calls.values():
+            short = callee.rsplit(".", 1)[-1]
+            yield mod.finding(
+                call, "LOCK003",
+                f"held lock passed to {short}(), which releases it on "
+                "some paths but not all — the caller cannot know whether "
+                "it still owns the lock; make the callee release "
+                "unconditionally (try/finally) or not at all",
+            )
+
+
+__all__ = ["LOCK_SPEC", "LockReleaseRule", "RULES", "find_resource_leaks"]
 
 RULES = (LockReleaseRule(),)

@@ -24,11 +24,13 @@ OBS004    nondeterminism (RNG draws, wall clock) in a sampling decision
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import Iterator, Sequence
 
-from repro.lint.cfg import ResourceSpec, find_resource_leaks
-from repro.lint.core import Finding, ModuleInfo, Rule
+from repro.lint.callgraph import get_callgraph
+from repro.lint.cfg import FunctionAnalysis, ResourceSpec, find_resource_leaks
+from repro.lint.core import Finding, ModuleInfo, ProjectRule, Rule
 from repro.lint.rules_sim import _WALL_CLOCK
+from repro.lint.summaries import get_lock_summaries
 
 SPAN_SPEC = ResourceSpec(
     acquire_methods=frozenset({"open_span"}),
@@ -71,28 +73,83 @@ class ObsDirectTracerRule(Rule):
                 )
 
 
-class ObsSpanCloseRule(Rule):
-    """OBS002: spans opened with ``open_span`` close on every path."""
+class ObsSpanCloseRule(ProjectRule):
+    """OBS002: spans opened with ``open_span`` close on every path.
+
+    Interprocedural like LOCK001: a span closed inside a helper (callee
+    summary ``releases``) is credited in the caller, and a helper that
+    returns a fresh ``open_span`` on every path counts as an open site.
+    """
 
     code = "OBS002"
-    summary = "open span not closed on all paths"
+    summary = "open span not closed on all paths (across calls)"
 
-    def check(self, mod: ModuleInfo) -> Iterator[Finding]:
-        if not mod.module.startswith("repro.") or mod.package == "lint":
+    @staticmethod
+    def _in_scope(mod: ModuleInfo) -> bool:
+        return mod.module.startswith("repro.") and mod.package != "lint"
+
+    def check_project(self, mods: Sequence[ModuleInfo]) -> Iterator[Finding]:
+        scope = [m for m in mods if self._in_scope(m)]
+        if not scope:
             return
-        for kind, node in find_resource_leaks(mod.tree, SPAN_SPEC):
-            if kind == "leak":
-                yield mod.finding(
-                    node, self.code,
-                    "span opened here may not be closed on all paths; "
-                    "close it in finally or use `with tracer.open_span(...)`",
+        graph = get_callgraph(mods)
+        summaries = get_lock_summaries(graph, SPAN_SPEC)
+        returns_open = summaries.returns_acquired_quals()
+        graphed_nodes = {id(fn.node) for fn in graph.functions.values()}
+
+        def mentions(node: ast.AST) -> bool:
+            return any(
+                isinstance(n, ast.Attribute)
+                and n.attr in SPAN_SPEC.acquire_methods
+                for n in ast.walk(node)
+            )
+
+        for mod in scope:
+            for fn in graph.functions_in(mod):
+                calls_ro = bool(
+                    graph.calls_certain.get(fn.qualname, set()) & returns_open
                 )
-            else:
-                yield mod.finding(
-                    node, self.code,
-                    "open_span result discarded: the span can never be "
-                    "closed (use record() for one-shot spans)",
+                if not calls_ro and not mentions(fn.node):
+                    continue
+                analysis = FunctionAnalysis(
+                    fn.node, SPAN_SPEC,
+                    resolver=summaries.resolver_for(fn.qualname),
                 )
+                analysis.run()
+                yield from self._report(mod, analysis)
+            for node in ast.walk(mod.tree):
+                if (
+                    isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and id(node) not in graphed_nodes
+                    and mentions(node)
+                ):
+                    analysis = FunctionAnalysis(node, SPAN_SPEC)
+                    analysis.run()
+                    yield from self._report(mod, analysis)
+
+    def _report(
+        self, mod: ModuleInfo, analysis: FunctionAnalysis
+    ) -> Iterator[Finding]:
+        for site in analysis.leaks.values():
+            yield mod.finding(
+                site, self.code,
+                "span opened here may not be closed on all paths; "
+                "close it in finally or use `with tracer.open_span(...)`",
+            )
+        for site in analysis.discards:
+            yield mod.finding(
+                site, self.code,
+                "open_span result discarded: the span can never be "
+                "closed (use record() for one-shot spans)",
+            )
+        for call, _token, callee in analysis.mixed_calls.values():
+            short = callee.rsplit(".", 1)[-1]
+            yield mod.finding(
+                call, self.code,
+                f"open span passed to {short}(), which closes it on some "
+                "paths but not all — close it unconditionally in the "
+                "callee or keep closing in the caller",
+            )
 
 
 class ObsSlotAssignRule(Rule):

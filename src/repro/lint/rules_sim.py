@@ -16,42 +16,26 @@ SIM003    a process generator yields a value the kernel cannot wait on
           (string, tuple/list/dict display, ``None``, bool)
 SIM004    ``yield env.timeout(dt)`` where the documented hot-path form
           is a plain numeric ``yield dt``
+SIM005    simulation code calls a helper that (transitively) reaches a
+          wall-clock read, real sleep, threading, or unseeded
+          randomness — the interprocedural extension of SIM001/SIM002,
+          reported where the taint *enters* simulation scope
 ========  ==============================================================
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import Iterator, Sequence
 
-from repro.lint.core import Finding, ModuleInfo, Rule
-
-#: Wall-clock reads and real sleeps (resolved dotted origins).
-_WALL_CLOCK = {
-    "time.time",
-    "time.time_ns",
-    "time.monotonic",
-    "time.monotonic_ns",
-    "time.perf_counter",
-    "time.perf_counter_ns",
-    "time.process_time",
-    "time.process_time_ns",
-    "datetime.datetime.now",
-    "datetime.datetime.utcnow",
-    "datetime.datetime.today",
-    "datetime.date.today",
-}
-_REAL_SLEEP = {"time.sleep"}
-
-#: numpy.random attributes that are fine to reference (types and the
-#: seedable constructor; the constructor's *call* is checked separately).
-_NP_RANDOM_OK = {
-    "numpy.random.Generator",
-    "numpy.random.BitGenerator",
-    "numpy.random.SeedSequence",
-    "numpy.random.PCG64",
-    "numpy.random.default_rng",
-}
+from repro.lint.callgraph import get_callgraph
+from repro.lint.core import Finding, ModuleInfo, ProjectRule, Rule
+from repro.lint.summaries import (
+    NP_RANDOM_OK as _NP_RANDOM_OK,
+    REAL_SLEEP as _REAL_SLEEP,
+    WALL_CLOCK as _WALL_CLOCK,
+    get_taint,
+)
 
 
 class SimWallClockRule(Rule):
@@ -239,9 +223,55 @@ class SimTimeoutFormRule(Rule):
                 )
 
 
+class SimTaintRule(ProjectRule):
+    """SIM005: transitive determinism violations, caught at the boundary.
+
+    SIM001/SIM002 fire at the literal offending call, but only inside
+    sim-scope modules — a helper in a non-scope package (``bench``,
+    ``analysis``, a utility module) that reads the wall clock is
+    invisible to them.  This rule propagates taint over the project call
+    graph and reports every sim-scope call site whose resolved callee is
+    tainted and lives *outside* sim scope: the edge where
+    non-determinism crosses into the simulator.  (Inside sim scope the
+    source itself is already a SIM001/SIM002 finding; re-reporting every
+    caller would only add noise.)
+    """
+
+    code = "SIM005"
+    summary = "call into code that transitively reaches a determinism violation"
+
+    def check_project(self, mods: Sequence[ModuleInfo]) -> Iterator[Finding]:
+        if not any(m.in_sim_scope for m in mods):
+            return
+        graph = get_callgraph(mods)
+        taints = get_taint(graph)
+        if not taints:
+            return
+        for mod in mods:
+            if not mod.in_sim_scope:
+                continue
+            for fn in graph.functions_in(mod):
+                for callee, call, _certain in graph.sites.get(fn.qualname, ()):
+                    taint = taints.get(callee)
+                    if taint is None:
+                        continue
+                    callee_fn = graph.functions[callee]
+                    if callee_fn.mod.in_sim_scope:
+                        continue  # source is reported there directly
+                    yield mod.finding(
+                        call, self.code,
+                        f"{callee_fn.node.name}() transitively reaches "
+                        f"{taint.describe()} (defined outside simulation "
+                        f"scope in {callee_fn.module}); simulation code "
+                        "must stay deterministic through every helper it "
+                        "calls",
+                    )
+
+
 RULES = (
     SimWallClockRule(),
     SimRandomnessRule(),
     SimYieldRule(),
     SimTimeoutFormRule(),
+    SimTaintRule(),
 )

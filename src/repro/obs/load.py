@@ -27,7 +27,7 @@ max (and the cross-disk distribution for skew reporting).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.obs.metrics import MetricsRegistry
 
@@ -38,7 +38,7 @@ QUEUE_DEPTH_HW = "load.disk.queue_depth_hw"
 DISK_UTIL = "load.disk.util"
 
 
-def collect_load(cluster, registry: Optional[MetricsRegistry] = None
+def collect_load(cluster: Any, registry: Optional[MetricsRegistry] = None
                  ) -> MetricsRegistry:
     """Sweep a finished cluster's hardware counters into a registry.
 

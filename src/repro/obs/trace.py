@@ -136,7 +136,15 @@ class OpenSpan:
 
     __slots__ = ("tracer", "kind", "track", "env", "trace", "args", "span")
 
-    def __init__(self, tracer, kind, track, env, trace=None, **args):
+    def __init__(
+        self,
+        tracer: "Tracer",
+        kind: str,
+        track: str,
+        env: Any,
+        trace: Optional[int] = None,
+        **args: Any,
+    ):
         self.tracer = tracer
         self.kind = kind
         self.track = track
@@ -168,7 +176,12 @@ class OpenSpan:
     def __enter__(self) -> "OpenSpan":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[type],
+        exc: Optional[BaseException],
+        tb: object,
+    ) -> None:
         self.close(**({"error": exc_type.__name__} if exc_type else {}))
 
 
@@ -185,7 +198,12 @@ class _NullOpenSpan:
     def __enter__(self) -> "_NullOpenSpan":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[type],
+        exc: Optional[BaseException],
+        tb: object,
+    ) -> None:
         return None
 
 

@@ -1,0 +1,214 @@
+"""Call-graph substrate: symbol resolution, method dispatch, SCCs.
+
+The fixtures cover the resolution shapes the interprocedural rules rely
+on: diamond import graphs, aliased re-exports through a package module,
+self/cls method dispatch, explicit ``ClassName.method`` access,
+constructor edges, the unique-method fallback tier, method-resolution
+*ambiguity* (two candidate classes -> no edge, never a guess), and
+recursion cycles condensing into one SCC.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint.callgraph import CallGraph, get_callgraph
+from repro.lint.core import ModuleInfo
+
+
+def build(sources: dict) -> CallGraph:
+    mods = [
+        ModuleInfo(name.replace(".", "/") + ".py", name, textwrap.dedent(src))
+        for name, src in sources.items()
+    ]
+    return CallGraph(mods)
+
+
+def test_diamond_imports_converge_on_one_definition():
+    g = build({
+        "repro.sim.base": """
+            def now_ms():
+                return 0.0
+        """,
+        "repro.sim.left": """
+            from repro.sim.base import now_ms as left_now
+
+            def via_left():
+                return left_now()
+        """,
+        "repro.sim.right": """
+            from repro.sim.base import now_ms
+
+            def via_right():
+                return now_ms()
+        """,
+        "repro.sim.top": """
+            from repro.sim.left import via_left
+            from repro.sim.right import via_right
+
+            def top():
+                return via_left() + via_right()
+        """,
+    })
+    base = "repro.sim.base.now_ms"
+    assert g.calls_certain["repro.sim.left.via_left"] == {base}
+    assert g.calls_certain["repro.sim.right.via_right"] == {base}
+    assert g.calls_certain["repro.sim.top.top"] == {
+        "repro.sim.left.via_left",
+        "repro.sim.right.via_right",
+    }
+    assert g.callers_certain[base] == {
+        "repro.sim.left.via_left",
+        "repro.sim.right.via_right",
+    }
+
+
+def test_aliased_reexport_through_package_module():
+    g = build({
+        "repro.hardware.disk": """
+            class Disk:
+                def __init__(self):
+                    self.ok = True
+
+                def submit(self, req):
+                    return req
+        """,
+        "repro.hardware": """
+            from repro.hardware.disk import Disk
+        """,
+        "repro.cluster.user": """
+            from repro.hardware import Disk as D
+
+            def make():
+                return D()
+        """,
+    })
+    # Constructor edge resolves through the package re-export to __init__.
+    assert g.calls_certain["repro.cluster.user.make"] == {
+        "repro.hardware.disk.Disk.__init__"
+    }
+
+
+def test_self_dispatch_and_inheritance():
+    g = build({
+        "repro.hardware.devices": """
+            class Base:
+                def shared(self):
+                    return 1
+
+            class Child(Base):
+                def caller(self):
+                    return self.shared() + self.own()
+
+                def own(self):
+                    return 2
+        """,
+    })
+    assert g.calls_certain["repro.hardware.devices.Child.caller"] == {
+        "repro.hardware.devices.Base.shared",
+        "repro.hardware.devices.Child.own",
+    }
+
+
+def test_explicit_class_qualified_method_access():
+    g = build({
+        "repro.hardware.devices": """
+            class Disk:
+                def spin(self):
+                    return 1
+
+            def poke(d):
+                return Disk.spin(d)
+        """,
+    })
+    assert g.calls_certain["repro.hardware.devices.poke"] == {
+        "repro.hardware.devices.Disk.spin"
+    }
+
+
+def test_unique_method_fallback_is_a_lower_tier():
+    g = build({
+        "repro.hardware.devices": """
+            class Disk:
+                def whirl(self):
+                    return 1
+
+            def poke(d):
+                return d.whirl()
+        """,
+    })
+    qual = "repro.hardware.devices.poke"
+    assert g.calls_all[qual] == {"repro.hardware.devices.Disk.whirl"}
+    # ... but not in the certain tier: the receiver is a runtime value.
+    assert g.calls_certain[qual] == set()
+
+
+def test_method_resolution_ambiguity_produces_no_edge():
+    g = build({
+        "repro.hardware.devices": """
+            class Disk:
+                def spin(self):
+                    return 1
+
+            class Fan:
+                def spin(self):
+                    return 2
+
+            def poke(obj):
+                return obj.spin()
+        """,
+    })
+    assert g.calls_all["repro.hardware.devices.poke"] == set()
+
+
+def test_recursion_cycle_forms_one_scc_in_bottom_up_order():
+    g = build({
+        "repro.sim.walk": """
+            def leaf():
+                return 1
+
+            def ping(n):
+                return pong(n - 1) + leaf()
+
+            def pong(n):
+                return ping(n - 1) if n else 0
+        """,
+    })
+    sccs = g.sccs()
+    cycle = ["repro.sim.walk.ping", "repro.sim.walk.pong"]
+    assert sorted(cycle) in sccs
+    # Callee-first: leaf's singleton SCC precedes the cycle that calls it.
+    assert sccs.index(["repro.sim.walk.leaf"]) < sccs.index(sorted(cycle))
+
+
+def test_guarded_closure_admits_helpers_called_only_from_seeds():
+    g = build({
+        "repro.hardware.devices": """
+            def owner():
+                return _helper()
+
+            def _helper():
+                return _deep()
+
+            def _deep():
+                return 0
+
+            def outsider():
+                return _deep()
+
+            def orphan():
+                return 0
+        """,
+    })
+    m = "repro.hardware.devices"
+    legal = g.guarded_closure({f"{m}.owner"})
+    assert f"{m}._helper" in legal          # only caller is the seed
+    assert f"{m}._deep" not in legal        # outsider also reaches it
+    assert f"{m}.orphan" not in legal       # no callers: entry point
+    legal2 = g.guarded_closure({f"{m}.owner", f"{m}.outsider"})
+    assert f"{m}._deep" in legal2
+
+
+def test_get_callgraph_memoizes_per_module_set():
+    mods = [ModuleInfo("repro/sim/a.py", "repro.sim.a", "def f():\n    return 1\n")]
+    assert get_callgraph(mods) is get_callgraph(mods)

@@ -94,5 +94,35 @@ def test_line_scoped_suppression_comment(tmp_path):
 def test_list_rules_names_every_family(tmp_path):
     proc = run_lint(tmp_path, "--list-rules")
     assert proc.returncode == 0
-    for family in ("SIM001", "LOCK", "OBS001", "ARCH001"):
+    for family in ("SIM001", "LOCK", "OBS001", "ARCH001", "FF001", "LINT001"):
         assert family in proc.stdout
+
+
+def test_prune_baseline_drops_stale_fingerprints(tmp_path):
+    mod = write_module(tmp_path, DIRTY)
+    wrote = run_lint(tmp_path, "repro", "--write-baseline")
+    assert wrote.returncode == 0
+    before = json.loads((tmp_path / "lint-baseline.json").read_text())
+    assert before["fingerprints"]
+
+    # The violations get fixed; their fingerprints are now stale.
+    mod.write_text(CLEAN, encoding="utf-8")
+    pruned = run_lint(tmp_path, "repro", "--prune-baseline")
+    assert pruned.returncode == 0
+    assert "pruned" in pruned.stderr
+
+    after = json.loads((tmp_path / "lint-baseline.json").read_text())
+    assert after["fingerprints"] == []
+
+
+def test_prune_baseline_keeps_live_fingerprints(tmp_path):
+    write_module(tmp_path, DIRTY)
+    run_lint(tmp_path, "repro", "--write-baseline")
+    before = json.loads((tmp_path / "lint-baseline.json").read_text())
+
+    # Nothing was fixed: pruning must be a no-op.
+    pruned = run_lint(tmp_path, "repro", "--prune-baseline")
+    assert pruned.returncode == 0
+    assert "pruned 0 stale fingerprint(s)" in pruned.stderr
+    after = json.loads((tmp_path / "lint-baseline.json").read_text())
+    assert after == before

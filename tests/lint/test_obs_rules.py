@@ -163,3 +163,36 @@ def test_obs004_silent_outside_sampler_functions():
             return items
         """
     )
+
+
+def test_obs002_silent_when_span_closed_in_callee():
+    # Interprocedural: the close happens one call level down; the callee
+    # summary proves close-on-all-paths, so passing the span is not a leak.
+    assert "OBS002" not in lint(
+        """
+        def serve(tracer, env, work):
+            sp = tracer.open_span("serve")
+            finish(sp, work)
+
+        def finish(sp, work):
+            try:
+                work()
+            finally:
+                sp.close()
+        """
+    )
+
+
+def test_obs002_fires_when_callee_keeps_the_span():
+    # The callee only records the span; the caller still owns it and
+    # falls off without closing — a leak the per-function pass missed.
+    assert "OBS002" in lint(
+        """
+        def serve(tracer, env, log):
+            sp = tracer.open_span("serve")
+            stash(sp, log)
+
+        def stash(sp, log):
+            log.count += 1
+        """
+    )

@@ -1,0 +1,113 @@
+"""Suppression hygiene: tokenize anchoring and LINT001 staleness.
+
+Two fixes ride together: the ``# lint: ignore`` marker is now anchored
+to a real trailing comment token (the text inside a string literal is
+inert), and a suppression that no longer suppresses anything is itself
+a finding (LINT001) — prunable, never self-laundering.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from tests.lint.util import codes
+from repro.lint import lint_sources
+
+
+def lint(sources: dict, select=None):
+    return lint_sources(
+        {name: textwrap.dedent(src) for name, src in sources.items()},
+        select=select,
+    )
+
+
+def test_used_suppression_is_silent():
+    findings = lint({
+        "repro.sim.clock": """
+            import time
+
+            def stamp():
+                return time.time()  # lint: ignore[SIM001]
+        """,
+    })
+    assert "SIM001" not in codes(findings)
+    assert "LINT001" not in codes(findings)
+
+
+def test_stale_code_suppression_fires_lint001():
+    findings = lint({
+        "repro.sim.clock": """
+            def stamp():
+                return 0.0  # lint: ignore[SIM001]
+        """,
+    })
+    assert codes(findings) == {"LINT001"}
+    (f,) = findings
+    assert "SIM001" in f.message
+    assert "no longer matches any finding" in f.message
+
+
+def test_stale_blanket_suppression_cannot_launder_itself():
+    # A blanket marker would suppress "any finding on this line" —
+    # including, absurdly, the LINT001 that reports its own staleness.
+    findings = lint({
+        "repro.sim.clock": """
+            def stamp():
+                return 0.0  # lint: ignore
+        """,
+    })
+    assert codes(findings) == {"LINT001"}
+    assert "blanket suppression" in findings[0].message
+
+
+def test_explicit_lint001_suppression_is_the_escape_hatch():
+    findings = lint({
+        "repro.sim.clock": """
+            def stamp():
+                return 0.0  # lint: ignore[LINT001]
+        """,
+    })
+    assert findings == []
+
+
+def test_marker_inside_string_literal_is_inert():
+    # The old line-text scan suppressed SIM001 here; tokenize anchoring
+    # sees no comment token, so the finding stands — and the fake
+    # marker is not reported as a stale suppression either.
+    findings = lint({
+        "repro.sim.clock": """
+            import time
+
+            def stamp():
+                return (time.time(), "# lint: ignore[SIM001]")
+        """,
+    })
+    assert codes(findings) == {"SIM001"}
+
+
+def test_marker_mid_comment_is_not_a_suppression():
+    # Only a comment whose body *starts* with the marker counts;
+    # prose mentioning it does not suppress (and is not stale either).
+    findings = lint({
+        "repro.sim.clock": """
+            import time
+
+            def stamp():
+                return time.time()  # see # lint: ignore[SIM001] docs
+        """,
+    })
+    assert codes(findings) == {"SIM001"}
+
+
+def test_suppression_used_by_unselected_finding_is_not_stale():
+    # The suppression matches a real SIM001 finding; narrowing the run
+    # to LINT must not flag it as unused.
+    findings = lint({
+        "repro.sim.clock": """
+            import time
+
+            def stamp():
+                return time.time()  # lint: ignore[SIM001]
+        """,
+    }, select=["LINT"])
+    assert findings == []

@@ -1,0 +1,159 @@
+"""SIM005: determinism taint crossing into simulation scope.
+
+SIM001/SIM002 flag wall-clock and RNG use *where it happens*.  SIM005
+closes the laundering gap: a sim-scope module calling a helper defined
+*outside* sim scope that (transitively) reaches a wall clock, a real
+sleep, unseeded randomness, or threading.  The intraprocedural rules are
+structurally blind to this — the sim module's own AST contains only an
+innocent-looking call.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from tests.lint.util import codes
+from repro.lint import lint_sources
+
+
+def lint(sources: dict, select: str = "SIM005"):
+    return lint_sources(
+        {name: textwrap.dedent(src) for name, src in sources.items()},
+        select=select.split(","),
+    )
+
+
+TAINTED_HELPER = """
+    import time
+
+    def stamp():
+        return time.time()
+"""
+
+CLEAN_HELPER = """
+    def stamp():
+        return 0.0
+"""
+
+
+def test_taint_through_one_call_level_fires():
+    findings = lint({
+        "repro.bench.helpers": TAINTED_HELPER,
+        "repro.sim.engine": """
+            from repro.bench.helpers import stamp
+
+            def tick(ev):
+                return stamp() + ev
+        """,
+    })
+    assert codes(findings) == {"SIM005"}
+    (f,) = findings
+    assert f.path == "repro/sim/engine.py"
+    assert "stamp()" in f.message
+    assert "time.time" in f.message
+
+
+def test_taint_through_two_call_levels_reports_the_chain():
+    findings = lint({
+        "repro.bench.clock": TAINTED_HELPER,
+        "repro.bench.wrap": """
+            from repro.bench.clock import stamp
+
+            def indirect():
+                return stamp()
+        """,
+        "repro.sim.engine": """
+            from repro.bench.wrap import indirect
+
+            def tick():
+                return indirect()
+        """,
+    })
+    assert codes(findings) == {"SIM005"}
+    (f,) = findings
+    assert f.path == "repro/sim/engine.py"
+    # The message walks the propagation chain back to the source.
+    assert "indirect" in f.message and "stamp" in f.message
+
+
+def test_clean_helper_is_silent():
+    findings = lint({
+        "repro.bench.helpers": CLEAN_HELPER,
+        "repro.sim.engine": """
+            from repro.bench.helpers import stamp
+
+            def tick(ev):
+                return stamp() + ev
+        """,
+    })
+    assert findings == []
+
+
+def test_tainted_helper_called_only_outside_sim_scope_is_silent():
+    findings = lint({
+        "repro.bench.helpers": TAINTED_HELPER,
+        "repro.bench.report": """
+            from repro.bench.helpers import stamp
+
+            def banner():
+                return stamp()
+        """,
+    })
+    assert findings == []
+
+
+def test_source_inside_sim_scope_is_sim001_territory_not_sim005():
+    # The direct violation in sim scope is SIM001's job; SIM005 only
+    # fires where taint crosses the scope boundary — no double report.
+    findings = lint({
+        "repro.sim.clock": TAINTED_HELPER,
+        "repro.sim.engine": """
+            from repro.sim.clock import stamp
+
+            def tick():
+                return stamp()
+        """,
+    }, select="SIM001,SIM005")
+    assert codes(findings) == {"SIM001"}
+    (f,) = findings
+    assert f.path == "repro/sim/clock.py"
+
+
+def test_threading_taint_propagates():
+    findings = lint({
+        "repro.bench.pool": """
+            import threading
+
+            def spawn(fn):
+                t = threading.Thread(target=fn)
+                t.start()
+                return t
+        """,
+        "repro.io.sched": """
+            from repro.bench.pool import spawn
+
+            def kick(fn):
+                return spawn(fn)
+        """,
+    })
+    assert codes(findings) == {"SIM005"}
+    assert findings[0].path == "repro/io/sched.py"
+
+
+def test_unseeded_rng_taint_propagates():
+    findings = lint({
+        "repro.analysis.sampling": """
+            import numpy as np
+
+            def draw():
+                return np.random.default_rng().random()
+        """,
+        "repro.workloads.gen": """
+            from repro.analysis.sampling import draw
+
+            def next_size():
+                return draw()
+        """,
+    })
+    assert codes(findings) == {"SIM005"}
+    assert findings[0].path == "repro/workloads/gen.py"
