@@ -1,0 +1,68 @@
+"""repro.cache — the buffer-cache layer of the I/O path.
+
+A fixed-capacity block cache per node, sitting between the execution
+engine's request admission and plan execution (DESIGN §6.17):
+
+* pluggable eviction (:mod:`repro.cache.policy`: LRU and ARC);
+* a per-block clean/dirty/destaging state machine
+  (:mod:`repro.cache.block`, :mod:`repro.cache.core`);
+* write-back vs write-through modes (:mod:`repro.cache.config`);
+* read-modify-write absorption — the cache remembers which dirty
+  blocks it can supply *pre-write* content for, so partial-stripe
+  destages skip the RAID-5 old-data pre-reads;
+* destage planning (:mod:`repro.cache.destage`): threshold, idle, and
+  mirror-coalescing policies that fold dirty blocks into long
+  contiguous runs (one orthogonal RAID-x image write per mirror group);
+* the write-invalidate consistency protocol of the paper's §4,
+  subsumed from the old ``repro.cluster.cache`` shim
+  (:mod:`repro.cache.coherence`).
+
+This package is *pure bookkeeping*: no simulator imports, no process
+generators, no hardware — the cluster-layer
+:class:`~repro.cluster.cache_stage.CacheStage` owns all timing.  The
+CACHE lint family (:mod:`repro.lint.rules_cache`) enforces both
+directions of that boundary.  Caching is opt-in per system and the
+``REPRO_CACHE`` environment kill switch forces it off, which keeps
+cache-off runs byte-identical to the golden captures.
+"""
+
+from repro.cache.block import BlockState, CacheStats
+from repro.cache.config import CacheConfig, cache_enabled
+from repro.cache.coherence import CacheDirectory
+from repro.cache.core import BlockCache, WriteAdmission
+from repro.cache.destage import (
+    DestagePolicy,
+    DestageRun,
+    IdleDestage,
+    MirrorCoalescingDestage,
+    ThresholdDestage,
+    coalesce_runs,
+    make_destage_policy,
+)
+from repro.cache.policy import (
+    ARCPolicy,
+    EvictionPolicy,
+    LRUPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "ARCPolicy",
+    "BlockCache",
+    "BlockState",
+    "CacheConfig",
+    "CacheDirectory",
+    "CacheStats",
+    "DestagePolicy",
+    "DestageRun",
+    "EvictionPolicy",
+    "IdleDestage",
+    "LRUPolicy",
+    "MirrorCoalescingDestage",
+    "ThresholdDestage",
+    "WriteAdmission",
+    "cache_enabled",
+    "coalesce_runs",
+    "make_destage_policy",
+    "make_policy",
+]

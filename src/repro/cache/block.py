@@ -1,0 +1,65 @@
+"""Per-block cache state and the cache's counter block.
+
+The state machine (enforced by :class:`repro.cache.core.BlockCache`)::
+
+    absent --fill/read-miss--> CLEAN --write--> DIRTY
+    absent --full-block write--------------------^
+    DIRTY --begin_destage--> DESTAGING --complete--> CLEAN
+    DESTAGING --write (re-dirty)--> ... --complete--> DIRTY
+    DESTAGING --destage lost--> absent   (reported lost exactly once)
+    CLEAN --evict/invalidate--> absent
+    DIRTY/DESTAGING --peer invalidate--> absent (superseded by writer)
+
+Only CLEAN blocks are eviction candidates; DIRTY and DESTAGING blocks
+are pinned until their data reaches disk (or is reported lost).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Set
+
+from repro.errors import ReproError
+
+
+class BlockState(enum.Enum):
+    """Lifecycle of one resident cache block."""
+
+    CLEAN = "clean"
+    DIRTY = "dirty"
+    DESTAGING = "destaging"
+
+
+class CacheStateError(ReproError):
+    """An illegal block-state transition was attempted."""
+
+
+@dataclass
+class CacheStats:
+    """Cumulative counters for one node's cache (merge-safe: all are
+    monotone counts or high-water marks, never ratios)."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    evictions: int = 0
+    fills: int = 0
+    #: Writes absorbed in place (block already dirty or destaging).
+    write_absorbed: int = 0
+    #: Blocks whose destage write completed.
+    destaged: int = 0
+    #: Destage sweeps that completed a batch.
+    destage_batches: int = 0
+    #: Dirty blocks whose destage failed unrecoverably.
+    lost: int = 0
+    #: High-water mark of the dirty+destaging population.
+    dirty_hw: int = 0
+    #: Exact per-block outcome sets, kept only under ``track_blocks``
+    #: (the destage-vs-fault exactly-once property reads these).
+    destaged_blocks: Set[int] = field(default_factory=set)
+    lost_blocks: Set[int] = field(default_factory=set)
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

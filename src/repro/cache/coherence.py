@@ -1,0 +1,51 @@
+"""Write-invalidate coherence: the per-block holder directory.
+
+Subsumed from the old ``repro.cluster.cache`` shim with its protocol
+preserved: reads note the caching node, a write invalidates the block
+on every *other* holder (the caller charges one control message per
+touched peer), and the writer becomes the sole holder only if it
+caches the block itself.  A simplification of the replicated
+lock-group table's knowledge: the simulation keeps one authoritative
+directory instead of n replicas.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.cache.core import BlockCache
+
+
+class CacheDirectory:
+    """Tracks which nodes cache which blocks, to target invalidations."""
+
+    def __init__(self, caches: List[BlockCache]):
+        self.caches = caches
+        self._where: Dict[int, Set[int]] = {}
+
+    def note_cached(self, node: int, block: int) -> None:
+        self.caches[node].insert(block)
+        self._where.setdefault(block, set()).add(node)
+
+    def note_resident(self, node: int, block: int) -> None:
+        """Record holdership without touching cache state — used by the
+        write path after :meth:`BlockCache.admit_write` already moved
+        the block to dirty (``note_cached`` would be a spurious recency
+        refresh on a block the admission just touched)."""
+        self._where.setdefault(block, set()).add(node)
+
+    def lookup(self, node: int, block: int) -> bool:
+        return self.caches[node].lookup(block)
+
+    def invalidate_peers(self, writer: int, block: int) -> List[int]:
+        """Invalidate ``block`` on all peers of ``writer``; returns the
+        list of nodes that actually held it (for message charging)."""
+        holders = self._where.get(block, set())
+        touched = []
+        for node in sorted(holders):
+            if node == writer:
+                continue
+            if self.caches[node].invalidate(block):
+                touched.append(node)
+        self._where[block] = {writer} if writer in holders else set()
+        return touched

@@ -1,0 +1,85 @@
+"""Cache configuration and the ``REPRO_CACHE`` kill switch.
+
+A system caches only when handed an explicit :class:`CacheConfig` —
+the default is *no cache layer at all*, which is what keeps the golden
+equivalence captures byte-identical.  ``REPRO_CACHE=0`` (or ``off`` /
+``no`` / ``false``) forces the cache off even when one is configured:
+the CI cache-equivalence job runs cache-configured suites under that
+flag and diffs float-hex rows against the committed goldens.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Write admission modes: ``writeback`` dirties blocks in memory and
+#: destages later; ``writethrough`` commits to disk first and caches
+#: the clean copy.
+MODES = ("writeback", "writethrough")
+#: Eviction policies (see :mod:`repro.cache.policy`).
+POLICIES = ("lru", "arc")
+#: Destage trigger/selection policies (see :mod:`repro.cache.destage`).
+DESTAGE_POLICIES = ("threshold", "idle", "mirror")
+
+#: Environment kill switch; read at system construction time.
+ENV_FLAG = "REPRO_CACHE"
+_OFF_VALUES = frozenset({"0", "off", "no", "false"})
+
+
+def cache_enabled() -> bool:
+    """False when ``REPRO_CACHE`` disables caching process-wide."""
+    return os.environ.get(ENV_FLAG, "1").strip().lower() not in _OFF_VALUES
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Per-system buffer-cache configuration (immutable).
+
+    ``dirty_fraction`` sets the threshold-destage trigger as a fraction
+    of capacity; ``destage_batch`` bounds how many blocks one sweep may
+    destage.  ``track_blocks`` keeps exact per-block destaged/lost sets
+    on the cache — test instrumentation for the exactly-once property,
+    off by default so steady-state memory stays O(capacity).
+    """
+
+    capacity_blocks: int = 1024
+    mode: str = "writeback"
+    policy: str = "lru"
+    destage: str = "threshold"
+    dirty_fraction: float = 0.5
+    destage_batch: int = 64
+    track_blocks: bool = False
+
+    def __post_init__(self) -> None:
+        if self.capacity_blocks <= 0:
+            raise ConfigurationError("cache capacity must be positive")
+        if self.mode not in MODES:
+            raise ConfigurationError(
+                f"unknown cache mode {self.mode!r}; choose from {MODES}"
+            )
+        if self.policy not in POLICIES:
+            raise ConfigurationError(
+                f"unknown cache policy {self.policy!r}; "
+                f"choose from {POLICIES}"
+            )
+        if self.destage not in DESTAGE_POLICIES:
+            raise ConfigurationError(
+                f"unknown destage policy {self.destage!r}; "
+                f"choose from {DESTAGE_POLICIES}"
+            )
+        if not 0.0 < self.dirty_fraction <= 1.0:
+            raise ConfigurationError("dirty_fraction must be in (0, 1]")
+        if self.destage_batch <= 0:
+            raise ConfigurationError("destage_batch must be positive")
+
+    @property
+    def writeback(self) -> bool:
+        return self.mode == "writeback"
+
+    @property
+    def threshold_blocks(self) -> int:
+        """Dirty-block count that arms the threshold destage trigger."""
+        return max(1, int(self.dirty_fraction * self.capacity_blocks))

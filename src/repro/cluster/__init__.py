@@ -11,7 +11,7 @@ from repro.cluster.message import Message, MessageKind, MessageStats, HEADER_BYT
 from repro.cluster.transport import Transport
 from repro.cluster.consistency import DistributedLockManager, LockGroupTable
 from repro.cluster.cdd import CooperativeDiskDriver
-from repro.cluster.cache import BlockCache
+from repro.cache import BlockCache  # moved to its own layer in PR 9
 from repro.cluster.sios import SingleIOSpace, Piece
 from repro.cluster.cluster import Cluster, build_cluster
 from repro.cluster.monitoring import ClusterMonitor, MonitorLog

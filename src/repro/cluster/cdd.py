@@ -57,6 +57,10 @@ class CooperativeDiskDriver:
         self.served_remote_ops = 0
         #: Ops this CDD's client module issued (local + remote).
         self.issued_ops = 0
+        #: Buffer-cache traffic routed through this CDD (fills are
+        #: block-aligned miss/RMW reads; destages are dirty write-backs).
+        self.cache_fill_ops = 0
+        self.cache_destage_ops = 0
 
     @property
     def node_id(self) -> int:
@@ -141,6 +145,28 @@ class CooperativeDiskDriver:
         return self.node.env.process(
             self.block_io(op, disk, offset, nbytes, priority, trace, ctx)
         )
+
+    # -- buffer-cache routing ----------------------------------------------
+    def cache_copy(self, nbytes: int):
+        """Process generator: serve bytes from this node's buffer cache
+        — one local memory copy, no disk or network traffic."""
+        yield self.node.cpu.memcpy(nbytes)
+
+    def cache_fill(self, engine, client: int, offset: int, nbytes: int,
+                   trace=None):
+        """Process generator: route one cache fill (read-miss service or
+        a read-modify-write fill) down the planner/engine read path."""
+        self.cache_fill_ops += 1
+        yield from engine.execute_read(client, offset, nbytes, trace)
+
+    def cache_destage(self, engine, client: int, offset: int, nbytes: int,
+                      trace=None, wctx=None):
+        """Process generator: route one destage write-back down the
+        planner/engine write path.  ``wctx`` carries the RMW-absorbed
+        block set to the parity planner."""
+        self.cache_destage_ops += 1
+        yield from engine.execute_write(client, offset, nbytes, trace,
+                                        wctx=wctx)
 
     # -- storage manager -----------------------------------------------------
     def _manage(

@@ -40,6 +40,7 @@ from repro.raid.plan import (
     ReconstructRead,
     SerialWrite,
     StripeWrite,
+    WriteContext,
 )
 from repro.sim.events import Event
 from repro.sim.sync import Mutex
@@ -119,6 +120,12 @@ class ExecutionEngine:
         #: Per-stripe mutexes serializing parity read-modify-write.
         self._stripe_locks: Dict[int, Mutex] = {}
         self.mirror = MirrorState()
+        #: The buffer-cache admission/lookup stage
+        #: (:class:`~repro.cluster.cache_stage.CacheStage`), attached by
+        #: the system when a cache is configured.  ``None`` — the
+        #: default — leaves every path below byte-identical to the
+        #: cache-less engine.
+        self.cache = None
         #: Requests served by :meth:`try_fast_submit` (fast-forward hits).
         self.fast_submits = 0
         #: Per-client count of event-driven requests still in flight.
@@ -198,6 +205,13 @@ class ExecutionEngine:
         pops, so the span stream stays byte-identical (DESIGN §6.15).
         """
         system = self.system
+        if self.cache is not None:
+            # The fast-forward legality predicate treats a dirty or
+            # mid-destage cache as a conflict; in practice the veto is
+            # total while a cache is attached, because even a clean hit
+            # mutates recency/directory state the closed form cannot
+            # replay (DESIGN §6.17).
+            return None
         if self.failed_disks:
             return None
         if self.phase_inflight[client]:
@@ -296,7 +310,17 @@ class ExecutionEngine:
 
     # -- top-level request path --------------------------------------------
     def run(self, client: int, op: str, offset: int, nbytes: int):
-        """Process generator: plan and execute one logical request."""
+        """Process generator: plan and execute one logical request.
+
+        With a cache attached, the request enters the admission/lookup
+        stage instead; the stage calls back into
+        :meth:`execute_read`/:meth:`execute_write` for fills and
+        destages.  Without one, this body is the pre-cache engine,
+        event for event.
+        """
+        if self.cache is not None:
+            yield from self.cache.run_request(client, op, offset, nbytes)
+            return
         plan = self.planner.plan(op, offset, nbytes, self.failed_disks)
         if not plan.pieces:
             return
@@ -325,6 +349,41 @@ class ExecutionEngine:
                     REQUEST, f"node{client}.request", t0, self.env.now,
                     trace=trace, op=op, offset=offset, nbytes=nbytes,
                     arch=self.system.name,
+                )
+
+    # -- cache-stage back-ends ---------------------------------------------
+    def execute_read(self, client: int, offset: int, nbytes: int, trace):
+        """Process generator: plan + run one read below the cache stage
+        (miss service and RMW fills) — no REQUEST span, no byte
+        accounting; the stage owns both."""
+        plan = self.planner.plan("read", offset, nbytes, self.failed_disks)
+        if plan.pieces:
+            yield from self._run_read(client, plan, trace)
+
+    def execute_write(
+        self, client: int, offset: int, nbytes: int, trace,
+        wctx: Optional[WriteContext] = None,
+    ):
+        """Process generator: plan + run one write below the cache stage
+        (write-through commits and destages).  ``wctx`` carries the
+        RMW-absorbed block set to the planner; lock acquisition and
+        guaranteed release match :meth:`run`'s write path."""
+        plan = self.planner.plan(
+            "write", offset, nbytes, self.failed_disks, wctx=wctx
+        )
+        if not plan.pieces:
+            return
+        handle = None
+        if self.system.locking:
+            handle = yield from self.cdd(client).acquire_write_locks(
+                list(plan.lock_blocks), trace=trace
+            )
+        try:
+            yield from self._run_write(client, plan, trace)
+        finally:
+            if handle is not None:
+                yield from self.cdd(client).release_write_locks(
+                    handle, trace=trace
                 )
 
     # -- reads -------------------------------------------------------------
@@ -633,7 +692,11 @@ class ExecutionEngine:
         m.dirty_groups.discard(group)
 
     def drain(self):
-        """Wait until every background image flush has completed."""
+        """Wait until every piece of background work has completed:
+        cache destage sweeps first (they can enqueue image flushes),
+        then the RAID-x write-behind flusher."""
+        if self.cache is not None:
+            yield from self.cache.drain()
         m = self.mirror
         while m.pending_flushes:
             pending, m.pending_flushes = m.pending_flushes, []

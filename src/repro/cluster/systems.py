@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import Set, Tuple
 
+from repro.cache import CacheConfig, cache_enabled
+from repro.cluster.cache_stage import CacheStage
 from repro.cluster.engine import ExecutionEngine
 from repro.cluster.message import HEADER_BYTES, MessageKind
 from repro.cluster.sios import SingleIOSpace
@@ -126,7 +128,13 @@ class DistributedArraySystem(StorageSystem):
         cluster,
         locking: bool = False,
         read_policy: str = "static",
+        cache: CacheConfig | None = None,
     ):
+        """``cache`` opts this system into the buffer-cache layer
+        (DESIGN §6.17).  The default — no cache — leaves the request
+        path byte-identical to the pre-cache engine, and the
+        ``REPRO_CACHE`` kill switch forces that even when a config is
+        passed (the CI cache-equivalence job runs under it)."""
         super().__init__(cluster)
         cfg = cluster.config
         self.layout: Layout = make_layout(
@@ -144,6 +152,11 @@ class DistributedArraySystem(StorageSystem):
         self.read_policy = read_policy
         self.planner: Planner = self._make_planner()
         self.engine = ExecutionEngine(self)
+        self.cache_config = (
+            cache if (cache is not None and cache_enabled()) else None
+        )
+        if self.cache_config is not None:
+            self.engine.cache = CacheStage(self.engine, self.cache_config)
         #: Node-level fast-forward kill-switch.  Read from the module
         #: flag at construction (so A/B runs flip ``REPRO_NODE_FF``
         #: before building); cleared permanently by the first disk
@@ -242,6 +255,7 @@ class Raid5System(DistributedArraySystem):
         locking: bool = False,
         full_stripe_optimization: bool = False,
         batch_rmw: bool = False,
+        cache: CacheConfig | None = None,
     ):
         """``full_stripe_optimization`` computes parity for aligned
         full-stripe writes without pre-reads; ``batch_rmw`` amortizes
@@ -251,7 +265,7 @@ class Raid5System(DistributedArraySystem):
         quantifies what each knob recovers."""
         self.full_stripe_optimization = full_stripe_optimization
         self.batch_rmw = batch_rmw
-        super().__init__(cluster, locking)
+        super().__init__(cluster, locking, cache=cache)
 
     def _make_planner(self) -> Planner:
         return Raid5Planner(
@@ -270,10 +284,12 @@ class RaidxSystem(DistributedArraySystem):
     def __init__(self, cluster, locking: bool = False,
                  mirror_policy: MirrorPolicy | str = MirrorPolicy.BACKGROUND,
                  read_local_mirror: bool = False,
-                 read_policy: str = "static"):
+                 read_policy: str = "static",
+                 cache: CacheConfig | None = None):
         self.mirror_policy = MirrorPolicy.parse(mirror_policy)
         self.read_local_mirror = read_local_mirror
-        super().__init__(cluster, locking, read_policy=read_policy)
+        super().__init__(cluster, locking, read_policy=read_policy,
+                         cache=cache)
 
     def _make_planner(self) -> Planner:
         return RaidxPlanner(
@@ -328,7 +344,7 @@ class NfsSystem(StorageSystem):
         self._server_disks = list(cluster.nodes[server].disk_ids)
         self._block_size = cfg.geometry.block_size
         self._rows = cfg.disk.capacity_bytes // self._block_size
-        from repro.cluster.cache import BlockCache
+        from repro.cache import BlockCache
 
         cache_blocks = (server_cache_mb * 1_000_000) // self._block_size
         self._cache = (

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.cluster.cache import BlockCache, CacheDirectory
+from repro.cache import BlockCache, CacheDirectory
 from repro.cluster.message import ACK_BYTES, MessageKind
 
 

@@ -20,6 +20,9 @@ Rule families (see each module's docstring for the full rationale):
 * **FF** (:mod:`repro.lint.rules_ff`) — the fast-forward legality
   contract: guard-state mutations only at owning sites, float-only
   pricing, ``ff_preload`` downstream of ``ff_ready``.
+* **CACHE** (:mod:`repro.lint.rules_cache`) — the buffer-cache layer
+  boundary: no layer below the engine imports ``repro.cache``, and the
+  cache package itself stays pure bookkeeping.
 * **LINT** (:mod:`repro.lint.rules_lint`) — stale suppressions.
 
 The SIM taint, LOCK, OBS span, and FF families are *interprocedural*:
@@ -49,6 +52,7 @@ from repro.lint.core import (
     run_rules,
 )
 from repro.lint.rules_arch import RULES as ARCH_RULES
+from repro.lint.rules_cache import RULES as CACHE_RULES
 from repro.lint.rules_ff import RULES as FF_RULES
 from repro.lint.rules_lint import RULES as LINT_RULES
 from repro.lint.rules_lock import RULES as LOCK_RULES
@@ -64,6 +68,7 @@ ALL_RULES = (
     + tuple(OBS_RULES)
     + tuple(ARCH_RULES)
     + tuple(FF_RULES)
+    + tuple(CACHE_RULES)
     + tuple(LINT_RULES)
 )
 

@@ -46,6 +46,7 @@ SIM_SCOPE = frozenset(
         "workloads",
         "fault",
         "obs",
+        "cache",
     }
 )
 

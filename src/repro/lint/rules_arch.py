@@ -4,7 +4,9 @@ The reproduction is layered the way the paper's Figure 2 stacks its
 software: the DES kernel (``sim``) at the bottom knows nothing above it;
 device models (``hardware``, ``io``) sit on the kernel; the CDD/SIOS
 layer (``cluster``) owns every hardware object; placement math
-(``raid``) and observability (``obs``) are freestanding utilities; and
+(``raid``), observability (``obs``) and the buffer-cache bookkeeping
+(``cache``, whose own CACHE rules live in
+:mod:`repro.lint.rules_cache`) are freestanding utilities; and
 everything application-shaped (``fs``, ``checkpoint``, ``workloads``,
 ``fault``, ``analysis``, ``bench``) stacks on top.  Only module-level
 imports count — lazy function-level imports and ``TYPE_CHECKING`` blocks
@@ -52,22 +54,26 @@ ALLOWED_IMPORTS: Dict[str, Set[str]] = {
     "raid": set(),
     "hardware": {"sim", "obs", "io"},
     "io": {"sim", "obs", "hardware"},
-    "cluster": {"sim", "obs", "hardware", "io", "raid"},
-    "fs": {"sim", "obs", "hardware", "io", "raid", "cluster"},
-    "checkpoint": {"sim", "obs", "hardware", "io", "raid", "cluster", "fs"},
+    "cache": set(),
+    "cluster": {"sim", "obs", "hardware", "io", "raid", "cache"},
+    "fs": {"sim", "obs", "hardware", "io", "raid", "cache", "cluster"},
+    "checkpoint": {
+        "sim", "obs", "hardware", "io", "raid", "cache", "cluster", "fs",
+    },
     "workloads": {
-        "sim", "obs", "hardware", "io", "raid", "cluster", "fs", "checkpoint",
+        "sim", "obs", "hardware", "io", "raid", "cache", "cluster", "fs",
+        "checkpoint",
     },
     "fault": {
-        "sim", "obs", "hardware", "io", "raid", "cluster", "fs",
+        "sim", "obs", "hardware", "io", "raid", "cache", "cluster", "fs",
         "checkpoint", "workloads",
     },
     "analysis": {
-        "sim", "obs", "hardware", "io", "raid", "cluster", "fs",
+        "sim", "obs", "hardware", "io", "raid", "cache", "cluster", "fs",
         "checkpoint", "workloads", "fault",
     },
     "bench": {
-        "sim", "obs", "hardware", "io", "raid", "cluster", "fs",
+        "sim", "obs", "hardware", "io", "raid", "cache", "cluster", "fs",
         "checkpoint", "workloads", "fault", "analysis",
     },
     "lint": set(),

@@ -1,0 +1,111 @@
+"""CACHE rules: the buffer-cache layer boundary.
+
+:mod:`repro.cache` is the *bookkeeping* half of the buffer-cache layer
+introduced in DESIGN §6.17: pure state machines (block states, eviction
+policies, destage selection, the write-invalidate directory) with no
+simulator time in them.  The *timing* half lives in
+``repro.cluster.cache_stage``, an ordinary ``cluster`` module.  Two
+contracts keep that split honest:
+
+========  ==============================================================
+CACHE001  a layer below the engine (``sim``, ``hardware``, ``io``,
+          ``raid``, ``obs``) imports ``repro.cache`` — even lazily.
+          The cache is an engine-level stage; if a disk model or a
+          planner needs cache state, that state must be passed *down*
+          as plain data (e.g. :class:`repro.raid.plan.WriteContext`),
+          never reached *up* for.
+CACHE002  a ``repro.cache`` module imports outside cache + base
+          modules (even lazily), or contains ``yield`` — the cache
+          package is pure bookkeeping; anything that needs simulated
+          time belongs in the cluster-layer cache stage
+========  ==============================================================
+
+Lazy imports are deliberately NOT an escape hatch for either rule
+(unlike ARCH001): both directions of this boundary are semantic, not
+just a cycle-avoidance concern.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence
+
+from repro.lint.core import (
+    BASE_MODULES,
+    Finding,
+    ModuleInfo,
+    ProjectRule,
+)
+
+#: Packages strictly below the execution engine in the layer stack.
+BELOW_ENGINE = frozenset({"sim", "hardware", "io", "raid", "obs"})
+
+_CACHE_ALLOWED = {"cache"} | BASE_MODULES
+
+
+def _dest_package(imported: str) -> str | None:
+    parts = imported.split(".")
+    if parts[0] != "repro" or len(parts) < 2:
+        return None
+    return parts[1]
+
+
+class CacheLayerRule(ProjectRule):
+    """CACHE001: nothing below the engine may see the cache."""
+
+    code = "CACHE001"
+    summary = "sub-engine layer imports repro.cache"
+
+    def check_project(self, mods: Sequence[ModuleInfo]) -> Iterator[Finding]:
+        for mod in mods:
+            if mod.package not in BELOW_ENGINE:
+                continue
+            for imported, _name, lineno, _top in mod.repro_imports:
+                if _dest_package(imported) != "cache":
+                    continue
+                yield Finding(
+                    self.code, mod.path, lineno, 0,
+                    f"{mod.module} (layer {mod.package}) imports "
+                    f"{imported}; the buffer cache is an engine-level "
+                    "stage — layers below the engine receive cache "
+                    "state as plain data (WriteContext), they never "
+                    "import repro.cache, not even lazily",
+                )
+
+
+class CachePurityRule(ProjectRule):
+    """CACHE002: the cache package stays pure bookkeeping."""
+
+    code = "CACHE002"
+    summary = "repro.cache module is not pure"
+
+    def check_project(self, mods: Sequence[ModuleInfo]) -> Iterator[Finding]:
+        for mod in mods:
+            if mod.package != "cache":
+                continue
+            # Like ARCH004, lazy imports are NOT exempt: a cache module
+            # that lazily imports the sim kernel is still scheduling,
+            # just sneakily.
+            for imported, _name, lineno, _top in mod.repro_imports:
+                dst = _dest_package(imported)
+                if dst is None or dst in _CACHE_ALLOWED:
+                    continue
+                yield Finding(
+                    self.code, mod.path, lineno, 0,
+                    f"cache module {mod.module} imports repro.{dst} "
+                    f"({imported}); repro.cache is pure bookkeeping — "
+                    "only cache-internal and base modules are allowed; "
+                    "timing belongs in repro.cluster.cache_stage",
+                )
+            for node in ast.walk(mod.tree):
+                if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                    yield Finding(
+                        self.code, mod.path, node.lineno, 0,
+                        f"yield in cache module {mod.module}; the cache "
+                        "package must not contain process generators — "
+                        "hits, fills and destages are timed by the "
+                        "cluster-layer cache stage",
+                    )
+
+
+RULES = (CacheLayerRule(), CachePurityRule())

@@ -23,6 +23,14 @@ exception is the queue-depth high-water, which must merge by *max*,
 not sum: each disk's high-water is observed into the shared
 ``load.disk.queue_depth_hw`` histogram, whose merge keeps the exact
 max (and the cross-disk distribution for skew reporting).
+
+When the storage system runs with the buffer-cache layer attached
+(:mod:`repro.cache`), the sweep also collects per-node cache counters
+(``load.nodeN.cache.hits`` / ``.misses`` / ``.fills`` / ``.absorbed``
+/ ``.destaged`` / ``.destage_batches`` / ``.lost`` /
+``.invalidations`` / ``.evictions``) plus the dirty-block high-water
+histogram ``load.cache.dirty_hw`` (max-merge, like queue depth).  Hit
+*ratios* are derived at report time via :func:`cache_hit_ratios`.
 """
 
 from __future__ import annotations
@@ -76,7 +84,56 @@ def collect_load(cluster: Any, registry: Optional[MetricsRegistry] = None
     engine = getattr(storage, "engine", None)
     if engine is not None:
         reg.counter("load.fast_submits").value += engine.fast_submits
+        stage = getattr(engine, "cache", None)
+        if stage is not None:
+            _collect_cache(stage, reg)
     return reg
+
+
+#: Histogram of per-node dirty-block high-water marks (merge keeps max).
+CACHE_DIRTY_HW = "load.cache.dirty_hw"
+
+
+def _collect_cache(stage: Any, reg: MetricsRegistry) -> None:
+    """Sweep the buffer-cache stage's per-node counters.
+
+    Same conventions as the hardware sweep: raw cumulative counts only
+    (hit *ratios* are derived at report time, so merged shards give the
+    access-weighted ratio), and the dirty-block high-water goes into a
+    max-merge histogram.
+    """
+    for cache in stage.caches:
+        st = cache.stats
+        base = f"load.node{cache.node_id}.cache"
+        reg.counter(f"{base}.hits").value += st.hits
+        reg.counter(f"{base}.misses").value += st.misses
+        reg.counter(f"{base}.fills").value += st.fills
+        reg.counter(f"{base}.absorbed").value += st.write_absorbed
+        reg.counter(f"{base}.destaged").value += st.destaged
+        reg.counter(f"{base}.destage_batches").value += st.destage_batches
+        reg.counter(f"{base}.lost").value += st.lost
+        reg.counter(f"{base}.invalidations").value += st.invalidations
+        reg.counter(f"{base}.evictions").value += st.evictions
+        reg.observe(CACHE_DIRTY_HW, st.dirty_hw)
+
+
+def cache_hit_ratios(reg: MetricsRegistry) -> Dict[int, float]:
+    """{node id: read hit ratio} derived from a (possibly merged)
+    registry — hits / (hits + misses), the access-weighted mean across
+    shards.  Nodes with no cache traffic are omitted."""
+    out: Dict[int, float] = {}
+    prefix, suffix = "load.node", ".cache.hits"
+    for name in reg.counter_names():
+        if not (name.startswith(prefix) and name.endswith(suffix)):
+            continue
+        ident = name[len(prefix):-len(suffix)]
+        if not ident.isdigit():
+            continue
+        hits = reg.counter(name).value
+        misses = reg.counter(f"{prefix}{ident}.cache.misses").value
+        if hits + misses > 0:
+            out[int(ident)] = hits / (hits + misses)
+    return out
 
 
 def disk_utilizations(reg: MetricsRegistry) -> Dict[int, float]:

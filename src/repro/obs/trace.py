@@ -50,6 +50,11 @@ SCSI_TRANSFER = "scsi.transfer"
 CKPT_SYNC = "ckpt.sync"
 #: Checkpoint state write (the "C" overhead of Fig. 7).
 CKPT_WRITE = "ckpt.write"
+#: Buffer-cache admission/lookup stage: one logical request's cache
+#: pass (hits served by memcpy, misses filled through the engine).
+CACHE_LOOKUP = "cache.lookup"
+#: One destage run: dirty blocks written back through the engine.
+CACHE_DESTAGE = "cache.destage"
 
 SPAN_KINDS = (
     REQUEST,
@@ -64,6 +69,8 @@ SPAN_KINDS = (
     SCSI_TRANSFER,
     CKPT_SYNC,
     CKPT_WRITE,
+    CACHE_LOOKUP,
+    CACHE_DESTAGE,
 )
 
 

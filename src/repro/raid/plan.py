@@ -269,6 +269,21 @@ class IOPlan:
 
 
 @dataclass(frozen=True)
+class WriteContext:
+    """Cache state a planner may consult when shaping a write plan.
+
+    Passed *into* the pure planner by the engine's cache stage when a
+    destage is planned: ``absorbed`` names the blocks whose pre-write
+    content the buffer cache can supply, so a parity planner may drop
+    those blocks' old-data pre-reads from its read-modify-write passes
+    (RMW absorption).  The parity read and both XOR passes stay — only
+    the redundant old-data disk reads disappear.
+    """
+
+    absorbed: AbstractSet[int] = field(default_factory=frozenset)
+
+
+@dataclass(frozen=True)
 class ReadContext:
     """Runtime state a planner may consult when ranking read sources.
 

@@ -23,7 +23,7 @@ at execution time to be correct.
 
 from __future__ import annotations
 
-from typing import AbstractSet, Dict, List, Tuple
+from typing import AbstractSet, Dict, List, Optional, Tuple
 
 from repro.errors import AddressError, DataLossError
 from repro.raid.layout import Layout, Placement
@@ -46,6 +46,7 @@ from repro.raid.plan import (
     FullStripePass,
     SerialWrite,
     StripeWrite,
+    WriteContext,
     split_into_blocks,
 )
 
@@ -88,15 +89,21 @@ class Planner:
         offset: int,
         nbytes: int,
         failed: FailedSet = frozenset(),
+        wctx: Optional[WriteContext] = None,
     ) -> IOPlan:
-        """Build the declarative plan for one logical request."""
+        """Build the declarative plan for one logical request.
+
+        ``wctx`` (cache destages only) names the blocks whose pre-write
+        content the buffer cache holds; parity planners may absorb
+        those blocks' RMW pre-reads.
+        """
         pieces = self.pieces_for(offset, nbytes)
         action: object = None
         if pieces:
             if op == "read":
                 action = ReadPlan(tuple(ReadPiece(p) for p in pieces))
             else:
-                action = self.plan_write(pieces, failed)
+                action = self.plan_write(pieces, failed, wctx)
         return IOPlan(
             arch=self.arch,
             op=op,
@@ -107,7 +114,12 @@ class Planner:
             action=action,
         )
 
-    def plan_write(self, pieces: List[Piece], failed: FailedSet) -> object:
+    def plan_write(
+        self,
+        pieces: List[Piece],
+        failed: FailedSet,
+        wctx: Optional[WriteContext] = None,
+    ) -> object:
         raise NotImplementedError
 
     # -- read-source ranking (consulted per attempt by the engine) ---------
@@ -150,7 +162,12 @@ class Raid0Planner(Planner):
 
     arch = "raid0"
 
-    def plan_write(self, pieces: List[Piece], failed: FailedSet) -> object:
+    def plan_write(
+        self,
+        pieces: List[Piece],
+        failed: FailedSet,
+        wctx: Optional[WriteContext] = None,
+    ) -> object:
         return ParallelWrite(
             pieces=tuple(
                 MirroredPieceWrite(
@@ -187,7 +204,12 @@ class MirroredPlanner(Planner):
             for p in pieces
         )
 
-    def plan_write(self, pieces: List[Piece], failed: FailedSet) -> object:
+    def plan_write(
+        self,
+        pieces: List[Piece],
+        failed: FailedSet,
+        wctx: Optional[WriteContext] = None,
+    ) -> object:
         lay = self.layout
         copies = self._copy_sets(pieces)
         if self.serial:
@@ -265,7 +287,12 @@ class Raid5Planner(Planner):
         }
         return want <= have
 
-    def plan_write(self, pieces: List[Piece], failed: FailedSet) -> object:
+    def plan_write(
+        self,
+        pieces: List[Piece],
+        failed: FailedSet,
+        wctx: Optional[WriteContext] = None,
+    ) -> object:
         lay = self.layout
         bs = lay.block_size
         stripes = []
@@ -299,6 +326,7 @@ class Raid5Planner(Planner):
             groups = (
                 [spieces] if self.batch_rmw else [[p] for p in spieces]
             )
+            absorbed = wctx.absorbed if wctx is not None else frozenset()
             passes = []
             for group in groups:
                 modified = sum(p.nbytes for p in group)
@@ -308,12 +336,18 @@ class Raid5Planner(Planner):
                 phi = max(p.intra + p.nbytes for p in group)
                 passes.append(
                     RmwPass(
+                        # RMW absorption: the buffer cache supplies the
+                        # pre-write content of absorbed blocks, so their
+                        # old-data pre-reads vanish; the parity read and
+                        # both XOR passes are unchanged (the parity
+                        # delta still needs computing either way).
                         reads=tuple(
                             PieceOp(
                                 "read", p.disk, p.disk_offset, p.nbytes,
                                 kind="data", block=p.block,
                             )
                             for p in group
+                            if p.block not in absorbed
                         ),
                         parity_read=PieceOp(
                             "read", ploc.disk, ploc.offset + plo, phi - plo,
@@ -447,7 +481,12 @@ class RaidxPlanner(Planner):
                 runs.append((g, disk, off, n))
         return [ImageExtent(g, d, o, n) for g, d, o, n in runs]
 
-    def plan_write(self, pieces: List[Piece], failed: FailedSet) -> object:
+    def plan_write(
+        self,
+        pieces: List[Piece],
+        failed: FailedSet,
+        wctx: Optional[WriteContext] = None,
+    ) -> object:
         return OrthogonalWrite(
             foreground=tuple(
                 self._data_write(p, tolerant=True) for p in pieces

@@ -1,8 +1,14 @@
-"""Block cache LRU behaviour and invalidation directory."""
+"""Read-cache LRU behaviour and the write-invalidate directory.
+
+Migrated from ``tests/cluster/test_cache.py`` when the read-only
+cluster cache was subsumed by :mod:`repro.cache` (PR 9): the Andrew
+benchmark's consistency protocol — peers-only invalidation, writer
+retains holdership — must survive the move unchanged.
+"""
 
 import pytest
 
-from repro.cluster.cache import BlockCache, CacheDirectory
+from repro.cache import BlockCache, CacheDirectory
 
 
 def test_lru_eviction_order():
@@ -86,3 +92,28 @@ def test_directory_invalidation_unknown_block():
     caches = [BlockCache(i, 8) for i in range(2)]
     d = CacheDirectory(caches)
     assert d.invalidate_peers(writer=0, block=42) == []
+
+
+# -- write-back extensions of the same protocol ---------------------------
+
+
+def test_invalidate_dirty_block_counts_superseded():
+    """A peer's write supersedes this cache's dirty copy: the block is
+    dropped (never destaged) and counted as an invalidation."""
+    c = BlockCache(0, capacity_blocks=4)
+    c.admit_write(5, full_block=True)
+    assert c.dirty_count == 1
+    assert c.invalidate(5)
+    assert c.dirty_count == 0 and 5 not in c
+    assert c.stats.destaged == 0 and c.stats.lost == 0
+
+
+def test_note_resident_grants_holdership_without_insert():
+    """The write path admits the block into the cache itself and then
+    registers holdership; ``note_resident`` must not double-insert."""
+    caches = [BlockCache(i, 8) for i in range(2)]
+    d = CacheDirectory(caches)
+    caches[0].admit_write(3, full_block=True)
+    d.note_resident(0, 3)
+    assert d.lookup(0, 3)
+    assert caches[0].stats.fills == 0  # no second admission

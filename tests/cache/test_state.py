@@ -1,0 +1,142 @@
+"""The per-block clean/dirty/destaging state machine and RMW absorption."""
+
+import pytest
+
+from repro.cache import BlockCache, WriteAdmission
+from repro.cache.block import BlockState, CacheStateError
+
+
+def cache(**kw):
+    kw.setdefault("capacity_blocks", 8)
+    return BlockCache(0, **kw)
+
+
+def test_full_write_of_absent_block_dirties_without_fill():
+    c = cache()
+    assert c.admit_write(5, full_block=True) is WriteAdmission.DIRTIED
+    assert c.state_of(5) is BlockState.DIRTY
+    # Pre-write content unknown: no RMW absorption for this block.
+    assert not c.old_known(5)
+
+
+def test_partial_write_of_absent_block_needs_fill():
+    c = cache()
+    assert c.admit_write(5, full_block=False) is WriteAdmission.NEEDS_FILL
+    assert 5 not in c
+    c.fill(5)
+    assert c.admit_write(5, full_block=False) is WriteAdmission.DIRTIED
+    # Filled-then-dirtied: the cache holds the pre-write bytes.
+    assert c.old_known(5)
+
+
+def test_write_to_clean_resident_block_enables_absorption():
+    c = cache()
+    c.insert(3)
+    assert c.admit_write(3, full_block=True) is WriteAdmission.DIRTIED
+    assert c.old_known(3)
+
+
+def test_rewrite_of_dirty_block_absorbed():
+    c = cache()
+    c.admit_write(4, full_block=True)
+    assert c.admit_write(4, full_block=False) is WriteAdmission.ABSORBED
+    assert c.stats.write_absorbed == 1
+    assert c.dirty_count == 1  # still one pinned block
+
+
+def test_destage_lifecycle_clean_completion():
+    c = cache()
+    c.admit_write(1, full_block=True)
+    c.begin_destage([1])
+    assert c.state_of(1) is BlockState.DESTAGING
+    assert c.dirty_blocks() == []  # in-flight blocks are not re-selected
+    c.complete_destage([1])
+    assert c.state_of(1) is BlockState.CLEAN
+    assert c.dirty_count == 0
+    assert c.stats.destaged == 1
+
+
+def test_begin_destage_requires_dirty():
+    c = cache()
+    c.insert(1)
+    with pytest.raises(CacheStateError):
+        c.begin_destage([1])
+
+
+def test_write_racing_destage_redirties_at_completion():
+    c = cache()
+    c.fill(2)
+    c.admit_write(2, full_block=True)
+    assert c.old_known(2)
+    c.begin_destage([2])
+    # A foreground write lands while the destage is in flight.
+    assert c.admit_write(2, full_block=True) is WriteAdmission.ABSORBED
+    # The in-flight destage carries stale bytes: absorption is off.
+    assert not c.old_known(2)
+    c.complete_destage([2])
+    assert c.state_of(2) is BlockState.DIRTY  # newer content still pending
+    assert c.stats.destaged == 0  # the stale write-back counts nothing
+
+
+def test_destage_lost_reports_exactly_once():
+    c = cache(track_blocks=True)
+    c.admit_write(1, full_block=True)
+    c.admit_write(2, full_block=True)
+    c.begin_destage([1, 2])
+    c.destage_lost([1, 2])
+    assert c.stats.lost == 2
+    assert c.stats.lost_blocks == {1, 2}
+    assert 1 not in c and 2 not in c
+    assert c.dirty_count == 0
+    # A second report is a no-op — the blocks are gone.
+    c.destage_lost([1, 2])
+    assert c.stats.lost == 2
+
+
+def test_destage_lost_spares_redirtied_block():
+    c = cache()
+    c.admit_write(1, full_block=True)
+    c.begin_destage([1])
+    c.admit_write(1, full_block=True)  # newer content arrives
+    c.destage_lost([1])
+    # Only the stale in-flight copy was lost; the new write is intact.
+    assert c.stats.lost == 0
+    assert c.state_of(1) is BlockState.DIRTY
+
+
+def test_eviction_never_touches_dirty_blocks():
+    c = BlockCache(0, capacity_blocks=2)
+    c.admit_write(1, full_block=True)
+    c.insert(2)
+    c.insert(3)  # must evict clean 2, not dirty 1
+    assert 1 in c and 3 in c and 2 not in c
+
+
+def test_all_dirty_cache_overcommits_briefly():
+    c = BlockCache(0, capacity_blocks=2)
+    c.admit_write(1, full_block=True)
+    c.admit_write(2, full_block=True)
+    c.admit_write(3, full_block=True)  # nothing clean to evict
+    assert len(c) == 3
+    assert c.stats.dirty_hw == 3
+
+
+def test_dirty_high_water_tracks_peak():
+    c = cache()
+    for b in range(4):
+        c.admit_write(b, full_block=True)
+    c.begin_destage([0, 1, 2, 3])
+    c.complete_destage([0, 1, 2, 3])
+    assert c.dirty_count == 0
+    assert c.stats.dirty_hw == 4
+
+
+def test_invalidation_of_destaging_block_superseded():
+    c = cache()
+    c.admit_write(7, full_block=True)
+    c.begin_destage([7])
+    assert c.invalidate(7)
+    # The completion finds nothing to do: the peer's write won.
+    c.complete_destage([7])
+    assert 7 not in c
+    assert c.stats.destaged == 0 and c.stats.lost == 0

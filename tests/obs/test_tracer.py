@@ -67,7 +67,7 @@ class TestTracer:
         assert tr.metrics.histogram_names() == []
 
     def test_taxonomy_is_complete(self):
-        assert len(SPAN_KINDS) == len(set(SPAN_KINDS)) == 12
+        assert len(SPAN_KINDS) == len(set(SPAN_KINDS)) == 14
 
 
 class TestNullTracer:
