@@ -368,6 +368,9 @@ def _scale_point(
         "failed": r.failed,
         "events": cluster.env.processed_events,
         "fast_submits": cluster.storage.engine.fast_submits,
+        "fast_hits": cluster.storage.engine.fast_hits,
+        "fast_fills": cluster.storage.engine.fast_fills,
+        "phase_submits": cluster.storage.engine.phase_submits,
         "sim_s": r.duration_s,
         "mean_ms": r.mean_latency() * 1e3,
         "p50_ms": h.percentile(50) * 1e3,
@@ -401,6 +404,9 @@ def reduce_scale_shards(shards: List[Dict]) -> Dict:
         "failed": sum(s["failed"] for s in shards),
         "events": sum(s["events"] for s in shards),
         "fast_submits": sum(s["fast_submits"] for s in shards),
+        "fast_hits": sum(s.get("fast_hits", 0) for s in shards),
+        "fast_fills": sum(s.get("fast_fills", 0) for s in shards),
+        "phase_submits": sum(s.get("phase_submits", 0) for s in shards),
         "sim_s": sum(s["sim_s"] for s in shards),
         "mean_ms": hist.mean * 1e3,
         "p50_ms": hist.percentile(50) * 1e3,
@@ -446,8 +452,8 @@ def run_scale(
 def render_scale(result: ExperimentResult) -> str:
     """The scale sweep as a table (histogram/load payloads elided)."""
     headers = [
-        "n_nodes", "completed", "failed", "fast_submits", "events",
-        "sim_s", "p50_ms", "p95_ms", "p99_ms", "util_skew",
+        "n_nodes", "completed", "failed", "fast_submits", "phase_submits",
+        "events", "sim_s", "p50_ms", "p95_ms", "p99_ms", "util_skew",
     ]
     rows = []
     for r in result.rows:
@@ -520,6 +526,7 @@ def scale_report(
                 "completed": row["completed"],
                 "failed": row["failed"],
                 "fast_submits": row["fast_submits"],
+                "phase_submits": row["phase_submits"],
                 "latency_ms": {
                     "mean": row["mean_ms"],
                     "p50": row["p50_ms"],
@@ -578,6 +585,8 @@ def scale_report(
     cluster.env.run(cluster.env.process(cluster.storage.drain()))
     load = collect_load(cluster)
     stage = cluster.storage.engine.cache
+    engine = cluster.storage.engine
+    submits = engine.fast_submits + engine.phase_submits
     cache = {
         "capacity_blocks": cache_cfg.capacity_blocks,
         "policy": cache_cfg.policy,
@@ -588,6 +597,17 @@ def scale_report(
         "dirty_hw": (
             int(load.histogram(CACHE_DIRTY_HW).max) if stage else 0
         ),
+        # Fast-submit effectiveness with the cache attached: how many
+        # requests the closed form served, split hit vs clean fill.
+        "fast_path": {
+            "fast_submits": engine.fast_submits,
+            "fast_hits": engine.fast_hits,
+            "fast_fills": engine.fast_fills,
+            "phase_submits": engine.phase_submits,
+            "ff_fraction": (
+                round(engine.fast_submits / submits, 4) if submits else 0.0
+            ),
+        },
     }
     return {"points": points, "attribution": attribution, "cache": cache}
 
@@ -602,6 +622,8 @@ def render_report(data: Dict) -> str:
                 p["n_nodes"],
                 p["completed"],
                 p["failed"],
+                p["fast_submits"],
+                p.get("phase_submits"),
                 round(lat["p50"], 3),
                 round(lat["p95"], 3),
                 round(lat["p99"], 3),
@@ -612,8 +634,8 @@ def render_report(data: Dict) -> str:
         )
     table = render_table(
         [
-            "n_nodes", "completed", "failed", "p50_ms", "p95_ms",
-            "p99_ms", "disk_util", "util_skew", "qd_hw",
+            "n_nodes", "completed", "failed", "fast", "phase", "p50_ms",
+            "p95_ms", "p99_ms", "disk_util", "util_skew", "qd_hw",
         ],
         rows,
         title="Observability report — shard-merged scale telemetry",
@@ -646,6 +668,14 @@ def render_report(data: Dict) -> str:
             lines.append(f"  node{node:>3s}  hit_ratio={ratio:6.4f}")
         if not cache["hit_ratio_per_node"]:
             lines.append("  (cache disabled — REPRO_CACHE=0)")
+        fp = cache.get("fast_path")
+        if fp:
+            lines.append(
+                f"  fast path: {fp['fast_submits']} closed-form "
+                f"({fp['fast_hits']} hits + {fp['fast_fills']} fills) "
+                f"vs {fp['phase_submits']} phase "
+                f"— ff_fraction={fp['ff_fraction']:.4f}"
+            )
     return "\n".join(lines)
 
 

@@ -6,9 +6,12 @@ the planner/engine read path, dirtying write-back blocks in place,
 charging peer-invalidation control messages, and running destage
 sweeps as background processes the system's ``drain`` waits on.
 
-Placement in the request path (DESIGN §6.17)::
+Placement in the request path (DESIGN §6.17–6.18)::
 
-    submit -> [fast-forward: vetoed while a cache is attached]
+    submit -> CacheStage.try_fast_submit      (closed-form fast path)
+              -> all-resident hit:  priced memcpy + _FFCacheHit replay
+              -> clean miss fill:   Node.try_fast_forward + install
+              -> anything else:     None -> fall through to
            -> ExecutionEngine.run
               -> CacheStage.run_request        (this module)
                  -> hits:   CDD cache_copy (one local memcpy)
@@ -24,7 +27,8 @@ execution, event-for-event identical to the pre-cache engine.
 
 from __future__ import annotations
 
-from typing import Callable, List
+from heapq import heappush
+from typing import Callable, List, Optional, Tuple
 
 from repro.cache import (
     BlockCache,
@@ -39,9 +43,340 @@ from repro.cluster.message import ACK_BYTES, MessageKind
 from repro.errors import DataLossError, DiskFailedError
 from repro.io.request import split_into_blocks
 from repro.obs import runtime as _obs
-from repro.obs.trace import CACHE_DESTAGE, CACHE_LOOKUP, REQUEST
+from repro.obs.trace import (
+    CACHE_DESTAGE,
+    CACHE_LOOKUP,
+    CPU_DRIVER,
+    REQUEST,
+    SCSI_TRANSFER,
+)
 from repro.raid.plan import WriteContext
-from repro.sim.events import Event
+from repro.sim.events import _KEY_OFFSET, Event
+
+
+def _pieces_of(
+    offset: int, nbytes: int, bs: int
+) -> List[Tuple[int, int, int]]:
+    """``split_into_blocks`` with the dominant case inlined: a request
+    contained in one block (every block-aligned workload op) skips the
+    loop.  Geometry only — no priced quantity passes through here."""
+    block, intra = divmod(offset, bs)
+    if intra + nbytes <= bs:
+        return [(block, intra, nbytes)]
+    return split_into_blocks(offset, nbytes, bs)
+
+
+class _FFCacheHit(Event):
+    """Three-pop closed-form replay of :meth:`CacheStage.run_request`
+    for an all-resident request (DESIGN §6.18).
+
+    The eager half (:meth:`CacheStage._fast_hit`) performs the
+    Initialize-pop mutations — recency/stats lookups or write
+    admissions, the ``_active`` bracket, the CPU memcpy claim — at
+    submit time; this event then occupies the same pop positions the
+    phase request would.  An urgent pop at submit time stands in for
+    the request process's ``Initialize`` (the trace id allocates there,
+    in submit order, and the memcpy Timeout's heap key is drawn there
+    too); a normal pop at the priced memcpy completion time stands in
+    for the Timeout pop (peer invalidations go out, the cache/request
+    spans record, bytes account, and the destage decision replays); and
+    ``done``'s own pop stands in for the request Process pop the
+    workload resumes on.  Every heap-key allocation lands at the exact
+    sequence position the phase path would draw it, so same-time ties
+    break identically.
+    """
+
+    __slots__ = (
+        "stage_ref", "client", "op", "offset", "nbytes", "t0", "t1",
+        "stage", "trace", "done", "hits", "dirtied", "absorbed", "blocks",
+    )
+
+    def __init__(
+        self, stage: "CacheStage", client: int, op: str,
+        offset: int, nbytes: int, t1: float,
+    ):
+        env = stage.env
+        self.env = env
+        self.callbacks: Optional[list] = [self._fire]
+        self._value = None
+        self._ok = True
+        self._defused = False
+        self.stage_ref = stage
+        self.client = client
+        self.op = op
+        self.offset = offset
+        self.nbytes = nbytes
+        self.t0 = env.now
+        self.t1 = t1
+        self.stage = 0
+        self.trace: Optional[int] = None
+        #: The completion event handed to the workload (≡ the phase
+        #: request's Process event).
+        self.done = Event(env)
+        self.hits = 0
+        self.dirtied = 0
+        self.absorbed = 0
+        self.blocks: Tuple[int, ...] = ()
+        # Urgent at submit time: the request Initialize's pop slot.
+        heappush(env._queue, (self.t0, next(env._seq) - _KEY_OFFSET, self))
+
+    def _fire(self, _event: Event) -> None:
+        env = self.env
+        st = self.stage_ref
+        if self.stage == 0:
+            # ≡ request Initialize pop: the body starts — trace id
+            # allocates, then the memcpy claim's completion Timeout
+            # draws a normal key at t1.
+            self.stage = 1
+            self.callbacks = [self._fire]
+            tracer = _obs.TRACER
+            self.trace = tracer.new_trace() if tracer.enabled else None
+            heappush(env._queue, (self.t1, next(env._seq), self))
+            return
+        # ≡ memcpy Timeout pop: the request generator resumes and runs
+        # to completion — same actions, same order.
+        client = self.client
+        tracer = _obs.TRACER
+        if self.op == "read":
+            if tracer.enabled:
+                tracer.record(
+                    CACHE_LOOKUP, f"node{client}.cache", self.t0, env.now,
+                    trace=self.trace, op="read", hits=self.hits, misses=0,
+                )
+            st.engine.system.bytes_read += self.nbytes
+        else:
+            st._invalidate_peers(client, list(self.blocks))
+            if tracer.enabled:
+                tracer.record(
+                    CACHE_LOOKUP, f"node{client}.cache", self.t0, env.now,
+                    trace=self.trace, op="write", dirtied=self.dirtied,
+                    absorbed=self.absorbed, fills=0,
+                )
+            st.engine.system.bytes_written += self.nbytes
+        st._active -= 1
+        if tracer.enabled:
+            tracer.record(
+                REQUEST, f"node{client}.request", self.t0, env.now,
+                trace=self.trace, op=self.op, offset=self.offset,
+                nbytes=self.nbytes, arch=st.engine.system.name,
+            )
+        st._maybe_destage(client, self.trace)
+        self.done.succeed()
+
+
+class _FFFillRun(Event):
+    """Full pop-chain replay of a fast-forwarded clean-miss fill.
+
+    The hit fast path may claim its memcpy eagerly at submit because
+    the phase twin claims at the request-Initialize pop — the very next
+    urgent slot, before any other claimant can run.  A *fill* is
+    different: its phase twin claims CPU/SCSI one level deeper, at the
+    **piece**-Initialize pop, which drains *after* every same-instant
+    later submission's request-Initialize — a burst like ``[fill, hit,
+    hit]`` from one client orders its CPU claims hit-hit-fill on the
+    phase path, so claiming the fill eagerly at submit would invert
+    that and shift every completion time.  And the *disk marker's* heap
+    key is drawn later still, at the dispatch-wake pop when the bus
+    transfer lands, so a marker keyed at submit time would jump
+    same-time completion ties against concurrently finishing phase
+    requests.
+
+    This stepper therefore occupies the phase twin's pop positions one
+    by one, performing each pop's observable actions with the priced
+    closed-form times (stage number ≡ pop):
+
+    0. request Initialize (urgent, submit instant) — trace id, miss and
+       fill-op counters, the ``_active`` bracket; push stage 1 urgent.
+    1. piece Initialize (urgent, submit instant) — issue counters; the
+       CPU and SCSI claims land here, behind every same-instant memcpy
+       claim the phase path orders first; the CPU Timeout's normal key
+       at ``t1`` is drawn here.
+    2. CPU Timeout pop (``t1``) — driver-entry span records; the SCSI
+       Timeout's key at ``t2`` is drawn.
+    3. SCSI Timeout pop (``t2``) — bus span records; ``disk.submit``'s
+       wake-marker push replays (one normal key at now).
+    4. dispatch-wake pop (``t2``) — :meth:`Disk.ff_preload` prices and
+       arms the completion marker, drawing its key exactly where the
+       phase path's run loop re-arms it.
+    5. fill-read completion pop (``t3``, the preloaded request's
+       ``done``) — the piece process would finish; one normal push.
+    6. piece Process pop — the AllOf condition fires; one normal push.
+    7. AllOf pop — the request generator's epilogue: the fill installs
+       (``note_cached``), the cache/request spans record, bytes
+       account, ``_active`` releases, the destage decision replays, and
+       the workload's ``done`` proxy is succeeded (≡ the request
+       Process push).
+
+    Claiming *unconditionally* at stage 1 is legal because the only
+    pops between submit and stage 1 are same-instant Initializes of
+    later submissions, whose memcpy claims queue behind ``_free_at``
+    without invalidating any predicate; and deferring the disk preload
+    to stage 4 is legal because the stage-1 CPU and SCSI claims fence
+    the disk — every path that can reach it (local pieces, remote
+    manager work, destage write-backs) claims this node's CPU and bus
+    first, so nothing arrives before ``t2`` (DESIGN §6.18).
+    """
+
+    __slots__ = (
+        "stage_ref", "client", "block", "offset", "nbytes", "disk",
+        "io_op", "io_offset", "io_nbytes", "priority", "stage", "done",
+        "trace", "t0", "t1", "t2",
+    )
+
+    def __init__(
+        self, stage: "CacheStage", client: int, block: int,
+        offset: int, nbytes: int, disk, io_op: str, io_offset: int,
+        io_nbytes: int, priority: int,
+    ):
+        env = stage.env
+        self.env = env
+        self.callbacks: Optional[list] = [self._fire]
+        self._value = None
+        self._ok = True
+        self._defused = False
+        self.stage_ref = stage
+        self.client = client
+        self.block = block
+        self.offset = offset
+        self.nbytes = nbytes
+        self.disk = disk
+        self.io_op = io_op
+        self.io_offset = io_offset
+        self.io_nbytes = io_nbytes
+        self.priority = priority
+        self.stage = 0
+        self.trace: Optional[int] = None
+        self.t0 = env.now
+        self.t1 = 0.0
+        self.t2 = 0.0
+        #: The completion event handed to the workload (≡ the phase
+        #: request's Process event).
+        self.done = Event(env)
+        # Urgent at submit time: the request Initialize's pop slot.
+        heappush(env._queue, (self.t0, next(env._seq) - _KEY_OFFSET, self))
+
+    def _fire(self, _event: Event) -> None:
+        env = self.env
+        st = self.stage_ref
+        client = self.client
+        stage = self.stage
+        self.stage = stage + 1
+        self.callbacks = [self._fire]
+        tracer = _obs.TRACER
+        if stage == 0:
+            # ≡ request Initialize pop: the body starts — trace id
+            # allocates, the lookup misses, the fill routes into the
+            # CDD, and the piece process spawns (second urgent push).
+            if tracer.enabled:
+                self.trace = tracer.new_trace()
+            st._active += 1
+            st.caches[client].stats.misses += 1
+            st.engine.cdd(client).cache_fill_ops += 1
+            heappush(
+                env._queue, (env._now, next(env._seq) - _KEY_OFFSET, self)
+            )
+        elif stage == 1:
+            # ≡ piece Initialize pop: the piece body starts — issue
+            # counters bump and the CPU/SCSI claims land at exactly
+            # this slot, behind every same-instant memcpy claim the
+            # phase path orders first.  The push at t1 draws the CPU
+            # Timeout's key.
+            engine = st.engine
+            cdd = engine.cdd(client)
+            cdd.issued_ops += 1
+            cdd.transport.stats.local_block_ops += 1
+            node = engine.cluster.nodes[client]
+            self.t1 = node.ff_claim_cpu(
+                node.config.cpu.kernel_request_overhead_s
+            )
+            self.t2 = node.ff_claim_scsi(self.t1, self.io_nbytes)
+            heappush(env._queue, (self.t1, next(env._seq), self))
+        elif stage == 2:
+            # ≡ CPU Timeout pop: the driver-entry span records; the
+            # SCSI Timeout's key at t2 is drawn.
+            if tracer.enabled:
+                tracer.record(
+                    CPU_DRIVER, f"node{client}.cpu", self.t0, self.t1,
+                    trace=self.trace,
+                )
+            heappush(env._queue, (self.t2, next(env._seq), self))
+        elif stage == 3:
+            # ≡ SCSI Timeout pop: the bus span records, then the piece
+            # submits to the parked disk — one wake-marker push at now.
+            if tracer.enabled:
+                tracer.record(
+                    SCSI_TRANSFER, f"node{client}.scsi", self.t1, self.t2,
+                    trace=self.trace, nbytes=self.io_nbytes,
+                )
+            if self.disk.failed:
+                # ≡ disk.submit failing the request at this pop; the
+                # stepper folds the phase path's failure unwind into
+                # one hop before failing the workload's proxy.
+                self.stage = 8
+                heappush(env._queue, (env._now, next(env._seq), self))
+                return
+            heappush(env._queue, (env._now, next(env._seq), self))
+        elif stage == 4:
+            # ≡ dispatch-wake pop: the disk prices the read against the
+            # same head state and arms the completion marker here, so
+            # the marker's heap key is drawn at the phase slot.  Only
+            # now does the disk leave its parked state — the pending
+            # -fill veto held every later fill off the fast path for
+            # the whole deferral window, and every other route to the
+            # disk runs through the CPU and bus this fill holds until
+            # now, so the submit-time predicate must still hold.
+            if not self.disk.ff_ready(
+                self.io_op, self.io_offset, self.io_nbytes
+            ):
+                raise RuntimeError(
+                    "deferred fill preload raced: disk "
+                    f"{self.disk.disk_id} was touched during the "
+                    "claim window (pending-fill fence broken)"
+                )
+            done = self.disk.ff_preload(
+                self.io_op, self.io_offset, self.io_nbytes, env._now,
+                priority=self.priority, trace=self.trace,
+            )
+            st._ff_fill_pending[client] -= 1
+            done.callbacks.append(self._fire)
+        elif stage == 5:
+            # ≡ the fill read's completion pop: the piece process
+            # finishes (one normal push).
+            heappush(env._queue, (env._now, next(env._seq), self))
+        elif stage == 6:
+            # ≡ piece Process pop: the AllOf fires (one normal push).
+            heappush(env._queue, (env._now, next(env._seq), self))
+        elif stage == 7:
+            # ≡ AllOf pop: the request generator's epilogue — install,
+            # record, account, release, destage decision, and the
+            # request Process push the workload resumes on.
+            st.directory.note_cached(client, self.block)
+            if tracer.enabled:
+                tracer.record(
+                    CACHE_LOOKUP, f"node{client}.cache", self.t0, env.now,
+                    trace=self.trace, op="read", hits=0, misses=1,
+                )
+            st.engine.system.bytes_read += self.nbytes
+            st._active -= 1
+            if tracer.enabled:
+                tracer.record(
+                    REQUEST, f"node{client}.request", self.t0, env.now,
+                    trace=self.trace, op="read", offset=self.offset,
+                    nbytes=self.nbytes, arch=st.engine.system.name,
+                )
+            st._maybe_destage(client, self.trace)
+            self.done.succeed()
+        else:
+            # Failure unwind (from stage 3): the request epilogue's
+            # finally-clause actions, then the proxy fails.
+            st._active -= 1
+            if tracer.enabled:
+                tracer.record(
+                    REQUEST, f"node{client}.request", self.t0, env.now,
+                    trace=self.trace, op="read", offset=self.offset,
+                    nbytes=self.nbytes, arch=st.engine.system.name,
+                )
+            self.done.fail(DiskFailedError(self.disk.disk_id))
 
 
 class CacheStage:
@@ -68,8 +403,15 @@ class CacheStage:
         self._active = 0
         #: One destage sweep per node at a time.
         self._destaging: List[bool] = [False] * n
+        #: Fast-forwarded fills between submit and their deferred claim
+        #: pop (at most one per client; see :class:`_FFFillRun`).
+        self._ff_fill_pending: List[int] = [0] * n
         #: Outstanding destage-sweep processes (drain joins these).
         self._sweeps: List[Event] = []
+        #: Static per-node memcpy rate, hoisted off the submit path.
+        self._memcpy_rate: List[float] = [
+            node.cpu.params.memcpy_rate for node in engine.cluster.nodes
+        ]
 
     def _group_of(self) -> Callable[[int], int]:
         """Block -> redundancy-group id for mirror-coalescing destage:
@@ -92,6 +434,159 @@ class CacheStage:
         return any(c.dirty_count for c in self.caches) or any(
             self._destaging
         )
+
+    # -- submit-time fast path ---------------------------------------------
+    def try_fast_submit(
+        self, client: int, op: str, offset: int, nbytes: int
+    ) -> Optional[Event]:
+        """Closed-form execution of the two dominant cache outcomes.
+
+        Dispatched from :meth:`ExecutionEngine.try_fast_submit` (which
+        has already established no failed disks and no in-flight phase
+        requests from this client).  Prices analytically:
+
+        * an **all-resident hit** — every piece resident (reads accept
+          any state; writes need write-back mode, no fill, and headroom
+          under the destage threshold): one memcpy claim plus a
+          three-pop :class:`_FFCacheHit` replay;
+        * a **clean single-piece read miss** — nothing dirty, no
+          destage sweep in flight: the existing node fast-forward
+          prices the fill read and the fill installs at completion.
+
+        Everything else returns ``None`` and falls through to the
+        event-driven path, having charged and mutated nothing.  The
+        legality argument is DESIGN §6.18.
+        """
+        if nbytes <= 0:
+            return None
+        engine = self.engine
+        node = engine.cluster.nodes[client]
+        if not node.fast_forward:
+            return None
+        cpu_link = node.cpu._work
+        if cpu_link.outstanding or cpu_link.congestion_threshold is not None:
+            # A hit is priced on the CPU work link with the same eager
+            # arithmetic as the node fast-forward: only legal while the
+            # link is provably idle (DESIGN §6.14 applies unchanged).
+            return None
+        bs = engine.system.block_size
+        pieces = _pieces_of(offset, nbytes, bs)
+        cache = self.caches[client]
+        if op == "read":
+            if len(pieces) == 1:
+                block = pieces[0][0]
+                if block in cache:
+                    return self._fast_hit(
+                        client, op, offset, nbytes, pieces
+                    )
+                return self._fast_fill(client, offset, nbytes, block)
+            if all(block in cache for block, _intra, _take in pieces):
+                return self._fast_hit(client, op, offset, nbytes, pieces)
+            return None
+        if not self.config.writeback:
+            return None  # write-through commits to disk: never priced
+        would_dirty = 0
+        for block, intra, take in pieces:
+            verdict = cache.ff_write_verdict(
+                block, full_block=(intra == 0 and take == bs)
+            )
+            if verdict is WriteAdmission.NEEDS_FILL:
+                return None  # RMW fill reads disk: event path
+            if verdict is WriteAdmission.DIRTIED:
+                would_dirty += 1
+        if self.policy.ff_would_destage(cache, would_dirty):
+            # Keep threshold-crossing writes on the event path: the
+            # fast path never puts the cache under destage pressure.
+            return None
+        return self._fast_hit(client, op, offset, nbytes, pieces)
+
+    def _fast_hit(
+        self, client: int, op: str, offset: int, nbytes: int, pieces
+    ) -> Event:
+        """Eager half of an all-resident fast hit.
+
+        Performs the Initialize-pop mutations now — per-piece recency
+        and hit/admission bookkeeping in piece order, the ``_active``
+        bracket, the memcpy claim — with the same float arithmetic and
+        the same mutation order ``run_request`` uses, then hands the
+        deferred half (spans, invalidations, byte accounting, destage
+        check) to :class:`_FFCacheHit`.
+        """
+        engine = self.engine
+        node = engine.cluster.nodes[client]
+        memcpy_rate = self._memcpy_rate[client]
+        dirtied = absorbed = 0
+        if op == "read":
+            hit_bytes = 0
+            for block, _intra, take in pieces:
+                self.directory.lookup(client, block)
+                hit_bytes += take
+            seconds = hit_bytes / memcpy_rate
+        else:
+            bs = self.block_size
+            cache = self.caches[client]
+            for block, intra, take in pieces:
+                verdict = cache.admit_write(
+                    block, full_block=(intra == 0 and take == bs)
+                )
+                if verdict is WriteAdmission.ABSORBED:
+                    absorbed += 1
+                else:
+                    dirtied += 1
+            seconds = nbytes / memcpy_rate
+        self._active += 1
+        t1 = node.ff_claim_cpu(seconds)
+        ev = _FFCacheHit(self, client, op, offset, nbytes, t1)
+        if op == "read":
+            ev.hits = len(pieces)
+        else:
+            ev.dirtied = dirtied
+            ev.absorbed = absorbed
+            ev.blocks = tuple(p[0] for p in pieces)
+        engine.fast_submits += 1
+        engine.fast_hits += 1
+        return ev.done
+
+    def _fast_fill(
+        self, client: int, offset: int, nbytes: int, block: int
+    ) -> Optional[Event]:
+        """Closed-form clean read miss: a conflict-free one-piece fill.
+
+        With nothing dirty in this cache and no destage sweep in flight
+        (any sweep's plan writes may hold pending-invisible claims on
+        this node's pipeline, exactly the ``phase_inflight`` hazard),
+        the fill is the same single-piece local read the uncached fast
+        path prices.  All predicates are checked here, claim-free; the
+        claims themselves are deferred to the piece-Initialize pop slot
+        by :class:`_FFFillRun`, so same-instant later submissions keep
+        their phase-path claim order.  At most one fill defers per
+        client at a time: the disk stays *parked* until the deferred
+        preload lands at the bus-delivery time, so a second fill
+        submitted anywhere in that window would wrongly pass
+        ``ff_ready`` — the pending-fill veto holds it (and only it; no
+        other path can reach a local disk without claiming the CPU and
+        bus this fill already holds) on the event path instead."""
+        if self.caches[client].dirty_count or any(self._destaging):
+            return None
+        if self._ff_fill_pending[client]:
+            return None
+        engine = self.engine
+        resolved = engine._ff_resolved(client, "read", offset, nbytes)
+        if resolved is None:
+            return None
+        disk_id, io_op, io_offset, io_nbytes, priority = resolved
+        node = engine.cluster.nodes[client]
+        disk = node.ff_ready_chain(disk_id, io_op, io_offset, io_nbytes)
+        if disk is None:
+            return None
+        self._ff_fill_pending[client] += 1
+        run = _FFFillRun(
+            self, client, block, offset, nbytes, disk,
+            io_op, io_offset, io_nbytes, priority,
+        )
+        engine.fast_submits += 1
+        engine.fast_fills += 1
+        return run.done
 
     # -- the admission/lookup stage ----------------------------------------
     def run_request(self, client: int, op: str, offset: int, nbytes: int):
@@ -326,14 +821,25 @@ class CacheStage:
             )
 
     def drain(self):
-        """Process generator: destage everything, join every sweep."""
+        """Process generator: destage everything, join every sweep.
+
+        Sweep spawns go through ``Environment.process_many`` — a drain
+        burst across all node caches is one heapified Initialize batch
+        rather than one sift per sweep (timing-identical, same
+        contract as the engine's batched plan executors)."""
         while True:
+            spawns = []
             for client, cache in enumerate(self.caches):
                 if cache.dirty_blocks() and not self._destaging[client]:
                     runs = coalesce_runs(
                         cache.dirty_blocks(), self.config.destage_batch
                     )
-                    self._spawn_sweep(client, runs, None)
+                    if runs:
+                        self._destaging[client] = True
+                        spawns.append(
+                            self._destage_sweep(client, runs, None)
+                        )
+            self._sweeps.extend(self.env.process_many(spawns))
             if not self._sweeps:
                 return
             sweeps, self._sweeps = self._sweeps, []

@@ -149,13 +149,17 @@ class CooperativeDiskDriver:
     # -- buffer-cache routing ----------------------------------------------
     def cache_copy(self, nbytes: int):
         """Process generator: serve bytes from this node's buffer cache
-        — one local memory copy, no disk or network traffic."""
+        — one local memory copy, no disk or network traffic.  (The
+        fast path prices the same copy in closed form via
+        ``Node.ff_claim_cpu`` instead of running this generator.)"""
         yield self.node.cpu.memcpy(nbytes)
 
     def cache_fill(self, engine, client: int, offset: int, nbytes: int,
                    trace=None):
         """Process generator: route one cache fill (read-miss service or
-        a read-modify-write fill) down the planner/engine read path."""
+        a read-modify-write fill) down the planner/engine read path.
+        (A fast-forwarded clean-miss fill bypasses this generator and
+        bumps ``cache_fill_ops`` eagerly at submit — DESIGN §6.18.)"""
         self.cache_fill_ops += 1
         yield from engine.execute_read(client, offset, nbytes, trace)
 

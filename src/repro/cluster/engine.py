@@ -75,6 +75,13 @@ class MirrorState:
 #: Distinguishes "never resolved" from a memoized fall-back decision.
 _FF_MISS = object()
 
+#: Bound on the fast-path plan memo.  Million-request open-loop sweeps
+#: with unique offsets would otherwise grow ``_ff_plans`` without limit;
+#: at the cap the oldest entry is dropped (dict preserves insertion
+#: order, so FIFO is one ``next(iter(...))``) — an eviction only costs a
+#: re-plan if that exact request shape recurs.
+_FF_PLAN_CAP = 4096
+
 
 class _PhaseRelease:
     """Completion hook decrementing a client's in-flight phase count."""
@@ -128,6 +135,15 @@ class ExecutionEngine:
         self.cache = None
         #: Requests served by :meth:`try_fast_submit` (fast-forward hits).
         self.fast_submits = 0
+        #: Fast-forward split with a cache attached: closed-form cache
+        #: hits vs closed-form clean-miss fills (both count in
+        #: ``fast_submits`` too).
+        self.fast_hits = 0
+        self.fast_fills = 0
+        #: Requests that took the event-driven phase path instead.
+        self.phase_submits = 0
+        #: FIFO evictions from the bounded ``_ff_plans`` memo.
+        self.ff_plan_evictions = 0
         #: Per-client count of event-driven requests still in flight.
         #: A phase request claims its client's CPU from a deferred
         #: Initialize event (and again at completion resumes), so its
@@ -158,12 +174,15 @@ class ExecutionEngine:
     def cdd(self, node: int):
         return self.cluster.cdds[node]
 
-    def _issue(self, client: int, pop: PieceOp, trace) -> Event:
-        """Spawn one plan op as a process; returns its completion event.
+    def _issue_gen(self, client: int, pop: PieceOp, trace):
+        """The process generator behind one plan op.
 
         Tolerant ops absorb a mid-flight disk failure by marking the
         disk failed (redundancy keeps the block recoverable); plain ops
-        propagate :class:`~repro.errors.DiskFailedError`.
+        propagate :class:`~repro.errors.DiskFailedError`.  Batched
+        executors collect these for ``Environment.process_many`` (one
+        heapified Initialize batch per fan-out); :meth:`_issue` spawns a
+        single one.
         """
         ctx = PieceContext(trace=trace, step=pop.kind)
         if pop.tolerant:
@@ -177,11 +196,15 @@ class ExecutionEngine:
                 except DiskFailedError as e:
                     self.failed_disks.add(e.disk_id)
 
-            return self.env.process(body())
-        return self.cdd(client).submit(
+            return body()
+        return self.cdd(client).block_io(
             pop.op, pop.disk, pop.offset, pop.nbytes,
-            priority=pop.priority, ctx=ctx,
+            priority=pop.priority, trace=None, ctx=ctx,
         )
+
+    def _issue(self, client: int, pop: PieceOp, trace) -> Event:
+        """Spawn one plan op as a process; returns its completion event."""
+        return self.env.process(self._issue_gen(client, pop, trace))
 
     # -- submit-time fast path ---------------------------------------------
     def try_fast_submit(
@@ -205,13 +228,6 @@ class ExecutionEngine:
         pops, so the span stream stays byte-identical (DESIGN §6.15).
         """
         system = self.system
-        if self.cache is not None:
-            # The fast-forward legality predicate treats a dirty or
-            # mid-destage cache as a conflict; in practice the veto is
-            # total while a cache is attached, because even a clean hit
-            # mutates recency/directory state the closed form cannot
-            # replay (DESIGN §6.17).
-            return None
         if self.failed_disks:
             return None
         if self.phase_inflight[client]:
@@ -219,21 +235,18 @@ class ExecutionEngine:
             # next claim on this node may still sit in the queue where
             # the idle-pipeline predicate cannot see it.
             return None
+        if self.cache is not None:
+            # With a cache attached the request's fate is decided above
+            # the planner: the stage prices resident hits and clean miss
+            # fills in closed form (calling back into _ff_resolved for
+            # the fill's plan) and vetoes everything else (DESIGN §6.18).
+            return self.cache.try_fast_submit(client, op, offset, nbytes)
         if op == "write" and system.locking:
             return None
         bs = system.block_size
         if offset % bs + nbytes > bs:
             return None  # spans blocks: never a single-piece plan
-        if self.mirror.dirty_groups:
-            # Stale images change read candidates; resolve afresh and
-            # leave the clean-state cache untouched either way.
-            resolved = self._resolve_fast(client, op, offset, nbytes)
-        else:
-            key = (client, op, offset, nbytes)
-            resolved = self._ff_plans.get(key, _FF_MISS)
-            if resolved is _FF_MISS:
-                resolved = self._resolve_fast(client, op, offset, nbytes)
-                self._ff_plans[key] = resolved
+        resolved = self._ff_resolved(client, op, offset, nbytes)
         if resolved is None:
             return None
         disk, io_op, io_offset, io_nbytes, priority = resolved
@@ -257,6 +270,33 @@ class ExecutionEngine:
         self.fast_submits += 1
         done.callbacks.append(_FastFinish(system, op, nbytes))
         return done
+
+    def _ff_resolved(
+        self, client: int, op: str, offset: int, nbytes: int
+    ) -> Optional[Tuple[int, str, int, int, int]]:
+        """Memoized :meth:`_resolve_fast` (bounded, mirror-state aware).
+
+        With stale mirror images outstanding the read candidates are not
+        a pure function of the key, so the memo is bypassed — resolved
+        afresh, stored nowhere — and the clean-state cache stays valid.
+        The memo itself is FIFO-bounded at ``_FF_PLAN_CAP`` entries so
+        unique-offset open-loop sweeps cannot grow it without limit.
+        Cache-attached engines share this resolver for clean miss fills:
+        plan resolution sits below the buffer cache, so no cache-epoch
+        key is needed (the stage's own legality predicate re-checks the
+        live cache state on every submit).
+        """
+        if self.mirror.dirty_groups:
+            return self._resolve_fast(client, op, offset, nbytes)
+        key = (client, op, offset, nbytes)
+        resolved = self._ff_plans.get(key, _FF_MISS)
+        if resolved is _FF_MISS:
+            resolved = self._resolve_fast(client, op, offset, nbytes)
+            if len(self._ff_plans) >= _FF_PLAN_CAP:
+                del self._ff_plans[next(iter(self._ff_plans))]
+                self.ff_plan_evictions += 1
+            self._ff_plans[key] = resolved
+        return resolved
 
     def _resolve_fast(
         self, client: int, op: str, offset: int, nbytes: int
@@ -466,7 +506,9 @@ class ExecutionEngine:
         self, client: int, rplan: ReconstructRead, trace
     ):
         """Rebuild a lost block from its surviving peers + parity."""
-        reads = [self._issue(client, r, trace) for r in rplan.reads]
+        reads = self.env.process_many(
+            self._issue_gen(client, r, trace) for r in rplan.reads
+        )
         yield self.env.all_of(reads)
         yield self.cluster.nodes[client].cpu.xor(rplan.xor_bytes)
 
@@ -495,7 +537,7 @@ class ExecutionEngine:
                 )
 
     def _exec_parallel(self, client: int, action: ParallelWrite, trace):
-        events = []
+        gens = []
         for mw in action.pieces:
             ops = mw.ops
             if mw.skip_failed:
@@ -507,8 +549,8 @@ class ExecutionEngine:
                         f"block {mw.block}: every copy on a failed disk"
                     )
             for o in ops:
-                events.append(self._issue(client, o, trace))
-        yield self.env.all_of(events)
+                gens.append(self._issue_gen(client, o, trace))
+        yield self.env.all_of(self.env.process_many(gens))
         if action.check_survivors:
             self._check_copies(action.copies)
 
@@ -516,11 +558,11 @@ class ExecutionEngine:
         self._check_copies(action.copies)
         # Primary wave first, mirror wave after it commits.
         for wave in action.waves:
-            events = [
-                self._issue(client, o, trace)
+            events = self.env.process_many(
+                self._issue_gen(client, o, trace)
                 for o in wave
                 if o.disk not in self.failed_disks
-            ]
+            )
             if events:
                 yield self.env.all_of(events)
         self._check_copies(action.copies)
@@ -534,10 +576,9 @@ class ExecutionEngine:
         return m
 
     def _exec_parity(self, client: int, action: ParityWrite, trace):
-        stripe_events = [
-            self.env.process(self._exec_stripe(client, sw, trace))
-            for sw in action.stripes
-        ]
+        stripe_events = self.env.process_many(
+            self._exec_stripe(client, sw, trace) for sw in action.stripes
+        )
         yield self.env.all_of(stripe_events)
 
     def _exec_stripe(self, client: int, sw: StripeWrite, trace):
@@ -561,40 +602,43 @@ class ExecutionEngine:
                 # Full-stripe write: parity computed in memory, no reads.
                 fsp = sw.full_stripe
                 yield cpu.xor(fsp.xor_bytes)
-                events = [
-                    self._issue(client, o, trace)
+                gens = [
+                    self._issue_gen(client, o, trace)
                     for o in fsp.writes
                     if o.disk not in self.failed_disks
                 ]
                 if parity_alive:
-                    events.append(
-                        self._issue(client, fsp.parity_write, trace)
+                    gens.append(
+                        self._issue_gen(client, fsp.parity_write, trace)
                     )
-                yield self.env.all_of(events)
+                yield self.env.all_of(self.env.process_many(gens))
                 return
 
             for g in sw.rmw_passes:
-                reads = [
-                    self._issue(client, o, trace)
+                gens = [
+                    self._issue_gen(client, o, trace)
                     for o in g.reads
                     if o.disk not in self.failed_disks
                 ]
                 if parity_alive:
-                    reads.append(self._issue(client, g.parity_read, trace))
+                    gens.append(
+                        self._issue_gen(client, g.parity_read, trace)
+                    )
+                reads = self.env.process_many(gens)
                 if reads:
                     yield self.env.all_of(reads)
                 # Two XOR passes: strip old data out of parity, add new.
                 yield cpu.xor(g.xor_bytes, passes=2)
-                writes = [
-                    self._issue(client, o, trace)
+                gens = [
+                    self._issue_gen(client, o, trace)
                     for o in g.writes
                     if o.disk not in self.failed_disks
                 ]
                 if parity_alive:
-                    writes.append(
-                        self._issue(client, g.parity_write, trace)
+                    gens.append(
+                        self._issue_gen(client, g.parity_write, trace)
                     )
-                yield self.env.all_of(writes)
+                yield self.env.all_of(self.env.process_many(gens))
         finally:
             self._stripe_lock(sw.stripe).release(lock)
 
@@ -603,12 +647,13 @@ class ExecutionEngine:
         m = self.mirror
         m.coalesced_extents += len(action.extents)
         # Foreground: data blocks stripe across all disks in parallel.
-        events = []
-        for o in action.foreground:
-            if o.disk in self.failed_disks:
-                # Degraded write: only the image will carry this block.
-                continue
-            events.append(self._issue(client, o, trace))
+        events = self.env.process_many(
+            self._issue_gen(client, o, trace)
+            for o in action.foreground
+            # Degraded write: only the image will carry a block whose
+            # primary disk has failed.
+            if o.disk not in self.failed_disks
+        )
         for e in action.extents:
             if e.disk not in self.failed_disks:
                 m.dirty_groups.add(e.group)

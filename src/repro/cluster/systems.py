@@ -189,10 +189,12 @@ class DistributedArraySystem(StorageSystem):
             done = engine.try_fast_submit(client, op, offset, nbytes)
             if done is not None:
                 return done
+            engine.phase_submits += 1
             proc = self.env.process(engine.run(client, op, offset, nbytes))
             engine.phase_inflight[client] += 1
             proc.callbacks.append(engine._phase_release[client])
             return proc
+        self.engine.phase_submits += 1
         return self.env.process(self.io(client, op, offset, nbytes))
 
     def fail_disk(self, disk: int) -> None:

@@ -126,9 +126,7 @@ class FFSpanSynth(Event):
                 # hash), so the remaining stages have nothing to do.
                 # Feed the per-hop latency histograms the durations the
                 # phase path would observe, and stop.
-                tracer.observe(CPU_DRIVER, self.t1 - self.t0)
-                tracer.observe(SCSI_TRANSFER, self.t2 - self.t1)
-                tracer.observe(REQUEST, self.t3 - self.t0)
+                self._ff_observe(tracer)
                 self.req = None  # deadens _on_done
                 return
             heappush(env._queue, (self.t0, next(env._seq) - _KEY_OFFSET, self))
@@ -157,13 +155,28 @@ class FFSpanSynth(Event):
             # fires here (one normal push).
             heappush(env._queue, (env._now, next(env._seq), self))
         else:
-            # ≡ AllOf pop: the request generator's epilogue records the
-            # root span at the completion instant.
-            tracer.record(
-                REQUEST, f"node{self.client}.request", self.t0, env.now,
-                trace=self.trace, op=self.op, offset=self.offset,
-                nbytes=self.nbytes, arch=self.arch,
-            )
+            # ≡ AllOf pop: the request generator's epilogue records its
+            # spans at the completion instant.
+            self._ff_final(tracer, env)
+
+    def _ff_observe(self, tracer) -> None:
+        """Feed the latency histograms for a sampled-out request — the
+        per-hop durations the phase path's ``record`` calls would have
+        contributed.  Subclasses with extra epilogue spans add theirs."""
+        tracer.observe(CPU_DRIVER, self.t1 - self.t0)
+        tracer.observe(SCSI_TRANSFER, self.t2 - self.t1)
+        tracer.observe(REQUEST, self.t3 - self.t0)
+
+    def _ff_final(self, tracer, env) -> None:
+        """Record the request-epilogue span(s) at the final stage pop.
+        Subclasses prepend any span their phase twin records before the
+        root REQUEST span (append order is part of the byte-identity
+        contract)."""
+        tracer.record(
+            REQUEST, f"node{self.client}.request", self.t0, env.now,
+            trace=self.trace, op=self.op, offset=self.offset,
+            nbytes=self.nbytes, arch=self.arch,
+        )
 
 
 class Node:
@@ -247,26 +260,35 @@ class Node:
             self.disk_io(disk_id, op, offset, nbytes, priority, trace)
         )
 
-    def try_fast_forward(
-        self, disk_id: int, op: str, offset: int, nbytes: int,
-        priority: int = 0, synth: Optional[FFSpanSynth] = None,
-    ) -> Optional[Event]:
-        """Closed-form local pipeline: CPU driver entry → SCSI → disk.
+    def ff_claim_cpu(self, seconds: float) -> float:
+        """Eagerly claim ``seconds`` of CPU work; returns the finish time.
 
-        When this node's whole hop chain is conflict-free — CPU and SCSI
-        links idle, NIC quiet, target disk parked — the phase path's
-        per-hop event chain collapses to three eager bandwidth-link
-        claims priced with *identical float arithmetic* (see DESIGN
-        §6.14 for the legality argument), and the disk completion marker
-        is armed directly at the closed-form finish time.  Returns the
-        completion event, or ``None`` to fall back to the event-driven
-        path; a fallback leaves no state behind (all checks precede any
-        claim).
+        ``BandwidthLink.transfer``'s arithmetic, term for term (the CPU
+        work link's rate-1.0 convention carries seconds of work as
+        "bytes"), minus the completion Timeout — ``outstanding`` stays 0
+        for the window, which is exactly why callers must check the link
+        is idle *before* claiming.  Shared by the node fast-forward's
+        driver-entry hop (DESIGN §6.14) and the cache stage's memcpy hit
+        pricing (DESIGN §6.18).
+        """
+        link = self.cpu._work
+        now = self.env.now
+        start = max(now, link._free_at)
+        duration = seconds / link.rate
+        link._free_at = start + duration
+        link.bytes_carried += seconds
+        link.busy_time += duration
+        return now + (start + duration + link.latency - now)
 
-        With tracing on the engine passes a :class:`FFSpanSynth`, armed
-        here with the priced hop boundaries so the span stream stays
-        byte-identical to the phase path (DESIGN §6.15); a fallback
-        leaves the synth un-armed and inert.
+    def ff_ready_chain(
+        self, disk_id: int, op: str, offset: int, nbytes: int
+    ) -> Optional[Disk]:
+        """The fast-forward conflict predicate for one local hop chain.
+
+        Returns the target :class:`Disk` when the whole chain is
+        conflict-free — CPU and SCSI links idle, NIC quiet, disk parked
+        — and ``None`` otherwise.  Checks only; claims nothing, so a
+        ``None`` leaves no state behind.
         """
         if not self.fast_forward:
             return None
@@ -288,25 +310,77 @@ class Node:
             return None
         if not disk.ff_ready(op, offset, nbytes):
             return None
-        now = self.env.now
-        # Eager CPU claim: BandwidthLink.transfer's arithmetic, term for
-        # term (rate 1.0 carries seconds of work as "bytes"), minus the
-        # completion Timeout — ``outstanding`` stays 0 for the window.
-        cost = self.config.cpu.kernel_request_overhead_s
-        start = max(now, cpu_link._free_at)
-        duration = cost / cpu_link.rate
-        cpu_link._free_at = start + duration
-        cpu_link.bytes_carried += cost
-        cpu_link.busy_time += duration
-        t1 = now + (start + duration + cpu_link.latency - now)
-        # Eager SCSI claim from the CPU's release time.
-        start = max(t1, scsi_link._free_at)
-        duration = nbytes / scsi_link.rate
-        scsi_link._free_at = start + duration
-        scsi_link.bytes_carried += nbytes
-        scsi_link.busy_time += duration
-        t2 = t1 + (start + duration + scsi_link.latency - t1)
+        return disk
+
+    def ff_claim_scsi(self, t1: float, nbytes: float) -> float:
+        """Eagerly claim a SCSI bus transfer starting no earlier than
+        ``t1``; returns the delivery time.  ``BandwidthLink.transfer``'s
+        arithmetic term for term, minus the completion Timeout — the
+        same eager-claim contract as :meth:`ff_claim_cpu` (the caller
+        must have checked the link idle before claiming).  The phase
+        twin claims at its CPU-Timeout pop with ``now == t1``, and the
+        expression uses ``max(t1, _free_at)``, so claiming early yields
+        identical floats as long as no other claimant can slot in
+        between — which the CPU claim itself guarantees, since every
+        path onto this bus charges the CPU first (DESIGN §6.18).
+        """
+        link = self.scsi._link
+        start = max(t1, link._free_at)
+        duration = nbytes / link.rate
+        link._free_at = start + duration
+        link.bytes_carried += nbytes
+        link.busy_time += duration
+        return t1 + (start + duration + link.latency - t1)
+
+    def ff_claim_chain(
+        self, disk: Disk, op: str, offset: int, nbytes: int,
+        priority: int = 0,
+    ):
+        """Claim the priced hop chain on a disk :meth:`ff_ready_chain`
+        approved: CPU driver entry, SCSI transfer, disk preload.
+        Returns ``(t1, t2, done)`` — the CPU and bus release times and
+        the completion marker's event.
+
+        The predicate and the claims are split so the cache stage can
+        defer the claims to the pop slot where the phase path makes
+        them (DESIGN §6.18); the claim arithmetic itself is
+        ``BandwidthLink.transfer`` term for term, and stays valid while
+        the link queue only grows behind ``_free_at``.
+        """
+        # Eager CPU claim for the driver-entry work (see ff_claim_cpu).
+        t1 = self.ff_claim_cpu(self.config.cpu.kernel_request_overhead_s)
+        t2 = self.ff_claim_scsi(t1, nbytes)
         done = disk.ff_preload(op, offset, nbytes, t2, priority=priority)
+        return t1, t2, done
+
+    def try_fast_forward(
+        self, disk_id: int, op: str, offset: int, nbytes: int,
+        priority: int = 0, synth: Optional[FFSpanSynth] = None,
+    ) -> Optional[Event]:
+        """Closed-form local pipeline: CPU driver entry → SCSI → disk.
+
+        When this node's whole hop chain is conflict-free — CPU and SCSI
+        links idle, NIC quiet, target disk parked — the phase path's
+        per-hop event chain collapses to three eager bandwidth-link
+        claims priced with *identical float arithmetic* (see DESIGN
+        §6.14 for the legality argument), and the disk completion marker
+        is armed directly at the closed-form finish time.  Returns the
+        completion event, or ``None`` to fall back to the event-driven
+        path; a fallback leaves no state behind (all checks precede any
+        claim).
+
+        With tracing on the engine passes a :class:`FFSpanSynth`, armed
+        here with the priced hop boundaries so the span stream stays
+        byte-identical to the phase path (DESIGN §6.15); a fallback
+        leaves the synth un-armed and inert.
+        """
+        disk = self.ff_ready_chain(disk_id, op, offset, nbytes)
+        if disk is None:
+            return None
+        now = self.env.now
+        t1, t2, done = self.ff_claim_chain(
+            disk, op, offset, nbytes, priority=priority
+        )
         if synth is not None:
             # t2 + service is the exact float the completion marker was
             # armed at — the phase path's request end time.

@@ -26,7 +26,10 @@ FF001     mutation of fast-forward guard state outside the functions
           that own the guard (or helpers reachable only from them)
 FF002     int truncation (``//``, ``int()``, ``math.floor``/``ceil``/
           ``trunc``, ``round``, ``divmod``) in a closed-form pricing
-          function — pricing is float-only, mirroring the slow path
+          function — pricing is float-only, mirroring the slow path;
+          covers the ``ff_``/``_ff_`` families, the ``try_fast_*``
+          submit twins, and the cache stage's ``_fast_hit`` /
+          ``_fast_fill`` pricing helpers
 FF003     ordering-dependent reduction (``sum``/``min``/``max`` over a
           set, iteration over a set) in a pricing function
 FF004     ``ff_preload`` called from code that is not downstream of an
@@ -76,9 +79,42 @@ GUARDED: Dict[str, FrozenSet[str]] = {
             "Disk._ff_next",
         }
     ),
-    # Engine-level predicates (PR 6).
+    # Engine-level predicates (PR 6; the memo moved into its bounded
+    # accessor in PR 10).
     "_ff_plans": frozenset(
-        {"ExecutionEngine.__init__", "ExecutionEngine.try_fast_submit"}
+        {
+            "ExecutionEngine.__init__",
+            "ExecutionEngine.try_fast_submit",
+            "ExecutionEngine._ff_resolved",
+        }
+    ),
+    # Cache-stage predicates (PR 10): the fill fast path reads the
+    # dirty/destaging/pending-fill state at submit and defers its disk
+    # preload, so these writes must stay inside the stage machinery
+    # that re-establishes the predicate.
+    "_active": frozenset(
+        {
+            "CacheStage.__init__",
+            "CacheStage.run_request",
+            "CacheStage._fast_hit",
+            "_FFCacheHit._fire",
+            "_FFFillRun._fire",
+        }
+    ),
+    "_destaging": frozenset(
+        {
+            "CacheStage.__init__",
+            "CacheStage._spawn_sweep",
+            "CacheStage._destage_sweep",
+            "CacheStage.drain",
+        }
+    ),
+    "_ff_fill_pending": frozenset(
+        {
+            "CacheStage.__init__",
+            "CacheStage._fast_fill",
+            "_FFFillRun._fire",
+        }
     ),
     "phase_inflight": frozenset(
         {"ExecutionEngine.__init__", "DistributedArraySystem.submit"}
@@ -90,12 +126,15 @@ GUARDED: Dict[str, FrozenSet[str]] = {
             "ExecutionEngine._flush_one",
         }
     ),
-    # Link claims the closed form prices against (PR 6).
+    # Link claims the closed form prices against (PR 6; the eager
+    # claim arithmetic lives in the ff_claim_* helpers since PR 10).
     "_free_at": frozenset(
         {
             "BandwidthLink.__init__",
             "BandwidthLink.transfer",
             "Node.try_fast_forward",
+            "Node.ff_claim_cpu",
+            "Node.ff_claim_scsi",
         }
     ),
     "outstanding": frozenset(
@@ -146,8 +185,16 @@ def _in_scope(mod: ModuleInfo) -> bool:
     )
 
 
+#: Closed-form pricing functions named outside the ``ff_``/``_ff_``
+#: convention: the submit-time twins and the cache stage's hit/fill
+#: pricing helpers (PR 10).
+_PRICING_NAMES = frozenset(
+    {"try_fast_forward", "try_fast_submit", "_fast_hit", "_fast_fill"}
+)
+
+
 def _is_pricing(name: str) -> bool:
-    return name == "try_fast_forward" or name.startswith(("ff_", "_ff_"))
+    return name in _PRICING_NAMES or name.startswith(("ff_", "_ff_"))
 
 
 def _legal_sets(graph: CallGraph) -> Dict[str, Set[str]]:
@@ -354,10 +401,16 @@ def _is_set_expr(node: ast.AST, mod: ModuleInfo) -> bool:
 
 
 class FFPreloadGuardRule(ProjectRule):
-    """FF004: arming the completion marker requires the guard check."""
+    """FF004: arming the completion marker requires the guard check.
+
+    ``ff_ready_chain`` wraps the ``ff_ready`` check behind the rest of
+    the hop-chain predicate, so a reference to either counts as the
+    guard."""
 
     code = "FF004"
     summary = "ff_preload reachable without an ff_ready guard check"
+
+    _GUARD_NAMES = ("ff_ready", "ff_ready_chain")
 
     def check_project(self, mods: Sequence[ModuleInfo]) -> Iterator[Finding]:
         scope = [m for m in mods if _in_scope(m)]
@@ -368,7 +421,7 @@ class FFPreloadGuardRule(ProjectRule):
             qual
             for qual, fn in graph.functions.items()
             if any(
-                isinstance(n, ast.Attribute) and n.attr == "ff_ready"
+                isinstance(n, ast.Attribute) and n.attr in self._GUARD_NAMES
                 for n in ast.walk(fn.node)
             )
         }

@@ -34,6 +34,19 @@ def cached_cluster(arch="raidx", cache=CFG, **kw):
     )
 
 
+def ff_cluster(**kw):
+    """A cached cluster with the node fast-forward forced ON, so the
+    fast-path accounting tests hold under a REPRO_NODE_FF=0 CI run."""
+    from repro.hardware import node as node_mod
+
+    old = node_mod.NODE_FAST_FORWARD
+    node_mod.NODE_FAST_FORWARD = True
+    try:
+        return cached_cluster(**kw)
+    finally:
+        node_mod.NODE_FAST_FORWARD = old
+
+
 def do_io(cluster, ops, drain=True):
     def p():
         for client, op, offset, nbytes in ops:
@@ -192,10 +205,35 @@ def test_kill_switch_run_identical_to_uncached(monkeypatch):
     assert killed.hex() == plain.hex()
 
 
-def test_fast_forward_vetoed_while_cache_attached():
-    c = cached_cluster()
+def test_fast_forward_splits_hits_and_fills_with_cache_attached():
+    """A cold single-block read fast-forwards as a clean-miss fill;
+    the re-reads fast-forward as resident hits — and the engine
+    accounts the split."""
+    c = ff_cluster()
     do_io(c, [(0, "read", 0, BS)] * 4)
-    assert c.storage.engine.fast_submits == 0
+    eng = c.storage.engine
+    assert eng.fast_submits == 4
+    assert eng.fast_fills == 1
+    assert eng.fast_hits == 3
+    st = stage_of(c).caches[0].stats
+    assert st.misses == 1
+    assert st.hits == 3
+
+
+def test_fast_forward_write_hits_stay_below_destage_threshold():
+    """Write hits fast-forward only while the dirty count stays under
+    the destage threshold; the threshold-crossing write takes the
+    event path and triggers the sweep."""
+    c = ff_cluster()
+    stage = stage_of(c)
+    threshold = stage.policy.threshold_blocks
+    do_io(c, [(0, "write", i * BS, BS) for i in range(threshold)])
+    eng = c.storage.engine
+    # Every write strictly under the threshold fast-forwarded; the one
+    # whose dirtying would reach it was vetoed onto the event path.
+    assert eng.fast_submits == threshold - 1
+    assert eng.phase_submits == 1
+    assert stage.caches[0].stats.destaged > 0
 
 
 def test_cache_spans_recorded():

@@ -223,6 +223,89 @@ def test_sum_over_list_in_pricing_function_is_silent():
     assert findings == []
 
 
+def test_cache_stage_guard_mutation_from_unowned_site_fires():
+    # PR 10: the fill fast path's predicate state (_ff_fill_pending,
+    # _destaging, _active) is guard state — a write from outside the
+    # stage machinery breaks the deferred-preload fence.
+    findings = lint({
+        "repro.cluster.cache_stage2": """
+            class CacheStage:
+                def __init__(self, n):
+                    self._ff_fill_pending = [0] * n
+                    self._active = 0
+                    self._destaging = [False] * n
+
+                def reset_counters(self):
+                    self._ff_fill_pending = []
+                    self._active = 0
+            """,
+    })
+    assert codes(findings) == {"FF001"}
+    assert len(findings) == 2
+    assert any("_ff_fill_pending" in f.message for f in findings)
+    assert any("_active" in f.message for f in findings)
+
+
+def test_cache_stage_guard_mutation_from_owning_sites_is_silent():
+    findings = lint({
+        "repro.cluster.cache_stage2": """
+            class CacheStage:
+                def _fast_fill(self, client):
+                    self._ff_fill_pending[client] += 1
+
+                def _spawn_sweep(self, client):
+                    self._destaging[client] = True
+
+                def _destage_sweep(self, client):
+                    self._destaging[client] = False
+
+            class _FFFillRun:
+                def _fire(self, event):
+                    self.stage_ref._active += 1
+                    self.stage_ref._ff_fill_pending[0] -= 1
+            """,
+    })
+    assert findings == []
+
+
+def test_truncation_in_cache_pricing_helper_fires():
+    # PR 10: the cache stage's hit/fill pricing helpers are pricing
+    # functions even though they sit outside the ff_ naming family.
+    findings = lint({
+        "repro.cluster.cache_stage2": """
+            class CacheStage:
+                def _fast_hit(self, nbytes):
+                    return nbytes // 2 / self.rate
+            """,
+    })
+    assert codes(findings) == {"FF002"}
+    assert "_fast_hit" in findings[0].message
+
+
+def test_float_cache_pricing_helper_is_silent():
+    findings = lint({
+        "repro.cluster.cache_stage2": """
+            class CacheStage:
+                def _fast_fill(self, nbytes):
+                    return nbytes / self.rate + self.overhead_s
+            """,
+    })
+    assert findings == []
+
+
+def test_claim_helpers_own_free_at_writes():
+    findings = lint({
+        "repro.hardware.node2": """
+            class Node:
+                def ff_claim_scsi(self, t1, nbytes):
+                    link = self.scsi._link
+                    link._free_at = t1 + nbytes / link.rate
+                    return link._free_at
+            """,
+    })
+    assert findings == []
+
+
 def test_preload_without_guard_fires():
     findings = lint({
         "repro.io.node2": """
@@ -259,6 +342,21 @@ def test_preload_in_helper_guarded_by_sole_caller_is_silent():
 
                 def _arm(self, disk):
                     disk.ff_preload(5)
+            """,
+    })
+    assert findings == []
+
+
+def test_preload_behind_ready_chain_guard_is_silent():
+    # ff_ready_chain wraps the ff_ready check, so a reference to it
+    # counts as the guard (PR 10 splits predicate from claims).
+    findings = lint({
+        "repro.io.node2": """
+            class Node:
+                def kick(self, disk_id):
+                    disk = self.ff_ready_chain(disk_id)
+                    if disk is not None:
+                        disk.ff_preload(5)
             """,
     })
     assert findings == []

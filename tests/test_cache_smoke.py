@@ -73,6 +73,23 @@ def test_zipf_hit_ratio_positive_and_reads_reduced():
 
 
 @needs_cache
+def test_cached_fast_forward_engages_on_high_hit_zipf():
+    """The PR 10 A/B pair, simulation facts only: with the fast path
+    on, nearly every request prices in closed form, and the simulation
+    itself is unchanged — same disk ops, same hit ratio (byte-identity
+    is asserted request-by-request in
+    tests/cluster/test_cache_ff_equivalence.py)."""
+    _, phase = bench_cache._ff_ab_point(False, 2_000)
+    _, fast = bench_cache._ff_ab_point(True, 2_000)
+    assert phase["fast_submits"] == 0
+    assert fast["fast_submits"] > 0
+    assert fast["ff_fraction"] > 0.9
+    assert fast["fast_hits"] + fast["fast_fills"] == fast["fast_submits"]
+    for fact in ("hit_ratio", "disk_reads", "disk_writes"):
+        assert fast[fact] == phase[fact], fact
+
+
+@needs_cache
 def test_rmw_preread_reduction():
     _, uncached = bench_cache._rmw_point(False, 500)
     _, cached = bench_cache._rmw_point(True, 500)
@@ -93,3 +110,7 @@ def test_committed_measurements_match_claims():
     assert ordered == sorted(ordered)  # bigger cache never hits less
     rmw = doc["summary"]["rmw_reads_per_write"]
     assert rmw["cached"] < rmw["uncached"]
+    # PR 10 acceptance: closed-form hits/fills buy >= 1.5x requests/sec
+    # over the old total-veto behaviour on the high-hit Zipf pair.
+    assert doc["summary"]["cache_ff_speedup"] >= 1.5
+    assert doc["summary"]["cache_ff_fraction"] > 0.9
